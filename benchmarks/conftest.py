@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through
+:mod:`repro.experiments`, asserts the qualitative shape the paper reports,
+and records the reproduced rows under ``benchmarks/results/`` so they can be
+inspected (and quoted in EXPERIMENTS.md) after a run.
+
+Set the environment variable ``REPRO_FULL=1`` to run the experiments at full
+fidelity (paper-sized job counts, fine frequency grids, 2 AM–8 PM trace
+windows); the default fast mode keeps the whole suite to a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult, format_result
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Fast experiment configuration (full fidelity with ``REPRO_FULL=1``)."""
+    full = os.environ.get("REPRO_FULL", "0") not in ("0", "", "false", "False")
+    return ExperimentConfig(fast=not full, seed=0)
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write an experiment's table to ``benchmarks/results/<name>.txt``."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        RESULTS_DIRECTORY.mkdir(exist_ok=True)
+        text = format_result(result)
+        (RESULTS_DIRECTORY / f"{result.name}.txt").write_text(text + "\n")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are far too heavy for statistical repetition; a single
+    timed round still records wall-clock cost per table/figure in the
+    benchmark report.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

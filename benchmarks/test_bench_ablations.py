@@ -1,0 +1,113 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are extension studies beyond the paper's figures: the sequential
+throttle-back lesson, the over-provisioning guard band, closed-form versus
+simulation-based policy search, the Atom platform observation, and the
+multi-server scale-out sketch from the conclusion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_throttle_back(benchmark, experiment_config, record_result):
+    """Lesson 5: entering every state in sequence is never better than the best single state."""
+    result = run_once(benchmark, ablations.run_throttle_back, experiment_config)
+    record_result(result)
+
+    rows = {row["utilization"]: row for row in result.rows}
+    # The sequential policy never beats the best single state by more than
+    # statistical noise, and wastes a visible amount of power at low
+    # utilisation (where it lingers in shallow states instead of going
+    # straight to the optimum).
+    for row in rows.values():
+        assert row["sequential_overhead"] >= -0.02
+    assert rows[0.1]["sequential_overhead"] > 0.05
+    assert rows[0.5]["sequential_overhead"] < 0.05
+    assert rows[0.1]["best_single_state"] == "C6S3"
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_over_provisioning(benchmark, experiment_config, record_result):
+    """Section 5.2.3: alpha trades a little power for a lot of response time."""
+    result = run_once(benchmark, ablations.run_over_provisioning, experiment_config)
+    record_result(result)
+
+    rows = sorted(result.rows, key=lambda row: row["alpha"])
+    responses = [row["normalized_mean_response_time"] for row in rows]
+    powers = [row["average_power_w"] for row in rows]
+    frequencies = [row["mean_applied_frequency"] for row in rows]
+
+    # Response time is non-increasing and applied frequency non-decreasing
+    # in alpha; power rises only modestly (the paper: "running slightly
+    # faster does not cost too much power as the server can enter low-power
+    # states sooner").
+    assert all(a >= b - 0.2 for a, b in zip(responses, responses[1:]))
+    assert responses[0] > responses[-1]
+    assert all(a <= b + 1e-6 for a, b in zip(frequencies, frequencies[1:]))
+    assert powers[-1] < powers[0] * 1.25
+    # The paper's headline setting meets the budget.
+    paper_row = next(row for row in rows if row["alpha"] == 0.35)
+    assert paper_row["meets_budget"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_analytic_vs_simulation(
+    benchmark, experiment_config, record_result
+):
+    """Closed-form policy search lands close to the simulation-based search."""
+    result = run_once(
+        benchmark, ablations.run_analytic_vs_simulation, experiment_config
+    )
+    record_result(result)
+
+    rows = {row["strategy"]: row for row in result.rows}
+    simulation = rows["SS(simulation)"]
+    analytic = rows["SS(analytic)"]
+
+    assert simulation["meets_budget"]
+    assert analytic["meets_budget"]
+    # Power within ~10% of each other and frequencies within 0.1 — the
+    # idealized model picks nearly the same operating points.
+    assert analytic["average_power_w"] == pytest.approx(
+        simulation["average_power_w"], rel=0.10
+    )
+    assert abs(
+        analytic["mean_selected_frequency"] - simulation["mean_selected_frequency"]
+    ) < 0.1
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_atom_platform(benchmark, experiment_config, record_result):
+    """Atom observation: running fast and sleeping immediately is near-optimal."""
+    result = run_once(benchmark, ablations.run_atom_platform, experiment_config)
+    record_result(result)
+
+    rows = {row["platform"]: row for row in result.rows}
+    # On Xeon, slowing down buys a measurable amount of power; on Atom it
+    # buys essentially nothing, so race-to-halt is (near-)optimal.
+    assert rows["xeon"]["race_to_halt_overhead"] > 0.03
+    assert rows["atom"]["race_to_halt_overhead"] < 0.02
+    assert rows["atom"]["optimal_frequency"] >= 0.9
+    assert rows["atom"]["optimal_power_w"] < rows["xeon"]["optimal_power_w"]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_bench_ablation_server_farm(benchmark, experiment_config, record_result):
+    """Scale-out: independent per-server SleepScale beats a race-to-halt farm."""
+    result = run_once(benchmark, ablations.run_server_farm, experiment_config)
+    record_result(result)
+
+    rows = {row["farm"]: row for row in result.rows}
+    sleepscale = rows["SleepScale farm"]
+    race = rows["R2H(C6) farm"]
+
+    assert sleepscale["meets_budget"]
+    assert race["meets_budget"]
+    assert sleepscale["total_average_power_w"] < race["total_average_power_w"]
+    assert sleepscale["average_power_per_server_w"] < race["average_power_per_server_w"]

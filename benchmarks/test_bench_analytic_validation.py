@@ -1,0 +1,66 @@
+"""Benchmark for Section 4.3: simulation matches the closed-form expressions.
+
+The paper verifies its simulator against the Appendix's analytic results
+("the results obtained from the closed-form expressions match those presented
+in Figure 1").  This benchmark runs that cross-validation over a grid of
+utilisations and frequencies for two low-power states and asserts the
+agreement quantitatively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analytic.validation import validate_against_simulation
+from repro.power.platform import xeon_power_model
+from repro.power.states import C0I_S0I, C6_S3
+from repro.workloads.spec import dns_workload
+
+
+def _validate(full: bool):
+    power_model = xeon_power_model()
+    spec = dns_workload(empirical=False)
+    num_jobs = 60_000 if full else 20_000
+    reports = {}
+    for state in (C0I_S0I, C6_S3):
+        reports[state.name] = validate_against_simulation(
+            spec,
+            power_model.immediate_sleep_sequence(state, 1.0),
+            power_model,
+            utilizations=(0.1, 0.3, 0.5),
+            frequencies=(0.6, 0.8, 1.0),
+            num_jobs=num_jobs,
+            seed=3,
+        )
+    return reports
+
+
+@pytest.mark.benchmark(group="validation")
+def test_bench_analytic_validation(benchmark, experiment_config, record_result):
+    reports = run_once(benchmark, _validate, not experiment_config.fast)
+
+    from repro.experiments.base import ExperimentResult
+
+    rows = []
+    for state, report in reports.items():
+        summary = report.summary()
+        rows.append({"state": state, **summary})
+        # Section 4.3's claim, quantified: mean response time within a few
+        # percent and power within a couple of percent of the closed form,
+        # across the whole grid.
+        assert summary["max_response_time_error"] < 0.10
+        assert summary["max_power_error"] < 0.05
+        assert summary["mean_response_time_error"] < 0.05
+        assert summary["mean_power_error"] < 0.03
+    record_result(
+        ExperimentResult(
+            name="analytic-validation",
+            description="Simulator vs Appendix closed forms (Section 4.3)",
+            rows=tuple(rows),
+            notes=(
+                "Relative errors of simulated mean response time and average "
+                "power against the M/M/1-with-sleep-states closed forms.",
+            ),
+        )
+    )

@@ -1,0 +1,54 @@
+"""Benchmark reproducing Figure 1: joint frequency/state optimum at low load."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure1
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure1_tradeoff_curves(benchmark, experiment_config, record_result):
+    result = run_once(benchmark, figure1.run, experiment_config)
+    record_result(result)
+
+    optima = result.metadata["optima"]
+
+    # (1) There is an optimal joint choice: for the DNS-like workload the
+    # paper finds C6S3 around f = 0.42; we accept a band around it.
+    dns = optima["dns"]
+    assert dns["optimal_state"] == "C6S3"
+    assert 0.3 <= dns["optimal_frequency"] <= 0.55
+
+    # (2) Race-to-halt (f = 1 on the same state) costs on the order of 50%
+    # more power than the joint optimum.
+    assert dns["race_to_halt_overhead"] > 0.30
+
+    # (3) Every curve is a bowl: for the DNS C6S3 curve the minimum lies
+    # strictly inside the swept frequency range.
+    curve = figure1.curve(result, "dns", "C6S3")
+    powers = [row["average_power_w"] for row in curve]
+    best_index = powers.index(min(powers))
+    assert 0 < best_index < len(curve) - 1
+
+    # (4) At the loosest budgets the deepest state (C6S3) is the cheapest
+    # option for DNS-like jobs; at the tightest budgets it is not.
+    dns_best_by_state = {
+        state: min(
+            row["average_power_w"] for row in figure1.curve(result, "dns", state)
+        )
+        for state in ("C0(i)S0(i)", "C6S0(i)", "C6S3")
+    }
+    assert dns_best_by_state["C6S3"] == min(dns_best_by_state.values())
+
+    # (5) For the tiny Google-like jobs, immediate C6S3 is a bad idea: its
+    # minimum power exceeds the other states' by a wide margin (the 1 s
+    # wake-up dominates 4.2 ms jobs).
+    google_best_by_state = {
+        state: min(
+            row["average_power_w"] for row in figure1.curve(result, "google", state)
+        )
+        for state in ("C0(i)S0(i)", "C6S0(i)", "C6S3")
+    }
+    assert google_best_by_state["C6S3"] > 1.3 * min(google_best_by_state.values())

@@ -1,0 +1,55 @@
+"""Benchmark reproducing Figure 10: distribution of selected low-power states."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure10
+from repro.power.states import LOW_POWER_STATES
+
+
+@pytest.mark.benchmark(group="runtime-figures")
+def test_bench_figure10_state_distribution(benchmark, experiment_config, record_result):
+    result = run_once(benchmark, figure10.run, experiment_config)
+    record_result(result)
+
+    state_names = [state.name for state in LOW_POWER_STATES]
+
+    # Every configuration's selection fractions are a proper distribution.
+    for row in result.rows:
+        fractions = [row[name] for name in state_names]
+        assert sum(fractions) == pytest.approx(1.0)
+        assert all(0.0 <= fraction <= 1.0 for fraction in fractions)
+
+    # The low, steady file-server trace is dominated by a single state.
+    for row in result.filtered(trace="fs"):
+        assert max(row[name] for name in state_names) >= 0.6
+
+    # Across all configurations SleepScale exercises more than one state —
+    # there is no one-size-fits-all choice.
+    states_used = {
+        name
+        for row in result.rows
+        for name in state_names
+        if row[name] > 0.0
+    }
+    assert len(states_used) >= 2
+
+    # The strongly time-varying email-store trace spreads its selections at
+    # least as widely as the file-server trace for the same workload/baseline.
+    for workload in set(result.column("workload")):
+        for rho_b in result.metadata["rho_bs"]:
+            email_rows = result.filtered(trace="es", workload=workload, rho_b=rho_b)
+            file_rows = result.filtered(trace="fs", workload=workload, rho_b=rho_b)
+            if not email_rows or not file_rows:
+                continue
+            assert (
+                email_rows[0]["num_states_used"] >= file_rows[0]["num_states_used"] - 1
+            )
+
+    # Response times stay bounded (the runs are closed-loop SleepScale runs
+    # with over-provisioning, so nothing should blow up).
+    for row in result.rows:
+        assert row["normalized_mean_response_time"] < 30.0
+        assert 13.0 < row["average_power_w"] < 250.0

@@ -1,0 +1,42 @@
+"""Benchmark reproducing Figure 3: delayed entry into the deep C6S3 state."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure3
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure3_delayed_deep_sleep(benchmark, experiment_config, record_result):
+    result = run_once(benchmark, figure3.run, experiment_config)
+    record_result(result)
+
+    # At a matched mid-range frequency the delayed policies interpolate
+    # between immediate C6S3 (worst at this low utilisation, because every
+    # short idle period pays the 1 s wake-up) and pure C0(i)S0(i).
+    frequency = 0.5
+    immediate_deep = figure3.power_at_frequency(result, "C6S3", frequency)
+    shallow = figure3.power_at_frequency(result, "C0(i)S0(i)", frequency)
+    delayed_30 = figure3.power_at_frequency(
+        result, "C0(i)S0(i)->C6S3 tau2=30/mu", frequency
+    )
+    delayed_50 = figure3.power_at_frequency(
+        result, "C0(i)S0(i)->C6S3 tau2=50/mu", frequency
+    )
+
+    assert shallow < immediate_deep
+    assert shallow <= delayed_50 <= delayed_30 <= immediate_deep * 1.02
+
+    # Larger tau2 moves the curve closer to the pure C0(i)S0(i) curve.
+    assert abs(delayed_50 - shallow) < abs(delayed_30 - shallow)
+
+    # The same interpolation holds for the unconstrained minima of each curve.
+    minima = result.metadata["minimum_power_per_policy"]
+    assert (
+        minima["C0(i)S0(i)"]
+        <= minima["C0(i)S0(i)->C6S3 tau2=50/mu"]
+        <= minima["C0(i)S0(i)->C6S3 tau2=30/mu"]
+        <= minima["C6S3"] * 1.02
+    )

@@ -1,0 +1,39 @@
+"""Benchmark reproducing Figure 4: service-time dependence on CPU frequency."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure4
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure4_cpu_boundedness(benchmark, experiment_config, record_result):
+    result = run_once(benchmark, figure4.run, experiment_config)
+    record_result(result)
+
+    optimal = result.metadata["optimal_frequency_per_beta"]
+
+    # The power-minimising frequency must not increase as the workload
+    # becomes less CPU-bound (beta decreasing).
+    ordered_betas = sorted(optimal, reverse=True)  # 1.0, 0.5, 0.2, 0.0
+    frequencies = [optimal[beta] for beta in ordered_betas]
+    assert all(a >= b - 1e-9 for a, b in zip(frequencies, frequencies[1:]))
+
+    # For memory-bound jobs the lowest swept frequency is optimal.
+    lowest_swept = min(row["frequency"] for row in result.filtered(beta=0.0))
+    assert optimal[0.0] == pytest.approx(lowest_swept)
+
+    # And for fully CPU-bound jobs the optimum is an interior frequency.
+    cpu_bound_rows = result.filtered(beta=1.0)
+    swept = sorted(row["frequency"] for row in cpu_bound_rows)
+    assert swept[0] < optimal[1.0] < swept[-1]
+
+    # Memory-bound response times are flat in frequency (service unaffected),
+    # so the normalised response time at the lowest and highest frequency
+    # must be close.
+    memory_rows = sorted(result.filtered(beta=0.0), key=lambda r: r["frequency"])
+    low_response = memory_rows[0]["normalized_mean_response_time"]
+    high_response = memory_rows[-1]["normalized_mean_response_time"]
+    assert low_response == pytest.approx(high_response, rel=0.1)

@@ -1,0 +1,73 @@
+"""Benchmark reproducing Figure 6: optimal policy versus utilisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure6
+from repro.experiments.figure6 import frequency_series
+
+
+def _frequencies(series):
+    return np.array([frequency for _, frequency, _ in series])
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure6_policy_selection(benchmark, experiment_config, record_result):
+    result = run_once(benchmark, figure6.run, experiment_config)
+    record_result(result)
+
+    # --- frequency curves rise with utilisation ---------------------------------
+    for workload in ("dns", "google"):
+        for rho_b in (0.6, 0.8):
+            for model in ("empirical", "idealized"):
+                series = frequency_series(result, workload, "mean", rho_b, model)
+                frequencies = _frequencies(series)
+                # End point above the starting point, and mostly monotone.
+                assert frequencies[-1] >= frequencies[0]
+                steps = np.diff(frequencies)
+                assert np.mean(steps >= -0.061) >= 0.75
+
+    # --- tighter baseline (rho_b = 0.6) needs higher frequencies -----------------
+    for workload in ("dns", "google"):
+        tight = _frequencies(frequency_series(result, workload, "mean", 0.6, "empirical"))
+        loose = _frequencies(frequency_series(result, workload, "mean", 0.8, "empirical"))
+        assert np.mean(tight >= loose - 0.06) >= 0.75
+
+    # --- no one-size-fits-all low-power state ------------------------------------
+    dns_states = {
+        state
+        for _, _, state in frequency_series(result, "dns", "mean", 0.8, "empirical")
+    }
+    google_states = {
+        state
+        for _, _, state in frequency_series(result, "google", "mean", 0.6, "empirical")
+    }
+    assert len(dns_states | google_states) >= 2
+
+    # --- DNS with the E[R] constraint: shallow state at low load, C6S0(i) at
+    #     high load (Figure 6a's two-regime structure) -----------------------------
+    dns_series = frequency_series(result, "dns", "mean", 0.8, "empirical")
+    low_states = {state for utilization, _, state in dns_series if utilization <= 0.2}
+    high_states = {state for utilization, _, state in dns_series if utilization >= 0.6}
+    assert "C0(i)S0(i)" in low_states
+    assert "C6S0(i)" in high_states
+
+    # --- idealized vs empirical: same qualitative choice, but the empirical
+    #     statistics never require a *lower* frequency on average ------------------
+    for workload in ("dns", "google"):
+        empirical = _frequencies(
+            frequency_series(result, workload, "mean", 0.8, "empirical")
+        )
+        idealized = _frequencies(
+            frequency_series(result, workload, "mean", 0.8, "idealized")
+        )
+        assert np.mean(empirical) >= np.mean(idealized) - 0.03
+
+    # --- the 95th-percentile constraint is more demanding than the mean one ------
+    for workload in ("dns", "google"):
+        tail = _frequencies(frequency_series(result, workload, "p95", 0.8, "empirical"))
+        mean = _frequencies(frequency_series(result, workload, "mean", 0.8, "empirical"))
+        assert np.mean(tail) >= np.mean(mean) - 0.03

@@ -1,0 +1,37 @@
+"""Benchmark reproducing Figure 7: the daily utilisation traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure7
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_figure7_daily_traces(benchmark, experiment_config, record_result):
+    result = run_once(benchmark, figure7.run, experiment_config)
+    record_result(result)
+
+    summaries = result.metadata["summaries"]
+
+    # File server: low utilisation (below ~0.2) with small variance.
+    file_server = summaries["file-server"]
+    assert file_server["max"] <= 0.2
+    assert file_server["std"] < 0.08
+
+    # Email store: spans roughly 0.1 to 0.9 across the day.
+    email_store = summaries["email-store"]
+    assert email_store["min"] < 0.2
+    assert email_store["max"] > 0.7
+    assert email_store["std"] > 0.1
+
+    # Diurnal pattern: the afternoon peak clearly exceeds the small hours,
+    # and the late-evening back-up window is busier than the early morning.
+    email_rows = {row["hour_of_day"]: row["mean_utilization"] for row in result.filtered(trace="email-store")}
+    assert email_rows[14] > email_rows[4] + 0.2
+    assert email_rows[22] > email_rows[4]
+
+    # The file server has no comparable swing.
+    file_rows = {row["hour_of_day"]: row["mean_utilization"] for row in result.filtered(trace="file-server")}
+    assert max(file_rows.values()) - min(file_rows.values()) < 0.15

@@ -1,0 +1,57 @@
+"""Benchmark reproducing Figure 8: predictors and policy-update intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure8
+
+
+@pytest.mark.benchmark(group="runtime-figures")
+def test_bench_figure8_predictors_and_intervals(
+    benchmark, experiment_config, record_result
+):
+    result = run_once(benchmark, figure8.run, experiment_config)
+    record_result(result)
+
+    intervals = sorted(result.metadata["update_intervals"])
+    predictors = result.unique("predictor")
+    budget = result.metadata["budget"]
+
+    def response(predictor, interval):
+        return figure8.response_time(result, predictor, interval)
+
+    # The offline (genie) predictor gives the lowest response time for every
+    # update interval.
+    for interval in intervals:
+        offline = response("Offline", interval)
+        for predictor in predictors:
+            assert offline <= response(predictor, interval) * 1.05
+
+    # Updating the policy more often does not hurt: for each predictor the
+    # response time at the shortest interval is no worse than at the longest
+    # (allowing a small tolerance for run-to-run noise).
+    for predictor in predictors:
+        fastest = response(predictor, intervals[0])
+        slowest = response(predictor, intervals[-1])
+        assert fastest <= slowest * 1.15
+
+    # Without over-provisioning the causal predictors exceed the budget for
+    # at least one configuration (the paper: "the average response time
+    # exceeds the allowed budget in all cases when a utilization predictor
+    # is used"), while the offline predictor stays within or near it.
+    causal_rows = [row for row in result.rows if row["predictor"] != "Offline"]
+    assert any(
+        row["normalized_mean_response_time"] > budget for row in causal_rows
+    )
+    offline_rows = [row for row in result.rows if row["predictor"] == "Offline"]
+    assert all(
+        row["normalized_mean_response_time"] <= budget * 1.3 for row in offline_rows
+    )
+
+    # Power stays in a physical range for every configuration.
+    powers = np.array([row["average_power_w"] for row in result.rows])
+    assert np.all(powers > 28.0)
+    assert np.all(powers < 250.0)

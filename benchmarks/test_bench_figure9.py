@@ -1,0 +1,52 @@
+"""Benchmark reproducing Figure 9: SleepScale versus the baseline strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import figure9
+from repro.experiments.figure9 import metric
+
+
+@pytest.mark.benchmark(group="runtime-figures")
+def test_bench_figure9_strategy_comparison(benchmark, experiment_config, record_result):
+    result = run_once(benchmark, figure9.run, experiment_config)
+    record_result(result)
+
+    strategies = result.unique("strategy")
+    assert strategies == ["SS", "SS(C3)", "DVFS", "R2H(C3)", "R2H(C6)"]
+
+    power = {name: metric(result, name, "average_power_w") for name in strategies}
+    response = {
+        name: metric(result, name, "normalized_mean_response_time")
+        for name in strategies
+    }
+    budget = result.metadata["budget"]
+
+    # SleepScale achieves the lowest average power of all strategies.
+    assert power["SS"] == min(power.values())
+
+    # DVFS-only wastes power (never sleeps) and race-to-halt burns extra
+    # power by always running flat out.
+    assert power["DVFS"] > power["SS"] * 1.1
+    assert power["R2H(C3)"] > power["SS"]
+    assert power["R2H(C6)"] > power["SS"]
+
+    # Restricting SleepScale to a single state costs power relative to the
+    # joint search (SS(C3) sits between SS and race-to-halt).
+    assert power["SS(C3)"] >= power["SS"]
+
+    # With over-provisioning SleepScale keeps the mean response time within
+    # the budget; race-to-halt trivially meets it.
+    assert response["SS"] <= budget
+    assert response["R2H(C6)"] <= budget
+
+    # DVFS-only spends the whole latency budget (it has no sleep state to
+    # recover power with), so its response time is the largest, or at least
+    # no better than SleepScale's.
+    assert response["DVFS"] >= response["SS"] * 0.95
+
+    # The joint search actually exercises multiple low-power states.
+    state_fractions = result.metadata["state_fractions"]["SS"]
+    assert sum(state_fractions.values()) == pytest.approx(1.0)

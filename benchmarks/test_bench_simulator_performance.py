@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the policy-evaluation primitive.
+
+Section 4.1 of the paper reports that evaluating a single policy (one
+frequency and low-power state combination, 10,000 jobs) takes about 6.3 ms in
+Matlab, and argues the per-epoch policy search is therefore negligible
+against a minutes-long update interval.  These benchmarks measure the same
+primitive for this implementation: one Algorithm 1 evaluation, a whole
+policy-space characterisation, and the analytic (closed-form) evaluation that
+could replace simulation for the idealised model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.mm1_sleep import evaluate_policy
+from repro.core.policy_manager import PolicyManager
+from repro.core.qos import MeanResponseTimeConstraint
+from repro.policies.space import full_space
+from repro.power.platform import xeon_power_model
+from repro.power.states import C6_S0I
+from repro.simulation.engine import simulate_trace
+from repro.workloads.generator import generate_jobs
+from repro.workloads.spec import dns_workload
+
+
+@pytest.fixture(scope="module")
+def power_model():
+    return xeon_power_model()
+
+
+@pytest.fixture(scope="module")
+def job_stream():
+    return generate_jobs(dns_workload(empirical=False), num_jobs=10_000, utilization=0.3, seed=0)
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_bench_single_policy_evaluation(benchmark, power_model, job_stream):
+    """One Algorithm 1 run: 10,000 jobs under one (frequency, state) policy."""
+    sleep = power_model.immediate_sleep_sequence(C6_S0I, 0.7)
+    result = benchmark(
+        simulate_trace, job_stream, 0.7, sleep, power_model
+    )
+    assert result.num_jobs == 10_000
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_bench_policy_space_characterization(benchmark, power_model):
+    """A full per-epoch policy search over the default SleepScale space."""
+    manager = PolicyManager(
+        power_model=power_model,
+        policy_space=full_space(power_model, frequency_step=0.1),
+        qos=MeanResponseTimeConstraint(5.0),
+        characterization_jobs=1_000,
+        seed=0,
+    )
+    spec = dns_workload(empirical=False)
+    jobs = generate_jobs(spec, num_jobs=1_000, utilization=0.3, seed=1)
+
+    selection = benchmark(manager.select, jobs, 0.3)
+    assert selection.feasible
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_bench_analytic_policy_evaluation(benchmark, power_model):
+    """The closed-form evaluation of one policy (no simulation at all)."""
+    spec = dns_workload(empirical=False)
+    sleep = power_model.immediate_sleep_sequence(C6_S0I, 0.7)
+    arrival_rate = 0.3 * spec.service_rate
+
+    point = benchmark(
+        evaluate_policy,
+        arrival_rate,
+        spec.service_rate,
+        0.7,
+        sleep,
+        power_model.active_power(0.7),
+    )
+    assert point.average_power > 0

@@ -1,0 +1,49 @@
+"""Benchmarks reproducing Table 2 (power model) and Table 5 (workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import table2, table5
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table2_power_model(benchmark, experiment_config, record_result):
+    """Table 2: component and platform power numbers match the paper exactly."""
+    result = run_once(benchmark, table2.run, experiment_config)
+    record_result(result)
+
+    assert table2.platform_totals_match(result)
+    totals = result.metadata["model_platform_totals"]
+    assert totals["operating"] == pytest.approx(120.0)
+    assert totals["idle"] == pytest.approx(60.5)
+    assert totals["deeper_sleep"] == pytest.approx(13.1)
+    assert result.metadata["peak_system_power_w"] == pytest.approx(250.0)
+
+    # Table 4 companion: the representative wake-up latencies are ordered and
+    # span microseconds (C1) to a second (C6S3).
+    system_rows = {
+        row["component"]: row for row in result.rows if "wake_up_latency_s" in row
+    }
+    latencies = [
+        system_rows[f"system {name}"]["wake_up_latency_s"]
+        for name in ("C0(i)S0(i)", "C1S0(i)", "C3S0(i)", "C6S0(i)", "C6S3")
+    ]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] == pytest.approx(1.0)
+
+
+@pytest.mark.benchmark(group="tables")
+def test_bench_table5_workload_statistics(benchmark, experiment_config, record_result):
+    """Table 5: moment-matched workloads reproduce the published mean and Cv."""
+    result = run_once(benchmark, table5.run, experiment_config)
+    record_result(result)
+
+    assert table5.max_relative_error(result) < 0.08
+    rows = {row["workload"]: row for row in result.rows}
+    assert rows["dns"]["service_mean_target_s"] == pytest.approx(0.194)
+    assert rows["google"]["service_mean_target_s"] == pytest.approx(0.0042)
+    assert rows["mail"]["service_cv_target"] == pytest.approx(3.6)
+    # The heavy-tailed Mail service Cv must actually be realised by sampling.
+    assert rows["mail"]["service_cv_sampled"] > 2.5

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Run SleepScale over a day-in-the-life datacenter trace (Figures 9 and 10).
+
+A DNS-like service follows the synthetic email-store utilisation trace.
+SleepScale (LMS+CUSUM predictor, 5-minute epochs, 35 % over-provisioning) is
+compared against the DVFS-only and race-to-halt baselines, and the
+distribution of low-power states it selected across the day is printed.
+
+Usage::
+
+    python examples/datacenter_day.py               # 2-hour window, fast
+    python examples/datacenter_day.py --hours 6     # longer window
+    python examples/datacenter_day.py --workload google --hours 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    LmsCusumPredictor,
+    RuntimeConfig,
+    SleepScaleRuntime,
+    dvfs_only_strategy,
+    generate_trace_driven_jobs,
+    mean_qos_from_baseline,
+    race_to_halt_c6,
+    sleepscale_strategy,
+    synthetic_email_store_trace,
+    xeon_power_model,
+)
+from repro.experiments.base import format_rows
+from repro.workloads import workload_by_name
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="dns", choices=["dns", "google", "mail"])
+    parser.add_argument("--hours", type=float, default=2.0, help="trace window length")
+    parser.add_argument("--start-hour", type=float, default=8.0)
+    parser.add_argument("--rho-b", type=float, default=0.8)
+    parser.add_argument("--epoch-minutes", type=float, default=5.0)
+    parser.add_argument("--alpha", type=float, default=0.35, help="over-provisioning")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def main() -> None:
+    arguments = parse_args()
+    power_model = xeon_power_model()
+    spec = workload_by_name(arguments.workload, empirical=True)
+    qos = mean_qos_from_baseline(arguments.rho_b)
+
+    trace = synthetic_email_store_trace(days=1, seed=arguments.seed + 7).slice_hours(
+        arguments.start_hour, arguments.start_hour + arguments.hours
+    )
+    workload = generate_trace_driven_jobs(spec, trace, seed=arguments.seed + 101)
+    print(
+        f"Trace window: {trace.duration / 3600:.1f} h, mean utilisation "
+        f"{trace.summary().mean:.2f}, {len(workload.jobs)} jobs generated"
+    )
+
+    strategies = {
+        "SleepScale": sleepscale_strategy(
+            power_model, qos, characterization_jobs=1500, seed=arguments.seed
+        ),
+        "DVFS-only": dvfs_only_strategy(
+            power_model, qos, characterization_jobs=1500, seed=arguments.seed
+        ),
+        "Race-to-halt (C6)": race_to_halt_c6(power_model),
+    }
+
+    rows = []
+    sleepscale_result = None
+    for label, strategy in strategies.items():
+        runtime = SleepScaleRuntime(
+            power_model=power_model,
+            spec=spec,
+            strategy=strategy,
+            predictor=LmsCusumPredictor(history=10),
+            config=RuntimeConfig(
+                epoch_minutes=arguments.epoch_minutes,
+                rho_b=arguments.rho_b,
+                over_provisioning=arguments.alpha,
+            ),
+        )
+        result = runtime.run(workload.jobs)
+        if label == "SleepScale":
+            sleepscale_result = result
+        rows.append(
+            {
+                "strategy": label,
+                "normalized E[R]": result.normalized_mean_response_time,
+                "budget": result.response_time_budget,
+                "meets budget": result.meets_budget,
+                "power (W)": result.average_power,
+                "mean frequency": result.mean_selected_frequency(),
+            }
+        )
+
+    print("\nStrategy comparison over the trace window:")
+    print(format_rows(rows))
+
+    assert sleepscale_result is not None
+    print("\nLow-power states selected by SleepScale (fraction of epochs):")
+    fractions = sleepscale_result.state_selection_fractions()
+    print(format_rows([{"state": state, "fraction": fraction} for state, fraction in sorted(fractions.items())]))
+
+    print("\nFirst few epochs of the SleepScale run:")
+    epoch_rows = [
+        {
+            "epoch": epoch.index,
+            "predicted rho": epoch.predicted_utilization,
+            "observed rho": epoch.observed_utilization,
+            "state": epoch.sleep_state,
+            "frequency": epoch.applied_frequency,
+            "jobs": epoch.num_jobs,
+            "power (W)": epoch.average_power,
+        }
+        for epoch in sleepscale_result.epochs[:8]
+    ]
+    print(format_rows(epoch_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Explore the joint frequency / sleep-state trade-off space (Figures 1–3).
+
+For a chosen workload and utilisation this example sweeps the DVFS frequency
+for every low-power state, prints the power/response-time trade-off, locates
+the joint optimum under several QoS budgets, and cross-checks the simulated
+curves against the closed-form M/M/1 results of the paper's Appendix.
+
+Usage::
+
+    python examples/policy_exploration.py                 # DNS-like, rho=0.1
+    python examples/policy_exploration.py --workload google --utilization 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import LOW_POWER_STATES, sweep_states, xeon_power_model
+from repro.analytic import average_power, mean_response_time
+from repro.experiments.base import format_rows
+from repro.simulation.sweep import best_policy_across_states
+from repro.workloads import workload_by_name
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="dns", choices=["dns", "google", "mail"])
+    parser.add_argument("--utilization", type=float, default=0.1)
+    parser.add_argument("--num-jobs", type=int, default=4000)
+    parser.add_argument("--frequency-step", type=float, default=0.05)
+    return parser.parse_args()
+
+
+def main() -> None:
+    arguments = parse_args()
+    power_model = xeon_power_model()
+    spec = workload_by_name(arguments.workload, empirical=False)
+
+    print(
+        f"Workload {arguments.workload}: mean job size "
+        f"{spec.mean_service_time * 1e3:.1f} ms, utilization {arguments.utilization}"
+    )
+
+    curves = sweep_states(
+        spec,
+        {state.name: state for state in LOW_POWER_STATES},
+        power_model,
+        utilization=arguments.utilization,
+        num_jobs=arguments.num_jobs,
+        frequency_step=arguments.frequency_step,
+        seed=0,
+    )
+
+    # Per-state optimum (the bottom of each bowl).
+    rows = []
+    for state_name, curve in curves.items():
+        optimum = curve.minimum_power_point()
+        rows.append(
+            {
+                "state": state_name,
+                "optimal frequency": optimum.frequency,
+                "normalized E[R]": optimum.normalized_mean_response_time,
+                "power (W)": optimum.average_power,
+                "race-to-halt power (W)": curve.race_to_halt_point().average_power,
+            }
+        )
+    print("\nPer-state optima (unconstrained):")
+    print(format_rows(rows))
+
+    # Joint optimum under different response-time budgets.
+    budget_rows = []
+    for budget in (2.0, 5.0, 20.0, None):
+        label, point = best_policy_across_states(curves, normalized_budget=budget)
+        budget_rows.append(
+            {
+                "budget mu*E[R]": "unconstrained" if budget is None else budget,
+                "best state": label,
+                "frequency": point.frequency,
+                "normalized E[R]": point.normalized_mean_response_time,
+                "power (W)": point.average_power,
+            }
+        )
+    print("\nJoint optimum per QoS budget:")
+    print(format_rows(budget_rows))
+
+    # Analytic cross-check of one curve (the idealised M/M/1 closed forms).
+    state_name, curve = next(iter(curves.items()))
+    arrival_rate = arguments.utilization * spec.service_rate
+    check_rows = []
+    for point in list(curve)[:: max(1, len(curve) // 5)]:
+        sleep = power_model.immediate_sleep_sequence(
+            next(s for s in LOW_POWER_STATES if s.name == state_name), point.frequency
+        )
+        analytic_r = mean_response_time(
+            arrival_rate, spec.service_rate * point.frequency, sleep
+        )
+        analytic_p = average_power(
+            arrival_rate,
+            spec.service_rate * point.frequency,
+            sleep,
+            power_model.active_power(point.frequency),
+        )
+        check_rows.append(
+            {
+                "frequency": point.frequency,
+                "simulated E[R] (s)": point.mean_response_time,
+                "analytic E[R] (s)": analytic_r,
+                "simulated power (W)": point.average_power,
+                "analytic power (W)": analytic_p,
+            }
+        )
+    print(f"\nSimulation vs closed form for {state_name}:")
+    print(format_rows(check_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare runtime utilisation predictors (Figure 8's ingredients).
+
+Two questions are answered for the naive-previous, LMS, LMS+CUSUM and
+offline predictors:
+
+1. how accurately does each track a daily utilisation trace, minute by
+   minute (mean absolute error, RMSE)?
+2. how does that accuracy translate into response time when the predictor
+   drives SleepScale with no over-provisioning (``alpha = 0``)?
+
+Usage::
+
+    python examples/predictor_comparison.py
+    python examples/predictor_comparison.py --hours 4 --epoch-minutes 5
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import (
+    LmsCusumPredictor,
+    LmsPredictor,
+    NaivePreviousPredictor,
+    OraclePredictor,
+    RuntimeConfig,
+    SleepScaleRuntime,
+    dns_workload,
+    generate_trace_driven_jobs,
+    mean_qos_from_baseline,
+    sleepscale_strategy,
+    synthetic_email_store_trace,
+    xeon_power_model,
+)
+from repro.experiments.base import format_rows
+from repro.prediction import compare_predictors
+from repro.workloads import empirical_utilization
+from repro.units import minutes
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=2.0)
+    parser.add_argument("--start-hour", type=float, default=8.0)
+    parser.add_argument("--epoch-minutes", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def main() -> None:
+    arguments = parse_args()
+    trace = synthetic_email_store_trace(days=1, seed=arguments.seed + 7).slice_hours(
+        arguments.start_hour, arguments.start_hour + arguments.hours
+    )
+
+    # Part 1: pure prediction accuracy on the minute-by-minute trace.
+    accuracy = compare_predictors(
+        [NaivePreviousPredictor(), LmsPredictor(history=10), LmsCusumPredictor(history=10)],
+        trace,
+        warm_up=10,
+    )
+    print("Prediction accuracy on the utilisation trace:")
+    print(
+        format_rows(
+            [
+                {"predictor": name, **metrics.summary()}
+                for name, metrics in accuracy.items()
+            ]
+        )
+    )
+
+    # Part 2: response time when each predictor drives SleepScale (alpha=0).
+    power_model = xeon_power_model()
+    spec = dns_workload()
+    qos = mean_qos_from_baseline(0.8)
+    workload = generate_trace_driven_jobs(spec, trace, seed=arguments.seed + 101)
+    truth = empirical_utilization(
+        workload.jobs, minutes(1), horizon=trace.duration
+    )
+
+    predictors = {
+        "NP": NaivePreviousPredictor(),
+        "LMS": LmsPredictor(history=10),
+        "LC": LmsCusumPredictor(history=10),
+        "Offline": OraclePredictor(truth),
+    }
+    rows = []
+    for label, predictor in predictors.items():
+        strategy = sleepscale_strategy(
+            power_model, qos, characterization_jobs=1500, seed=arguments.seed
+        )
+        runtime = SleepScaleRuntime(
+            power_model=power_model,
+            spec=spec,
+            strategy=strategy,
+            predictor=predictor,
+            config=RuntimeConfig(
+                epoch_minutes=arguments.epoch_minutes,
+                rho_b=0.8,
+                over_provisioning=0.0,
+            ),
+        )
+        result = runtime.run(workload.jobs)
+        rows.append(
+            {
+                "predictor": label,
+                "normalized E[R]": result.normalized_mean_response_time,
+                "budget": result.response_time_budget,
+                "power (W)": result.average_power,
+            }
+        )
+    print("\nSleepScale response time per predictor (alpha = 0):")
+    print(format_rows(rows))
+
+
+if __name__ == "__main__":
+    main()

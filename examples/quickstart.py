@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate a few power-management policies on one server.
+
+This example walks through the library's core objects in the order a new
+user meets them:
+
+1. build the Xeon server power model (Table 2 of the paper),
+2. pick a workload (the Google-like web-search workload of Table 5),
+3. simulate a handful of hand-picked policies — race-to-halt, a slow DVFS
+   setting with a shallow sleep state, and the joint optimum found by the
+   SleepScale policy manager — and
+4. print the power / response-time trade-off they achieve.
+
+Run it with ``python examples/quickstart.py``; it finishes in a few seconds.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    C0I_S0I,
+    C6_S0I,
+    MeanResponseTimeConstraint,
+    Policy,
+    PolicyManager,
+    PolicySpace,
+    google_workload,
+    race_to_halt_policy,
+    simulate_workload,
+    xeon_power_model,
+)
+from repro.experiments.base import format_rows
+
+UTILIZATION = 0.3
+NUM_JOBS = 5_000
+RESPONSE_BUDGET = 5.0  # normalised mean response time (rho_b = 0.8 baseline)
+
+
+def evaluate(policy: Policy, spec, power_model) -> dict[str, object]:
+    """Simulate one policy and return a row for the comparison table."""
+    result = simulate_workload(
+        spec,
+        frequency=policy.frequency,
+        sleep=policy.sleep,
+        power_model=power_model,
+        utilization=UTILIZATION,
+        num_jobs=NUM_JOBS,
+        seed=42,
+    )
+    return {
+        "policy": policy.label,
+        "frequency": policy.frequency,
+        "sleep_state": policy.sleep_state_name,
+        "normalized E[R]": result.normalized_mean_response_time,
+        "power (W)": result.average_power,
+        "meets budget": result.normalized_mean_response_time <= RESPONSE_BUDGET,
+    }
+
+
+def main() -> None:
+    power_model = xeon_power_model()
+    spec = google_workload()
+
+    print(f"Server peak power: {power_model.peak_power():.1f} W")
+    print(f"Workload: {spec.name}, mean job size {spec.mean_service_time * 1e3:.1f} ms")
+    print(f"Offered load: {UTILIZATION}, QoS budget mu*E[R] <= {RESPONSE_BUDGET}\n")
+
+    # Hand-picked policies.
+    rows = []
+    rows.append(
+        evaluate(race_to_halt_policy(power_model, C6_S0I), spec, power_model)
+    )
+    slow_and_shallow = Policy(
+        frequency=0.5, sleep=power_model.immediate_sleep_sequence(C0I_S0I, 0.5)
+    )
+    rows.append(evaluate(slow_and_shallow, spec, power_model))
+
+    # The SleepScale policy manager searches the joint space for us.
+    manager = PolicyManager(
+        power_model=power_model,
+        policy_space=PolicySpace(power_model=power_model, frequency_step=0.05),
+        qos=MeanResponseTimeConstraint(RESPONSE_BUDGET),
+        characterization_jobs=NUM_JOBS,
+        seed=7,
+    )
+    selection = manager.select_for_spec(spec, UTILIZATION)
+    rows.append(evaluate(selection.policy, spec, power_model))
+    rows[-1]["policy"] = f"SleepScale optimum ({rows[-1]['policy']})"
+
+    print(format_rows(rows))
+    feasible = [row for row in rows if row["meets budget"]]
+    best = min(feasible or rows, key=lambda row: row["power (W)"])
+    print(f"\nLowest-power policy meeting the budget: {best['policy']}")
+
+
+if __name__ == "__main__":
+    main()

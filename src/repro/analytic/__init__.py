@@ -1,0 +1,41 @@
+"""Closed-form queueing results (the paper's Appendix) and validation helpers."""
+
+from repro.analytic.mg1 import (
+    mg1_mean_response_time,
+    mg1_setup_average_power,
+    mg1_setup_mean_response_time,
+    pollaczek_khinchine_waiting_time,
+)
+from repro.analytic.mm1_sleep import (
+    AnalyticOperatingPoint,
+    average_power,
+    evaluate_policy,
+    expected_cycle_length,
+    mean_response_time,
+    response_time_exceedance,
+    response_time_percentile,
+    setup_delay_moment,
+)
+from repro.analytic.validation import (
+    ValidationPoint,
+    ValidationReport,
+    validate_against_simulation,
+)
+
+__all__ = [
+    "AnalyticOperatingPoint",
+    "ValidationPoint",
+    "ValidationReport",
+    "average_power",
+    "evaluate_policy",
+    "expected_cycle_length",
+    "mean_response_time",
+    "mg1_mean_response_time",
+    "mg1_setup_average_power",
+    "mg1_setup_mean_response_time",
+    "pollaczek_khinchine_waiting_time",
+    "response_time_exceedance",
+    "response_time_percentile",
+    "setup_delay_moment",
+    "validate_against_simulation",
+]

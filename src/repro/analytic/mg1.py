@@ -1,0 +1,148 @@
+"""M/G/1 results: Pollaczek–Khinchine and the setup-delay decomposition.
+
+The Appendix notes that both ``E[R]`` and ``E[P]`` "can be extended to the
+case where service time is not exponential" [Harchol-Balter 2013].  This
+module provides that extension for mean metrics:
+
+* the Pollaczek–Khinchine mean waiting time for a plain M/G/1 queue,
+* the mean response time of an M/G/1 queue whose busy periods start with a
+  setup (wake-up) delay, using Welch's exceptional-first-service result —
+  the same decomposition the M/M/1 formula of
+  :mod:`repro.analytic.mm1_sleep` uses, but with a general service-time
+  second moment,
+* the corresponding average power (the power result only depends on the
+  service time through its mean, so it carries over unchanged).
+
+These results are used for sanity checks of the simulator against non-
+exponential (hyper-exponential / Erlang) service times, and by the ablation
+benchmarks that ask how far the idealised M/M/1 policy curves are from
+moment-matched M/G/1 predictions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.power.sleep import SleepSequence
+from repro.analytic.mm1_sleep import setup_delay_moment
+from repro.workloads.distributions import Distribution
+
+
+def _check_load(arrival_rate: float, mean_service_time: float) -> float:
+    if arrival_rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {arrival_rate}")
+    if mean_service_time <= 0:
+        raise ConfigurationError(
+            f"mean service time must be positive, got {mean_service_time}"
+        )
+    load = arrival_rate * mean_service_time
+    if load >= 1.0:
+        raise StabilityError(
+            f"offered load {load:.3f} >= 1; the M/G/1 queue is unstable"
+        )
+    return load
+
+
+def pollaczek_khinchine_waiting_time(
+    arrival_rate: float, mean_service_time: float, second_moment_service: float
+) -> float:
+    """Mean waiting time of a plain M/G/1 queue (Pollaczek–Khinchine).
+
+    ``E[W] = lambda E[S^2] / (2 (1 - rho))`` with ``rho = lambda E[S]``.
+    """
+    load = _check_load(arrival_rate, mean_service_time)
+    if second_moment_service < mean_service_time**2:
+        raise ConfigurationError(
+            "second moment of the service time cannot be smaller than the "
+            "squared mean"
+        )
+    return arrival_rate * second_moment_service / (2.0 * (1.0 - load))
+
+
+def mg1_mean_response_time(
+    arrival_rate: float, service: Distribution, frequency: float = 1.0, beta: float = 1.0
+) -> float:
+    """Mean response time of a plain M/G/1 queue at a DVFS setting.
+
+    The nominal service-time distribution is stretched by ``1 / f**beta``
+    (which multiplies the mean by that factor and the second moment by its
+    square) before applying Pollaczek–Khinchine.
+    """
+    if not 0.0 < frequency <= 1.0:
+        raise ConfigurationError(f"frequency must lie in (0, 1], got {frequency}")
+    stretch = frequency ** (-beta) if beta > 0 else 1.0
+    mean_service = service.mean * stretch
+    second_moment = service.second_moment * stretch * stretch
+    waiting = pollaczek_khinchine_waiting_time(arrival_rate, mean_service, second_moment)
+    return waiting + mean_service
+
+
+def mg1_setup_mean_response_time(
+    arrival_rate: float,
+    service: Distribution,
+    sleep: SleepSequence,
+    frequency: float = 1.0,
+    beta: float = 1.0,
+) -> float:
+    """Mean response time of an M/G/1 queue with sleep-state setup delays.
+
+    Decomposition: the plain M/G/1 response time plus the setup penalty
+    ``(2 E[D] + lambda E[D^2]) / (2 (1 + lambda E[D]))`` where the setup
+    moments are those of :func:`repro.analytic.mm1_sleep.setup_delay_moment`
+    (they only depend on the Poisson arrival process and the sleep sequence,
+    not on the service distribution).
+    """
+    base = mg1_mean_response_time(arrival_rate, service, frequency, beta)
+    first = setup_delay_moment(arrival_rate, sleep, order=1)
+    second = setup_delay_moment(arrival_rate, sleep, order=2)
+    penalty = (2.0 * first + arrival_rate * second) / (
+        2.0 * (1.0 + arrival_rate * first)
+    )
+    return base + penalty
+
+
+def mg1_setup_average_power(
+    arrival_rate: float,
+    service: Distribution,
+    sleep: SleepSequence,
+    active_power: float,
+    frequency: float = 1.0,
+    beta: float = 1.0,
+) -> float:
+    """Average power of an M/G/1 queue with sleep states.
+
+    The renewal-reward argument behind the M/M/1 power formula only uses the
+    *mean* busy-period length, which for M/G/1 depends on the service time
+    only through its mean; the sleep-state residency probabilities depend
+    only on the Poisson arrivals.  The expression therefore matches the
+    M/M/1 one with ``mu f`` replaced by the effective service rate.
+    """
+    if not 0.0 < frequency <= 1.0:
+        raise ConfigurationError(f"frequency must lie in (0, 1], got {frequency}")
+    if active_power < 0:
+        raise ConfigurationError(f"active power must be non-negative, got {active_power}")
+    stretch = frequency ** (-beta) if beta > 0 else 1.0
+    mean_service = service.mean * stretch
+    _check_load(arrival_rate, mean_service)
+    effective_rate = 1.0 / mean_service
+
+    mean_setup = setup_delay_moment(arrival_rate, sleep, order=1)
+    cycle = (
+        effective_rate
+        * (1.0 + arrival_rate * mean_setup)
+        / (arrival_rate * (effective_rate - arrival_rate))
+    )
+    specs = list(sleep)
+    sleep_term = 0.0
+    for index, spec in enumerate(specs):
+        weight_start = math.exp(-arrival_rate * spec.entry_delay)
+        if index + 1 < len(specs):
+            weight_end = math.exp(-arrival_rate * specs[index + 1].entry_delay)
+        else:
+            weight_end = 0.0
+        sleep_term += spec.power * (weight_start - weight_end)
+    sleeping_fraction = math.exp(-arrival_rate * specs[0].entry_delay) / (
+        arrival_rate * cycle
+    )
+    return sleep_term / (arrival_rate * cycle) + active_power * (1.0 - sleeping_fraction)

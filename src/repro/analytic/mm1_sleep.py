@@ -1,0 +1,264 @@
+"""Closed-form results for the M/M/1 queue with a sequence of sleep states.
+
+These are the Appendix results of the paper (which extend Liu, Draper and
+Kim, CISS 2013): for Poisson arrivals with rate ``lambda``, exponential
+service with effective rate ``mu * f`` and a sequence of ``n`` low-power
+states ``(P_i, tau_i, w_i)``, the average power, mean response time and
+response-time exceedance probability are available in closed form via
+busy-period analysis.
+
+Notation used below (matching the paper):
+
+* ``E[D^a] = sum_{i=1}^{n-1} w_i^a (e^{-lambda tau_i} - e^{-lambda tau_{i+1}})
+  + w_n^a e^{-lambda tau_n}`` — the *a*-th moment of the setup (wake-up)
+  delay experienced by the job that opens a busy period;
+* ``L`` — the expected regeneration-cycle length,
+  ``L = (mu f + mu f lambda E[D]) / (lambda (mu f - lambda))``;
+* the expected time per cycle spent in sleep state *i* is
+  ``(e^{-lambda tau_i} - e^{-lambda tau_{i+1}}) / lambda``.
+
+The functions here are deliberately written against plain floats plus a
+:class:`~repro.power.sleep.SleepSequence`, so they can verify the simulator
+(Section 4.3: "the results obtained from the closed-form expressions match
+those presented in Figure 1") and drive the idealised policy curves of
+Figure 6 without running any simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.power.sleep import SleepSequence
+
+
+def _check_rates(arrival_rate: float, effective_service_rate: float) -> None:
+    if arrival_rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {arrival_rate}")
+    if effective_service_rate <= 0:
+        raise ConfigurationError(
+            f"effective service rate must be positive, got {effective_service_rate}"
+        )
+    if arrival_rate >= effective_service_rate:
+        raise StabilityError(
+            f"arrival rate {arrival_rate} >= effective service rate "
+            f"{effective_service_rate}; the M/M/1 queue is unstable"
+        )
+
+
+def setup_delay_moment(
+    arrival_rate: float, sleep: SleepSequence, order: int = 1
+) -> float:
+    """The *order*-th moment ``E[D^order]`` of the busy-period setup delay.
+
+    The setup delay is the wake-up latency of whichever sleep state the
+    server occupies when the arrival that opens the busy period occurs; with
+    exponential inter-arrival times the probability the idle period exceeds
+    ``tau_i`` is ``e^{-lambda tau_i}``, which yields the weighted sum above.
+    Jobs arriving before ``tau_1`` find the server not yet asleep and incur
+    no setup.
+    """
+    if arrival_rate <= 0:
+        raise ConfigurationError(f"arrival rate must be positive, got {arrival_rate}")
+    if order < 0:
+        raise ConfigurationError(f"moment order must be non-negative, got {order}")
+    specs = list(sleep)
+    total = 0.0
+    for index, spec in enumerate(specs):
+        weight_start = math.exp(-arrival_rate * spec.entry_delay)
+        if index + 1 < len(specs):
+            weight_end = math.exp(-arrival_rate * specs[index + 1].entry_delay)
+        else:
+            weight_end = 0.0
+        total += (spec.wake_up_latency**order) * (weight_start - weight_end)
+    return total
+
+
+def expected_cycle_length(
+    arrival_rate: float, effective_service_rate: float, sleep: SleepSequence
+) -> float:
+    """Expected regeneration-cycle length ``L`` (idle period + busy period)."""
+    _check_rates(arrival_rate, effective_service_rate)
+    mean_setup = setup_delay_moment(arrival_rate, sleep, order=1)
+    numerator = effective_service_rate * (1.0 + arrival_rate * mean_setup)
+    denominator = arrival_rate * (effective_service_rate - arrival_rate)
+    return numerator / denominator
+
+
+def average_power(
+    arrival_rate: float,
+    effective_service_rate: float,
+    sleep: SleepSequence,
+    active_power: float,
+) -> float:
+    """``E[P]`` — time-average power of the M/M/1 server with sleep states.
+
+    ``active_power`` is the power drawn while serving, while waking up, and
+    while idling *before* the first sleep transition (the paper charges all
+    three at ``P0``, its conservative assumption).
+    """
+    _check_rates(arrival_rate, effective_service_rate)
+    if active_power < 0:
+        raise ConfigurationError(f"active power must be non-negative, got {active_power}")
+    cycle = expected_cycle_length(arrival_rate, effective_service_rate, sleep)
+    specs = list(sleep)
+    sleep_energy_rate = 0.0
+    for index, spec in enumerate(specs):
+        weight_start = math.exp(-arrival_rate * spec.entry_delay)
+        if index + 1 < len(specs):
+            weight_end = math.exp(-arrival_rate * specs[index + 1].entry_delay)
+        else:
+            weight_end = 0.0
+        sleep_energy_rate += spec.power * (weight_start - weight_end)
+    first_delay = specs[0].entry_delay
+    sleeping_fraction = math.exp(-arrival_rate * first_delay) / (arrival_rate * cycle)
+    return sleep_energy_rate / (arrival_rate * cycle) + active_power * (
+        1.0 - sleeping_fraction
+    )
+
+
+def mean_response_time(
+    arrival_rate: float, effective_service_rate: float, sleep: SleepSequence
+) -> float:
+    """``E[R]`` — mean sojourn time of the M/M/1 queue with setup delays.
+
+    The first term is the plain M/M/1 response time ``1/(mu f - lambda)``;
+    the second is the extra delay caused by the setup experienced by the job
+    opening each busy period and propagated to the jobs behind it (Welch's
+    exceptional-first-service result):
+    ``(2 E[D] + lambda E[D^2]) / (2 (1 + lambda E[D]))``.
+    """
+    _check_rates(arrival_rate, effective_service_rate)
+    base = 1.0 / (effective_service_rate - arrival_rate)
+    first_moment = setup_delay_moment(arrival_rate, sleep, order=1)
+    second_moment = setup_delay_moment(arrival_rate, sleep, order=2)
+    penalty = (2.0 * first_moment + arrival_rate * second_moment) / (
+        2.0 * (1.0 + arrival_rate * first_moment)
+    )
+    return base + penalty
+
+
+def response_time_exceedance(
+    arrival_rate: float,
+    effective_service_rate: float,
+    wake_up_latency: float,
+    deadline: float,
+) -> float:
+    """``Pr(R >= d)`` for a single immediately-entered sleep state.
+
+    The Appendix gives, for a single low-power state entered at
+    ``tau_1 = 0`` with wake-up latency ``w_1``:
+
+    ``Pr(R >= d) = (e^{-(mu f - lambda) d} - w_1 (mu f - lambda) e^{-d / w_1})
+    / (1 - w_1 (mu f - lambda))``
+
+    with the natural limits ``Pr = e^{-(mu f - lambda) d}`` when ``w_1 = 0``
+    and ``Pr = 1`` when ``d = 0``.
+    """
+    _check_rates(arrival_rate, effective_service_rate)
+    if wake_up_latency < 0:
+        raise ConfigurationError(
+            f"wake-up latency must be non-negative, got {wake_up_latency}"
+        )
+    if deadline < 0:
+        raise ConfigurationError(f"deadline must be non-negative, got {deadline}")
+    gap = effective_service_rate - arrival_rate
+    if deadline == 0.0:
+        return 1.0
+    if wake_up_latency == 0.0:
+        return math.exp(-gap * deadline)
+    denominator = 1.0 - wake_up_latency * gap
+    if abs(denominator) < 1e-12:
+        # Removable singularity at w1 = 1 / (mu f - lambda); take the limit.
+        return math.exp(-gap * deadline) * (1.0 + gap * deadline)
+    numerator = math.exp(-gap * deadline) - wake_up_latency * gap * math.exp(
+        -deadline / wake_up_latency
+    )
+    return min(1.0, max(0.0, numerator / denominator))
+
+
+def response_time_percentile(
+    arrival_rate: float,
+    effective_service_rate: float,
+    wake_up_latency: float,
+    percentile: float = 95.0,
+    tolerance: float = 1e-9,
+) -> float:
+    """Invert :func:`response_time_exceedance` to get a percentile deadline.
+
+    Returns the smallest ``d`` such that ``Pr(R >= d) <= 1 - percentile/100``,
+    found by bisection (the exceedance is monotone decreasing in ``d``).
+    """
+    if not 0.0 < percentile < 100.0:
+        raise ConfigurationError(f"percentile must lie in (0, 100), got {percentile}")
+    target = 1.0 - percentile / 100.0
+    low = 0.0
+    high = max(
+        10.0 / (effective_service_rate - arrival_rate), 10.0 * wake_up_latency, 1e-9
+    )
+    while (
+        response_time_exceedance(
+            arrival_rate, effective_service_rate, wake_up_latency, high
+        )
+        > target
+    ):
+        high *= 2.0
+        if high > 1e12:  # pragma: no cover - defensive
+            raise ConfigurationError("percentile inversion failed to bracket")
+    while high - low > tolerance * max(1.0, high):
+        middle = 0.5 * (low + high)
+        value = response_time_exceedance(
+            arrival_rate, effective_service_rate, wake_up_latency, middle
+        )
+        if value > target:
+            low = middle
+        else:
+            high = middle
+    return 0.5 * (low + high)
+
+
+@dataclass(frozen=True)
+class AnalyticOperatingPoint:
+    """Closed-form metrics of one (frequency, sleep sequence) operating point."""
+
+    frequency: float
+    mean_response_time: float
+    normalized_mean_response_time: float
+    p95_response_time: float
+    average_power: float
+    sleep_state: str
+
+
+def evaluate_policy(
+    arrival_rate: float,
+    service_rate: float,
+    frequency: float,
+    sleep: SleepSequence,
+    active_power: float,
+    service_scaling_beta: float = 1.0,
+) -> AnalyticOperatingPoint:
+    """Closed-form evaluation of one policy for the idealised M/M/1 model.
+
+    ``service_rate`` is the full-frequency rate ``mu``; the effective rate at
+    the given *frequency* is ``mu * f**beta``.  The 95th-percentile response
+    time uses the single-state exceedance formula with the sequence's first
+    wake-up latency; for multi-state sequences this is an approximation (the
+    paper only states the closed form for a single state).
+    """
+    if not 0.0 < frequency <= 1.0:
+        raise ConfigurationError(f"frequency must lie in (0, 1], got {frequency}")
+    effective_rate = service_rate * (frequency**service_scaling_beta)
+    mean_r = mean_response_time(arrival_rate, effective_rate, sleep)
+    power = average_power(arrival_rate, effective_rate, sleep, active_power)
+    p95 = response_time_percentile(
+        arrival_rate, effective_rate, sleep[0].wake_up_latency, percentile=95.0
+    )
+    return AnalyticOperatingPoint(
+        frequency=frequency,
+        mean_response_time=mean_r,
+        normalized_mean_response_time=mean_r * service_rate,
+        p95_response_time=p95,
+        average_power=power,
+        sleep_state=sleep.name,
+    )

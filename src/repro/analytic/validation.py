@@ -1,0 +1,145 @@
+"""Cross-validation between the simulator and the closed-form model.
+
+Section 4.3 of the paper: "The results obtained from the closed-form
+expressions match those presented in Figure 1."  This module automates that
+check — it evaluates a set of (utilisation, frequency, sleep-state) operating
+points both ways and reports the relative discrepancies, so the agreement can
+be asserted in tests and reported in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analytic.mm1_sleep import average_power, mean_response_time
+from repro.exceptions import ConfigurationError
+from repro.power.platform import ServerPowerModel
+from repro.power.sleep import SleepSequence
+from repro.simulation.engine import simulate_workload
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """Analytic-vs-simulated comparison at one operating point."""
+
+    utilization: float
+    frequency: float
+    sleep_state: str
+    simulated_mean_response_time: float
+    analytic_mean_response_time: float
+    simulated_average_power: float
+    analytic_average_power: float
+
+    @property
+    def response_time_relative_error(self) -> float:
+        """``|sim - analytic| / analytic`` for the mean response time."""
+        return abs(
+            self.simulated_mean_response_time - self.analytic_mean_response_time
+        ) / self.analytic_mean_response_time
+
+    @property
+    def power_relative_error(self) -> float:
+        """``|sim - analytic| / analytic`` for the average power."""
+        return abs(
+            self.simulated_average_power - self.analytic_average_power
+        ) / self.analytic_average_power
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All comparison points plus aggregate error statistics."""
+
+    points: tuple[ValidationPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("a validation report needs at least one point")
+
+    @property
+    def max_response_time_error(self) -> float:
+        """Worst-case relative error on the mean response time."""
+        return max(p.response_time_relative_error for p in self.points)
+
+    @property
+    def max_power_error(self) -> float:
+        """Worst-case relative error on the average power."""
+        return max(p.power_relative_error for p in self.points)
+
+    @property
+    def mean_response_time_error(self) -> float:
+        """Average relative error on the mean response time."""
+        return float(
+            np.mean([p.response_time_relative_error for p in self.points])
+        )
+
+    @property
+    def mean_power_error(self) -> float:
+        """Average relative error on the average power."""
+        return float(np.mean([p.power_relative_error for p in self.points]))
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate errors as a flat dictionary for reporting."""
+        return {
+            "points": float(len(self.points)),
+            "max_response_time_error": self.max_response_time_error,
+            "mean_response_time_error": self.mean_response_time_error,
+            "max_power_error": self.max_power_error,
+            "mean_power_error": self.mean_power_error,
+        }
+
+
+def validate_against_simulation(
+    spec: WorkloadSpec,
+    sleep: SleepSequence,
+    power_model: ServerPowerModel,
+    utilizations: Sequence[float],
+    frequencies: Sequence[float],
+    num_jobs: int = 20_000,
+    seed: int = 0,
+) -> ValidationReport:
+    """Compare simulated and closed-form metrics over a grid of points.
+
+    *spec* should be an idealised (Poisson/exponential) workload — the
+    closed forms assume it.  Operating points where the queue would be
+    unstable (``f <= rho``) are skipped.
+    """
+    points: list[ValidationPoint] = []
+    service_rate = spec.service_rate
+    for utilization in utilizations:
+        arrival_rate = utilization * service_rate
+        for index, frequency in enumerate(frequencies):
+            if frequency <= utilization + 1e-9:
+                continue
+            effective_rate = service_rate * frequency
+            analytic_r = mean_response_time(arrival_rate, effective_rate, sleep)
+            analytic_p = average_power(
+                arrival_rate,
+                effective_rate,
+                sleep,
+                power_model.active_power(frequency),
+            )
+            result = simulate_workload(
+                spec,
+                frequency=frequency,
+                sleep=sleep,
+                power_model=power_model,
+                utilization=utilization,
+                num_jobs=num_jobs,
+                seed=seed + index,
+            )
+            points.append(
+                ValidationPoint(
+                    utilization=utilization,
+                    frequency=float(frequency),
+                    sleep_state=sleep.name,
+                    simulated_mean_response_time=result.mean_response_time,
+                    analytic_mean_response_time=analytic_r,
+                    simulated_average_power=result.average_power,
+                    analytic_average_power=analytic_p,
+                )
+            )
+    return ValidationReport(points=tuple(points))

@@ -1,0 +1,18 @@
+"""Multi-server scale-out substrate (the paper's future-work direction)."""
+
+from repro.cluster.dispatch import (
+    JobDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    merge_streams,
+)
+from repro.cluster.farm import ClusterRuntime, FarmResult
+
+__all__ = [
+    "ClusterRuntime",
+    "FarmResult",
+    "JobDispatcher",
+    "RandomDispatcher",
+    "RoundRobinDispatcher",
+    "merge_streams",
+]

@@ -1,0 +1,123 @@
+"""Job dispatchers for multi-server farms.
+
+The paper's conclusion sketches the scale-out direction: "studying SleepScale
+on multi-core, multi-server systems ... SleepScale can be performed on each
+core or server independently."  The substrate needed for that study is a way
+to split one arrival stream across ``n`` servers; each server then runs its
+own independent SleepScale instance.
+
+Two stateless dispatchers are provided:
+
+* :class:`RoundRobinDispatcher` — deterministic 1-in-``n`` splitting, the
+  classic front-end load balancer;
+* :class:`RandomDispatcher` — independent uniform (or weighted) random
+  assignment, which preserves Poisson arrival statistics per server and is
+  therefore the natural match for the idealised analysis.
+
+Both return per-server :class:`~repro.workloads.jobs.JobTrace` objects with
+absolute arrival times preserved, so the per-server runtimes stay aligned on
+a common clock.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.workloads.jobs import JobTrace
+
+
+class JobDispatcher(abc.ABC):
+    """Splits one job stream into per-server streams."""
+
+    @abc.abstractmethod
+    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
+        """Return the server index (0-based) for every job in *jobs*."""
+
+    def dispatch(self, jobs: JobTrace, num_servers: int) -> list[JobTrace | None]:
+        """Split *jobs* into ``num_servers`` traces (``None`` for idle servers)."""
+        if num_servers < 1:
+            raise ConfigurationError(
+                f"a farm needs at least one server, got {num_servers}"
+            )
+        assignment = np.asarray(self.assign(jobs, num_servers))
+        if assignment.shape != (len(jobs),):
+            raise ConfigurationError(
+                "dispatcher returned an assignment of the wrong shape"
+            )
+        if assignment.min(initial=0) < 0 or assignment.max(initial=0) >= num_servers:
+            raise ConfigurationError("dispatcher assigned a job to a non-existent server")
+        streams: list[JobTrace | None] = []
+        for server in range(num_servers):
+            mask = assignment == server
+            if not np.any(mask):
+                streams.append(None)
+                continue
+            streams.append(
+                JobTrace(jobs.arrival_times[mask], jobs.service_demands[mask])
+            )
+        return streams
+
+
+class RoundRobinDispatcher(JobDispatcher):
+    """Assign job *i* to server ``i mod n`` (deterministic, perfectly balanced)."""
+
+    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
+        return np.arange(len(jobs)) % num_servers
+
+
+class RandomDispatcher(JobDispatcher):
+    """Assign each job to an independently sampled server.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the assignment; runs with the same seed split identically.
+    weights:
+        Optional per-server probabilities (normalised internally); uniform
+        when omitted.  Weighted dispatch models heterogeneous farms where
+        faster servers take a larger share of the traffic.
+    """
+
+    def __init__(self, seed: int | None = 0, weights: Sequence[float] | None = None):
+        self._seed = seed
+        self._weights = None if weights is None else np.asarray(weights, dtype=float)
+        if self._weights is not None:
+            if np.any(self._weights < 0) or self._weights.sum() <= 0:
+                raise ConfigurationError("dispatch weights must be non-negative and not all zero")
+
+    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
+        rng = np.random.default_rng(self._seed)
+        if self._weights is None:
+            probabilities = np.full(num_servers, 1.0 / num_servers)
+        else:
+            if self._weights.size != num_servers:
+                raise ConfigurationError(
+                    f"got {self._weights.size} weights for {num_servers} servers"
+                )
+            probabilities = self._weights / self._weights.sum()
+        return rng.choice(num_servers, size=len(jobs), p=probabilities)
+
+
+def merge_streams(streams: Sequence[JobTrace | None]) -> JobTrace:
+    """Recombine per-server streams into one chronologically ordered trace.
+
+    Useful for checking that a dispatch was lossless (round-tripping a split)
+    and for computing farm-level offered load.
+    """
+    arrivals: list[np.ndarray] = []
+    demands: list[np.ndarray] = []
+    for stream in streams:
+        if stream is None:
+            continue
+        arrivals.append(np.asarray(stream.arrival_times))
+        demands.append(np.asarray(stream.service_demands))
+    if not arrivals:
+        raise TraceError("cannot merge an entirely empty set of streams")
+    all_arrivals = np.concatenate(arrivals)
+    all_demands = np.concatenate(demands)
+    order = np.argsort(all_arrivals, kind="stable")
+    return JobTrace(all_arrivals[order], all_demands[order])

@@ -1,0 +1,210 @@
+"""Multi-server farm: independent SleepScale instances behind a dispatcher.
+
+This implements the scale-out sketch from the paper's conclusion: a front-end
+dispatcher splits the arrival stream across ``n`` identical servers and every
+server runs its own power-management strategy, predictor and epoch loop,
+exactly as the single-server :class:`~repro.core.runtime.SleepScaleRuntime`
+does.  The farm result aggregates the per-server outcomes into farm-level
+power and latency metrics.
+
+Because each server is managed independently (no coordination), the per-epoch
+policy-search overhead scales linearly with the number of servers — the
+"controlling the overall queuing simulation overhead" concern the paper
+raises — which the ablation benchmark quantifies through the recorded
+wall-clock cost per run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.dispatch import JobDispatcher, RoundRobinDispatcher
+from repro.core.epoch import RuntimeResult
+from repro.core.runtime import RuntimeConfig, SleepScaleRuntime
+from repro.core.strategies import PowerManagementStrategy
+from repro.exceptions import ConfigurationError
+from repro.power.platform import ServerPowerModel
+from repro.prediction.base import UtilizationPredictor
+from repro.workloads.jobs import JobTrace
+from repro.workloads.spec import WorkloadSpec
+
+#: Factory signatures: one fresh strategy/predictor per server, so per-server
+#: state (policy-manager RNGs, LMS weights) is never shared accidentally.
+StrategyFactory = Callable[[int], PowerManagementStrategy]
+PredictorFactory = Callable[[int], UtilizationPredictor]
+
+
+@dataclass(frozen=True)
+class FarmResult:
+    """Aggregate outcome of one multi-server run."""
+
+    per_server: tuple[RuntimeResult | None, ...]
+    mean_service_time: float
+    response_time_budget: float
+
+    def __post_init__(self) -> None:
+        if not self.per_server:
+            raise ConfigurationError("a farm result needs at least one server slot")
+        if all(result is None for result in self.per_server):
+            raise ConfigurationError("a farm result needs at least one active server")
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def num_servers(self) -> int:
+        """Total number of servers in the farm (including idle ones)."""
+        return len(self.per_server)
+
+    @property
+    def active_servers(self) -> list[RuntimeResult]:
+        """Results of the servers that received at least one job."""
+        return [result for result in self.per_server if result is not None]
+
+    # -- latency -----------------------------------------------------------------------
+
+    @property
+    def response_times(self) -> np.ndarray:
+        """All jobs' response times across the whole farm."""
+        parts = [r.response_times for r in self.active_servers if r.num_jobs > 0]
+        if not parts:
+            return np.array([], dtype=float)
+        return np.concatenate(parts)
+
+    @property
+    def num_jobs(self) -> int:
+        """Total jobs served by the farm."""
+        return int(self.response_times.size)
+
+    @property
+    def mean_response_time(self) -> float:
+        """Farm-wide mean response time, seconds."""
+        values = self.response_times
+        return float(np.mean(values)) if values.size else math.nan
+
+    @property
+    def normalized_mean_response_time(self) -> float:
+        """Farm-wide mean response time in units of the mean job size."""
+        return self.mean_response_time / self.mean_service_time
+
+    def response_time_percentile(self, percentile: float = 95.0) -> float:
+        """Farm-wide response-time percentile, seconds."""
+        values = self.response_times
+        return float(np.percentile(values, percentile)) if values.size else math.nan
+
+    @property
+    def meets_budget(self) -> bool:
+        """Whether the farm-wide normalised mean response time meets the budget."""
+        return self.normalized_mean_response_time <= self.response_time_budget
+
+    # -- power ----------------------------------------------------------------------------
+
+    @property
+    def total_energy(self) -> float:
+        """Total energy drawn by all active servers, joules."""
+        return sum(result.total_energy for result in self.active_servers)
+
+    @property
+    def duration(self) -> float:
+        """Observation span (the longest per-server duration), seconds."""
+        return max(result.total_duration for result in self.active_servers)
+
+    @property
+    def total_average_power(self) -> float:
+        """Farm-wide average power: summed energy over the common span, watts."""
+        return self.total_energy / self.duration
+
+    @property
+    def average_power_per_server(self) -> float:
+        """Mean of the active servers' average powers, watts."""
+        return float(np.mean([r.average_power for r in self.active_servers]))
+
+    # -- reporting -----------------------------------------------------------------------------
+
+    def state_selection_fractions(self) -> dict[str, float]:
+        """Epoch-weighted distribution of selected states across the farm."""
+        counts: dict[str, int] = {}
+        for result in self.active_servers:
+            for state, count in result.state_selection_counts().items():
+                counts[state] = counts.get(state, 0) + count
+        total = sum(counts.values())
+        return {state: count / total for state, count in counts.items()}
+
+    def summary(self) -> Mapping[str, float | str]:
+        """Headline farm metrics as a flat dictionary."""
+        return {
+            "servers": float(self.num_servers),
+            "active_servers": float(len(self.active_servers)),
+            "num_jobs": float(self.num_jobs),
+            "normalized_mean_response_time": self.normalized_mean_response_time,
+            "response_time_budget": self.response_time_budget,
+            "meets_budget": float(self.meets_budget),
+            "total_average_power_w": self.total_average_power,
+            "average_power_per_server_w": self.average_power_per_server,
+        }
+
+
+@dataclass
+class ClusterRuntime:
+    """Runs one independent SleepScale (or baseline) instance per server.
+
+    Parameters
+    ----------
+    num_servers:
+        Farm size.
+    power_model, spec:
+        Shared (homogeneous) server power model and workload description.
+    strategy_factory, predictor_factory:
+        Called once per server index to create that server's strategy and
+        predictor (each server must own its state).
+    config:
+        Runtime configuration shared by all servers.
+    dispatcher:
+        How arriving jobs are split across servers (round-robin by default).
+    """
+
+    num_servers: int
+    power_model: ServerPowerModel
+    spec: WorkloadSpec
+    strategy_factory: StrategyFactory
+    predictor_factory: PredictorFactory
+    config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    dispatcher: JobDispatcher = field(default_factory=RoundRobinDispatcher)
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 1:
+            raise ConfigurationError(
+                f"a farm needs at least one server, got {self.num_servers}"
+            )
+
+    def run(self, jobs: JobTrace) -> FarmResult:
+        """Dispatch *jobs* across the farm and run every server's epoch loop."""
+        streams: Sequence[JobTrace | None] = self.dispatcher.dispatch(
+            jobs, self.num_servers
+        )
+        per_server: list[RuntimeResult | None] = []
+        budget = None
+        for server_index, stream in enumerate(streams):
+            if stream is None:
+                per_server.append(None)
+                continue
+            runtime = SleepScaleRuntime(
+                power_model=self.power_model,
+                spec=self.spec,
+                strategy=self.strategy_factory(server_index),
+                predictor=self.predictor_factory(server_index),
+                config=self.config,
+            )
+            result = runtime.run(stream)
+            budget = result.response_time_budget
+            per_server.append(result)
+        if budget is None:
+            raise ConfigurationError("no server received any job")
+        return FarmResult(
+            per_server=tuple(per_server),
+            mean_service_time=self.spec.mean_service_time,
+            response_time_budget=budget,
+        )

@@ -1,0 +1,221 @@
+"""The SleepScale policy manager (Section 5.1).
+
+The policy manager is the heart of SleepScale: given a statistical
+description of the current workload — either a log of recently observed jobs
+or a workload spec plus a predicted utilisation — it *characterises* every
+candidate policy by simulating the queueing process (Algorithm 1) and then
+*selects* the policy that minimises average power while meeting the QoS
+constraint derived from the baseline system.
+
+Two levels of API are provided:
+
+* :meth:`PolicyManager.characterize` — run every candidate policy against a
+  job trace and return the full table of evaluations (power, mean and
+  percentile response times, feasibility);
+* :meth:`PolicyManager.select` / :meth:`PolicyManager.select_for_spec` —
+  return only the winning policy, falling back to the least-infeasible
+  candidate when nothing meets the budget (the realistic behaviour of an
+  overloaded server: do the best you can).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import PolicySelectionError
+from repro.core.qos import QosConstraint
+from repro.policies.policy import Policy
+from repro.policies.space import PolicySpace
+from repro.power.platform import ServerPowerModel
+from repro.simulation.engine import simulate_trace
+from repro.simulation.metrics import SimulationResult
+from repro.simulation.service_scaling import ServiceScaling, cpu_bound
+from repro.workloads.generator import generate_jobs, make_rng
+from repro.workloads.jobs import JobTrace
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """One row of the policy characterisation table."""
+
+    policy: Policy
+    average_power: float
+    mean_response_time: float
+    normalized_mean_response_time: float
+    p95_response_time: float
+    meets_qos: bool
+    qos_slack: float
+
+    @property
+    def frequency(self) -> float:
+        """The evaluated policy's DVFS setting."""
+        return self.policy.frequency
+
+    @property
+    def sleep_state(self) -> str:
+        """The evaluated policy's sleep-sequence name."""
+        return self.policy.sleep_state_name
+
+
+@dataclass(frozen=True)
+class PolicySelection:
+    """Outcome of one policy-selection round."""
+
+    best: PolicyEvaluation
+    evaluations: tuple[PolicyEvaluation, ...]
+    feasible: bool
+
+    @property
+    def policy(self) -> Policy:
+        """The selected policy."""
+        return self.best.policy
+
+    def by_state(self) -> dict[str, PolicyEvaluation]:
+        """Cheapest feasible evaluation per sleep state (for Figure 6-style plots)."""
+        table: dict[str, PolicyEvaluation] = {}
+        for evaluation in self.evaluations:
+            if not evaluation.meets_qos:
+                continue
+            current = table.get(evaluation.sleep_state)
+            if current is None or evaluation.average_power < current.average_power:
+                table[evaluation.sleep_state] = evaluation
+        return table
+
+
+class PolicyManager:
+    """Characterises candidate policies by simulation and selects the best one.
+
+    Parameters
+    ----------
+    power_model:
+        The server being managed.
+    policy_space:
+        The candidate (frequency, sleep-state) combinations to search.
+    qos:
+        The constraint the selected policy must satisfy.
+    scaling:
+        Service-time/frequency dependence of the workload (CPU-bound by
+        default).
+    characterization_jobs:
+        Number of jobs simulated per candidate when the characterisation has
+        to synthesise its own job stream (the paper uses 10,000 for the
+        offline studies; the runtime uses the logged jobs of recent epochs,
+        which are typically far fewer).
+    seed:
+        Seed for the job-stream generator used by
+        :meth:`select_for_spec`/:meth:`characterize_spec`.
+    """
+
+    def __init__(
+        self,
+        power_model: ServerPowerModel,
+        policy_space: PolicySpace,
+        qos: QosConstraint,
+        scaling: ServiceScaling | None = None,
+        characterization_jobs: int = 5_000,
+        seed: int | None = 0,
+    ):
+        self._power_model = power_model
+        self._space = policy_space
+        self._qos = qos
+        self._scaling = scaling or cpu_bound()
+        self._characterization_jobs = int(characterization_jobs)
+        self._rng = make_rng(seed)
+
+    # -- accessors -----------------------------------------------------------------
+
+    @property
+    def qos(self) -> QosConstraint:
+        """The constraint in force."""
+        return self._qos
+
+    @property
+    def policy_space(self) -> PolicySpace:
+        """The candidate policy space."""
+        return self._space
+
+    # -- characterisation -------------------------------------------------------------
+
+    def _evaluate(self, policy: Policy, jobs: JobTrace) -> PolicyEvaluation:
+        result: SimulationResult = simulate_trace(
+            jobs=jobs,
+            frequency=policy.frequency,
+            sleep=policy.sleep,
+            power_model=self._power_model,
+            scaling=self._scaling,
+        )
+        return PolicyEvaluation(
+            policy=policy,
+            average_power=result.average_power,
+            mean_response_time=result.mean_response_time,
+            normalized_mean_response_time=result.normalized_mean_response_time,
+            p95_response_time=result.response_time_percentile(95.0),
+            meets_qos=self._qos.is_met(result),
+            qos_slack=self._qos.slack(result),
+        )
+
+    def characterize(
+        self, jobs: JobTrace, utilization: float
+    ) -> tuple[PolicyEvaluation, ...]:
+        """Evaluate every candidate policy against the given job trace.
+
+        *utilization* is the (predicted) offered load used to prune unstable
+        frequency settings from the candidate space; the evaluation itself
+        replays *jobs* under each surviving policy.
+        """
+        candidates = self._space.candidate_policies(utilization)
+        return tuple(self._evaluate(policy, jobs) for policy in candidates)
+
+    def characterize_spec(
+        self,
+        spec: WorkloadSpec,
+        utilization: float,
+        num_jobs: int | None = None,
+    ) -> tuple[PolicyEvaluation, ...]:
+        """Characterise using a freshly sampled stream from *spec* at *utilization*."""
+        jobs = generate_jobs(
+            spec,
+            num_jobs=num_jobs or self._characterization_jobs,
+            utilization=utilization,
+            rng=self._rng,
+        )
+        return self.characterize(jobs, utilization)
+
+    # -- selection ----------------------------------------------------------------------
+
+    @staticmethod
+    def _pick(evaluations: Sequence[PolicyEvaluation]) -> PolicySelection:
+        if not evaluations:
+            raise PolicySelectionError("no candidate policy could be evaluated")
+        feasible = [e for e in evaluations if e.meets_qos]
+        if feasible:
+            best = min(feasible, key=lambda e: e.average_power)
+            return PolicySelection(
+                best=best, evaluations=tuple(evaluations), feasible=True
+            )
+        # Nothing meets the budget: run as close to it as possible (largest
+        # slack), but among candidates that are essentially tied on slack —
+        # e.g. the same frequency with different sleep states, whose wake-up
+        # latencies barely move the response time — prefer the cheaper one.
+        best_slack = max(e.qos_slack for e in evaluations)
+        tolerance = 0.02 * abs(best_slack)
+        near_best = [e for e in evaluations if e.qos_slack >= best_slack - tolerance]
+        best = min(near_best, key=lambda e: e.average_power)
+        return PolicySelection(
+            best=best, evaluations=tuple(evaluations), feasible=False
+        )
+
+    def select(self, jobs: JobTrace, utilization: float) -> PolicySelection:
+        """Characterise against *jobs* and return the minimum-power feasible policy."""
+        return self._pick(self.characterize(jobs, utilization))
+
+    def select_for_spec(
+        self,
+        spec: WorkloadSpec,
+        utilization: float,
+        num_jobs: int | None = None,
+    ) -> PolicySelection:
+        """Characterise against a sampled stream from *spec* and select."""
+        return self._pick(self.characterize_spec(spec, utilization, num_jobs))

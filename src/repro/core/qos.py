@@ -1,0 +1,171 @@
+"""Quality-of-service constraints and the baseline QoS construction.
+
+Section 5.1.1 of the paper: "Our QoS constraint is determined by a baseline
+system ... provisioned to meet a QoS target for some peak demand".  The
+baseline runs flat out (``f = 1``, no low-power state) at a peak design
+utilisation ``rho_b``; the QoS budget SleepScale must respect is the
+performance that baseline would deliver:
+
+* **Mean response time** constraint: the idealised (M/M/1) baseline at load
+  ``rho_b`` has normalised mean response time ``mu * E[R] = 1 / (1 - rho_b)``
+  (e.g. 5 for ``rho_b = 0.8``).
+* **95th-percentile** constraint (the second row of Figure 6): the M/M/1
+  baseline's response-time tail is ``Pr(R >= d) = e^{-mu (1 - rho_b) d}``, so
+  the 95th-percentile deadline is ``ln(20) / (mu (1 - rho_b))`` — i.e. a
+  normalised deadline of ``ln(20) / (1 - rho_b)`` service times.
+
+Both constraints implement the same small interface so the policy manager
+and the runtime controller are agnostic to which one is in force.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.metrics import SimulationResult
+
+
+class QosConstraint(abc.ABC):
+    """A predicate over simulation results: does this policy meet the SLA?"""
+
+    @abc.abstractmethod
+    def is_met(self, result: SimulationResult) -> bool:
+        """Whether the metrics in *result* satisfy the constraint."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable description for reports."""
+
+    @abc.abstractmethod
+    def slack(self, result: SimulationResult) -> float:
+        """Signed slack: positive when the constraint is met, negative otherwise.
+
+        Measured in the constraint's own units (normalised response time or
+        seconds), so it can be used to rank infeasible policies when nothing
+        meets the budget.
+        """
+
+
+def _check_rho_b(rho_b: float) -> float:
+    if not 0.0 < rho_b < 1.0:
+        raise ConfigurationError(
+            f"peak design utilisation rho_b must lie in (0, 1), got {rho_b}"
+        )
+    return float(rho_b)
+
+
+@dataclass(frozen=True)
+class MeanResponseTimeConstraint(QosConstraint):
+    """Normalised mean response time must not exceed *normalized_budget*.
+
+    The normalisation is by the workload's mean job size (``mu * E[R]``),
+    matching the paper's plots; :class:`SimulationResult` carries the mean
+    service demand of the jobs it was computed from, so the check needs no
+    extra context.
+    """
+
+    normalized_budget: float
+
+    def __post_init__(self) -> None:
+        if self.normalized_budget <= 0:
+            raise ConfigurationError(
+                f"response-time budget must be positive, got {self.normalized_budget}"
+            )
+
+    def is_met(self, result: SimulationResult) -> bool:
+        return result.normalized_mean_response_time <= self.normalized_budget
+
+    def slack(self, result: SimulationResult) -> float:
+        return self.normalized_budget - result.normalized_mean_response_time
+
+    def describe(self) -> str:
+        return f"mu*E[R] <= {self.normalized_budget:.3g}"
+
+
+@dataclass(frozen=True)
+class PercentileResponseTimeConstraint(QosConstraint):
+    """A response-time percentile must not exceed *deadline* seconds.
+
+    The paper's second QoS formulation constrains the 95th-percentile
+    response time (``Pr(R >= d)`` style), which is sensitive to the tails of
+    the inter-arrival and service-time distributions.
+    """
+
+    deadline: float
+    percentile: float = 95.0
+
+    def __post_init__(self) -> None:
+        if self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        if not 0.0 < self.percentile < 100.0:
+            raise ConfigurationError(
+                f"percentile must lie in (0, 100), got {self.percentile}"
+            )
+
+    def is_met(self, result: SimulationResult) -> bool:
+        return result.response_time_percentile(self.percentile) <= self.deadline
+
+    def slack(self, result: SimulationResult) -> float:
+        return self.deadline - result.response_time_percentile(self.percentile)
+
+    def describe(self) -> str:
+        return f"p{self.percentile:.0f}(R) <= {self.deadline:.4g}s"
+
+
+# ---------------------------------------------------------------------------
+# Baseline QoS construction
+# ---------------------------------------------------------------------------
+
+
+def baseline_normalized_mean_budget(rho_b: float) -> float:
+    """The baseline's normalised mean response time, ``1 / (1 - rho_b)``."""
+    return 1.0 / (1.0 - _check_rho_b(rho_b))
+
+
+def baseline_mean_response_budget(rho_b: float, mean_service_time: float) -> float:
+    """The baseline's mean response time in seconds, ``1 / ((1 - rho_b) mu)``."""
+    if mean_service_time <= 0:
+        raise ConfigurationError(
+            f"mean service time must be positive, got {mean_service_time}"
+        )
+    return mean_service_time * baseline_normalized_mean_budget(rho_b)
+
+
+def baseline_percentile_deadline(
+    rho_b: float, mean_service_time: float, percentile: float = 95.0
+) -> float:
+    """The baseline's *percentile* response-time deadline in seconds.
+
+    Derived from the idealised M/M/1 baseline at ``f = 1`` and load
+    ``rho_b``: ``Pr(R >= d) = e^{-mu (1 - rho_b) d}``, solved for the target
+    tail probability.
+    """
+    rho_b = _check_rho_b(rho_b)
+    if mean_service_time <= 0:
+        raise ConfigurationError(
+            f"mean service time must be positive, got {mean_service_time}"
+        )
+    if not 0.0 < percentile < 100.0:
+        raise ConfigurationError(f"percentile must lie in (0, 100), got {percentile}")
+    tail = 1.0 - percentile / 100.0
+    return mean_service_time * math.log(1.0 / tail) / (1.0 - rho_b)
+
+
+def mean_qos_from_baseline(rho_b: float) -> MeanResponseTimeConstraint:
+    """Mean response-time constraint implied by a peak design utilisation."""
+    return MeanResponseTimeConstraint(baseline_normalized_mean_budget(rho_b))
+
+
+def percentile_qos_from_baseline(
+    rho_b: float, mean_service_time: float, percentile: float = 95.0
+) -> PercentileResponseTimeConstraint:
+    """95th-percentile constraint implied by a peak design utilisation."""
+    return PercentileResponseTimeConstraint(
+        deadline=baseline_percentile_deadline(rho_b, mean_service_time, percentile),
+        percentile=percentile,
+    )

@@ -1,0 +1,331 @@
+"""The SleepScale runtime controller (Section 5.2 and Section 6).
+
+The controller ties everything together and is what the paper's evaluation
+actually runs: a job stream generated from a daily utilisation trace is
+consumed epoch by epoch; at the start of each ``T``-minute epoch the
+controller
+
+1. asks the utilisation predictor for the upcoming epoch's utilisation
+   (minute-granularity prediction, Section 5.2.2),
+2. asks the strategy (SleepScale or one of the baselines) for the policy to
+   run — SleepScale rescales the job log of recent epochs to the predicted
+   utilisation and simulates every candidate policy (Section 5.2.1),
+3. applies dynamic frequency over-provisioning: if the previous epoch's mean
+   delay was *below* the baseline budget, the selected frequency is bumped
+   by a factor ``1 + alpha`` as a guard band against utilisation surges
+   (Section 5.2.3),
+4. runs the epoch's actual jobs under the chosen policy, carrying any
+   unfinished backlog into the next epoch, and
+5. feeds the observed per-minute utilisations of the epoch back into the
+   predictor.
+
+The result is a :class:`~repro.core.epoch.RuntimeResult` containing every
+epoch record plus run-wide response-time and power metrics — the quantities
+Figures 8, 9 and 10 report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.epoch import EpochRecord, RuntimeResult
+from repro.core.qos import baseline_mean_response_budget, baseline_normalized_mean_budget
+from repro.core.strategies import EpochContext, PowerManagementStrategy
+from repro.exceptions import ConfigurationError
+from repro.policies.policy import Policy
+from repro.power.platform import ServerPowerModel
+from repro.prediction.base import UtilizationPredictor
+from repro.simulation.engine import simulate_trace
+from repro.simulation.service_scaling import ServiceScaling, cpu_bound
+from repro.units import minutes
+from repro.workloads.jobs import JobTrace
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tunable parameters of the runtime controller.
+
+    Parameters
+    ----------
+    epoch_minutes:
+        Policy update interval ``T`` in minutes (the paper sweeps 1–10 and
+        uses 5 for the headline comparison).
+    rho_b:
+        Peak design utilisation that defines the baseline QoS.
+    over_provisioning:
+        The guard-band factor ``alpha``; 0 disables over-provisioning
+        (Figure 8), 0.35 is the paper's headline setting (Figure 9).
+    log_epochs:
+        How many past epochs of logged jobs the policy manager characterises
+        against (older epochs are dropped).
+    observation_minutes:
+        Granularity of the utilisation observations fed to the predictor
+        (one minute in the paper).
+    min_utilization:
+        Floor applied to predictions before they reach the policy search, so
+        a predicted utilisation of exactly zero cannot produce an empty
+        candidate space.
+    """
+
+    epoch_minutes: float = 5.0
+    rho_b: float = 0.8
+    over_provisioning: float = 0.35
+    log_epochs: int = 2
+    observation_minutes: float = 1.0
+    min_utilization: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.epoch_minutes <= 0:
+            raise ConfigurationError("epoch_minutes must be positive")
+        if not 0.0 < self.rho_b < 1.0:
+            raise ConfigurationError("rho_b must lie in (0, 1)")
+        if self.over_provisioning < 0:
+            raise ConfigurationError("over_provisioning must be non-negative")
+        if self.log_epochs < 0:
+            raise ConfigurationError("log_epochs must be non-negative")
+        if self.observation_minutes <= 0:
+            raise ConfigurationError("observation_minutes must be positive")
+        if not 0.0 < self.min_utilization < 1.0:
+            raise ConfigurationError("min_utilization must lie in (0, 1)")
+
+    @property
+    def epoch_seconds(self) -> float:
+        """Epoch length in seconds."""
+        return minutes(self.epoch_minutes)
+
+    @property
+    def observation_seconds(self) -> float:
+        """Observation granularity in seconds."""
+        return minutes(self.observation_minutes)
+
+
+class SleepScaleRuntime:
+    """Epoch-by-epoch controller running one strategy over one job stream."""
+
+    def __init__(
+        self,
+        power_model: ServerPowerModel,
+        spec: WorkloadSpec,
+        strategy: PowerManagementStrategy,
+        predictor: UtilizationPredictor,
+        config: RuntimeConfig | None = None,
+        scaling: ServiceScaling | None = None,
+    ):
+        self._power_model = power_model
+        self._spec = spec
+        self._strategy = strategy
+        self._predictor = predictor
+        self._config = config or RuntimeConfig()
+        self._scaling = scaling or cpu_bound()
+
+    @property
+    def config(self) -> RuntimeConfig:
+        """The runtime configuration in force."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _observed_utilizations(self, jobs: JobTrace, horizon: float) -> np.ndarray:
+        """Per-observation-interval offered load of the whole job stream."""
+        interval = self._config.observation_seconds
+        num_windows = int(math.ceil(horizon / interval))
+        window_index = np.minimum(
+            (jobs.arrival_times // interval).astype(int), num_windows - 1
+        )
+        totals = np.zeros(num_windows)
+        np.add.at(totals, window_index, jobs.service_demands)
+        return np.clip(totals / interval, 0.0, 1.0)
+
+    def _epoch_slice(
+        self, jobs: JobTrace, start: float, end: float
+    ) -> JobTrace | None:
+        """Jobs arriving in ``[start, end)`` with absolute arrival times kept."""
+        mask = (jobs.arrival_times >= start) & (jobs.arrival_times < end)
+        if not np.any(mask):
+            return None
+        return JobTrace(jobs.arrival_times[mask], jobs.service_demands[mask])
+
+    def _log_window(self, jobs: JobTrace, epoch_index: int) -> JobTrace | None:
+        """The job log of the most recent ``log_epochs`` epochs (if any)."""
+        if self._config.log_epochs == 0 or epoch_index == 0:
+            return None
+        epoch_seconds = self._config.epoch_seconds
+        start = max(0.0, (epoch_index - self._config.log_epochs) * epoch_seconds)
+        end = epoch_index * epoch_seconds
+        return self._epoch_slice(jobs, start, end)
+
+    def _trailing_idle_energy(
+        self, policy: Policy, idle_duration: float
+    ) -> float:
+        """Energy of an idle stretch under *policy*'s sleep sequence."""
+        if idle_duration <= 0:
+            return 0.0
+        pre_sleep_power = self._power_model.idle_power(policy.frequency)
+        return policy.sleep.idle_energy(idle_duration, pre_sleep_power)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: JobTrace) -> RuntimeResult:
+        """Run the strategy over the whole job stream and aggregate the results.
+
+        *jobs* must use absolute arrival times starting near zero (as
+        produced by :func:`repro.workloads.generator.generate_trace_driven_jobs`).
+        """
+        config = self._config
+        epoch_seconds = config.epoch_seconds
+        num_epochs = max(1, int(math.ceil(jobs.end_time / epoch_seconds)))
+        horizon = num_epochs * epoch_seconds
+
+        observations = self._observed_utilizations(jobs, horizon)
+        observations_per_epoch = max(
+            1, int(round(epoch_seconds / config.observation_seconds))
+        )
+
+        mean_service_time = self._spec.mean_service_time
+        baseline_delay = baseline_mean_response_budget(config.rho_b, mean_service_time)
+        budget = baseline_normalized_mean_budget(config.rho_b)
+
+        self._predictor.reset()
+
+        epoch_records: list[EpochRecord] = []
+        all_response_times: list[np.ndarray] = []
+        total_energy = 0.0
+        carryover_busy_until = 0.0
+        previous_epoch_mean_delay: float | None = None
+
+        for epoch_index in range(num_epochs):
+            epoch_start = epoch_index * epoch_seconds
+            epoch_end = epoch_start + epoch_seconds
+
+            if self._predictor.observation_count == 0:
+                # No history yet: be conservative and provision for the peak
+                # design utilisation rather than trusting a cold predictor.
+                predicted = config.rho_b
+            else:
+                predicted = max(self._predictor.predict(), config.min_utilization)
+            context = EpochContext(
+                predicted_utilization=min(predicted, 0.98),
+                spec=self._spec,
+                logged_jobs=self._log_window(jobs, epoch_index),
+            )
+            selected_policy = self._strategy.select_policy(context)
+
+            over_provisioned = False
+            applied_policy = selected_policy
+            if (
+                config.over_provisioning > 0
+                and previous_epoch_mean_delay is not None
+                and previous_epoch_mean_delay < baseline_delay
+            ):
+                applied_policy = selected_policy.over_provisioned(
+                    config.over_provisioning
+                )
+                over_provisioned = True
+
+            epoch_jobs = self._epoch_slice(jobs, epoch_start, epoch_end)
+            observed_slice = observations[
+                epoch_index
+                * observations_per_epoch : (epoch_index + 1)
+                * observations_per_epoch
+            ]
+            observed_mean = float(np.mean(observed_slice)) if observed_slice.size else 0.0
+
+            if epoch_jobs is None:
+                # No arrivals at all: the server just walks its sleep sequence
+                # (or finishes leftover backlog) for the whole epoch.
+                idle_start = max(epoch_start, carryover_busy_until)
+                idle_energy = self._trailing_idle_energy(
+                    applied_policy, epoch_end - idle_start
+                )
+                total_energy += idle_energy
+                epoch_records.append(
+                    EpochRecord(
+                        index=epoch_index,
+                        start_time=epoch_start,
+                        duration=epoch_seconds,
+                        predicted_utilization=predicted,
+                        observed_utilization=observed_mean,
+                        policy_label=applied_policy.label,
+                        sleep_state=applied_policy.sleep_state_name,
+                        selected_frequency=selected_policy.frequency,
+                        applied_frequency=applied_policy.frequency,
+                        over_provisioned=over_provisioned,
+                        num_jobs=0,
+                        mean_response_time=math.nan,
+                        p95_response_time=math.nan,
+                        energy_joules=idle_energy,
+                    )
+                )
+                previous_epoch_mean_delay = 0.0
+                carryover_busy_until = max(carryover_busy_until, epoch_start)
+            else:
+                result = simulate_trace(
+                    jobs=epoch_jobs,
+                    frequency=applied_policy.frequency,
+                    sleep=applied_policy.sleep,
+                    power_model=self._power_model,
+                    scaling=self._scaling,
+                    start_time=epoch_start,
+                    busy_until=max(epoch_start, carryover_busy_until),
+                )
+                last_departure = epoch_start + result.horizon
+                carryover_busy_until = last_departure
+                trailing_idle = max(0.0, epoch_end - last_departure)
+                trailing_energy = self._trailing_idle_energy(
+                    applied_policy, trailing_idle
+                )
+                epoch_energy = result.total_energy + trailing_energy
+                total_energy += epoch_energy
+                all_response_times.append(result.response_times)
+                epoch_records.append(
+                    EpochRecord(
+                        index=epoch_index,
+                        start_time=epoch_start,
+                        duration=epoch_seconds,
+                        predicted_utilization=predicted,
+                        observed_utilization=observed_mean,
+                        policy_label=applied_policy.label,
+                        sleep_state=applied_policy.sleep_state_name,
+                        selected_frequency=selected_policy.frequency,
+                        applied_frequency=applied_policy.frequency,
+                        over_provisioned=over_provisioned,
+                        num_jobs=result.num_jobs,
+                        mean_response_time=result.mean_response_time,
+                        p95_response_time=result.response_time_percentile(95.0),
+                        energy_joules=epoch_energy,
+                    )
+                )
+                previous_epoch_mean_delay = result.mean_response_time
+
+            # Reveal the epoch's observed per-minute utilisations.
+            self._predictor.observe_many(observed_slice)
+
+        total_duration = max(horizon, carryover_busy_until)
+        response_times = (
+            np.concatenate(all_response_times)
+            if all_response_times
+            else np.array([], dtype=float)
+        )
+        return RuntimeResult(
+            strategy=self._strategy.name,
+            predictor=self._predictor.name,
+            epochs=tuple(epoch_records),
+            response_times=response_times,
+            total_energy=total_energy,
+            total_duration=total_duration,
+            mean_service_time=mean_service_time,
+            response_time_budget=budget,
+            extra={
+                "epoch_minutes": config.epoch_minutes,
+                "rho_b": config.rho_b,
+                "over_provisioning": config.over_provisioning,
+            },
+        )

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the SleepScale reproduction library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so callers can catch library errors with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A model, policy or controller was configured with invalid parameters.
+
+    Examples: a negative wake-up latency, a frequency scaling factor outside
+    ``[0, 1]``, sleep-state entry delays that are not monotonically
+    increasing, or an empty policy space.
+    """
+
+
+class StabilityError(ReproError):
+    """The requested operating point would make the queueing system unstable.
+
+    Raised when a simulation or analytic evaluation is requested with an
+    arrival rate that meets or exceeds the effective service rate
+    (``lambda >= mu * f``) so that the queue grows without bound and the
+    reported metrics would be meaningless.
+    """
+
+
+class PredictionError(ReproError):
+    """A runtime predictor was used incorrectly.
+
+    Examples: asking for a prediction before any observation has been fed to
+    the predictor, or feeding observations outside the valid ``[0, 1]``
+    utilisation range.
+    """
+
+
+class PolicySelectionError(ReproError):
+    """The policy manager could not find any feasible policy.
+
+    Raised when no combination of frequency and low-power state in the
+    candidate policy space is stable for the predicted utilisation, which
+    indicates the server is provisioned below the offered load.
+    """
+
+
+class TraceError(ReproError):
+    """A utilisation or job trace is malformed.
+
+    Examples: an empty trace, a trace containing negative utilisations, or a
+    job trace whose arrival times are not non-decreasing.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with an unknown or invalid target."""

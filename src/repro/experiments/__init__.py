@@ -1,0 +1,21 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Use :func:`repro.experiments.runner.run_experiment` (or
+``python -m repro.experiments <name>``) to regenerate any of them; the
+benchmark suite under ``benchmarks/`` wraps the same entry points with
+qualitative assertions about the paper's reported shapes.
+"""
+
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    format_result,
+    format_rows,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "format_result",
+    "format_rows",
+]

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.experiments figure1``."""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

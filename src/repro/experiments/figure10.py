@@ -1,0 +1,114 @@
+"""Figure 10 — distribution of low-power states selected by SleepScale.
+
+SleepScale is run (LMS+CUSUM predictor, p = 10, T = 5 minutes,
+alpha = 0.35) for every combination of utilisation trace (file server ``fs``,
+email store ``es``), workload (DNS-like, Google-like) and baseline
+(``rho_b`` of 0.6 and 0.8), and the fraction of epochs in which each
+low-power state was selected is reported.  Expected shape:
+
+* for the low, steady file-server trace a single state dominates;
+* for the strongly time-varying email-store trace multiple states are used
+  (the paper highlights C0(i)S0(i) and C6S0(i));
+* tightening the constraint (``rho_b = 0.6``) shifts selections toward the
+  deeper states, because the required fast processing creates longer idle
+  gaps worth a deeper sleep.
+"""
+
+from __future__ import annotations
+
+from repro.core.strategies import sleepscale_strategy
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.runtime_common import (
+    build_scenario,
+    default_qos,
+    make_predictor,
+    run_strategy,
+)
+from repro.power.states import LOW_POWER_STATES
+
+#: (trace short name, trace full name) pairs used by the figure.
+FIGURE10_TRACES = (("fs", "file-server"), ("es", "email-store"))
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    workloads: tuple[str, ...] = ("dns", "google"),
+    rho_bs: tuple[float, ...] = (0.6, 0.8),
+    epoch_minutes: float = 5.0,
+    over_provisioning: float = 0.35,
+) -> ExperimentResult:
+    """Collect the per-state selection fractions for every configuration."""
+    config = config or ExperimentConfig()
+
+    rows: list[dict[str, object]] = []
+    for trace_short, trace_name in FIGURE10_TRACES:
+        for workload_name in workloads:
+            # The Google-like workload generates hundreds of jobs per second,
+            # so in fast mode its evaluation window is kept short.
+            if config.fast:
+                hours = 0.5 if workload_name == "google" else 1.5
+            else:
+                hours = None
+            scenario = build_scenario(
+                workload_name,
+                trace_name,
+                config,
+                start_hour=9.0,
+                hours=hours,
+            )
+            for rho_b in rho_bs:
+                qos = default_qos(rho_b)
+                strategy = sleepscale_strategy(
+                    scenario.power_model,
+                    qos,
+                    characterization_jobs=config.characterization_jobs,
+                    max_logged_jobs=2_000 if config.fast else 5_000,
+                    seed=config.seed,
+                )
+                predictor = make_predictor("LC", scenario)
+                result = run_strategy(
+                    scenario,
+                    strategy,
+                    predictor,
+                    epoch_minutes=epoch_minutes,
+                    rho_b=rho_b,
+                    over_provisioning=over_provisioning,
+                )
+                fractions = result.state_selection_fractions()
+                row: dict[str, object] = {
+                    "configuration": f"{trace_short}-{workload_name}-rho_b={rho_b:g}",
+                    "trace": trace_short,
+                    "workload": workload_name,
+                    "rho_b": rho_b,
+                    "num_states_used": len(fractions),
+                    "average_power_w": result.average_power,
+                    "normalized_mean_response_time": result.normalized_mean_response_time,
+                }
+                for state in LOW_POWER_STATES:
+                    row[state.name] = fractions.get(state.name, 0.0)
+                rows.append(row)
+
+    notes = (
+        "State fractions per row sum to 1 (over the states each run selected).",
+        "File-server rows should be dominated by a single state; email-store "
+        "rows should spread over multiple states.",
+    )
+    return ExperimentResult(
+        name="figure10",
+        description="Distribution of low-power states selected by SleepScale",
+        rows=tuple(rows),
+        metadata={
+            "rho_bs": rho_bs,
+            "workloads": workloads,
+            "over_provisioning": over_provisioning,
+        },
+        notes=notes,
+    )
+
+
+def state_fraction(result: ExperimentResult, configuration: str, state: str) -> float:
+    """Selection fraction of *state* in one configuration row."""
+    rows = result.filtered(configuration=configuration)
+    if not rows:
+        raise KeyError(f"no row for configuration {configuration!r}")
+    return float(rows[0].get(state, 0.0))

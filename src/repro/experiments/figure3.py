@@ -1,0 +1,106 @@
+"""Figure 3 — delaying the entry into a deep sleep state.
+
+The paper studies two-state policies ``C0(i)S0(i) -> C6S3`` for the
+Google-like workload at low utilisation: the server drops into the shallow
+state immediately (``tau_1 = 0``) and only falls through to C6S3 after the
+queue has been idle ``tau_2`` seconds.  The delay parameter interpolates
+between the two pure curves — ``tau_2 = 0`` is immediate C6S3 and
+``tau_2 = inf`` is pure C0(i)S0(i) — and an intermediate delay saves power at
+mild response-time budgets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.power.platform import xeon_power_model
+from repro.power.states import C0I_S0I, C6_S3
+from repro.simulation.sweep import sweep_states
+from repro.workloads.spec import workload_by_name
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    workload: str = "google",
+    utilization: float = 0.1,
+    delay_multipliers: tuple[float, ...] = (30.0, 50.0),
+) -> ExperimentResult:
+    """Sweep the pure policies and the delayed-C6S3 policies of Figure 3.
+
+    ``delay_multipliers`` are the ``tau_2`` values in units of the mean job
+    size (the paper uses ``30/mu`` and ``50/mu``).
+    """
+    config = config or ExperimentConfig()
+    power_model = xeon_power_model()
+    spec = workload_by_name(workload, empirical=False)
+    mean_service = spec.mean_service_time
+
+    def delayed_factory(delay_seconds: float):
+        return lambda frequency: power_model.sleep_sequence(
+            [C0I_S0I, C6_S3], [0.0, delay_seconds], frequency
+        )
+
+    sleeps: dict[str, object] = {
+        "C0(i)S0(i)": C0I_S0I,
+        "C6S3": C6_S3,
+    }
+    for multiplier in delay_multipliers:
+        label = f"C0(i)S0(i)->C6S3 tau2={multiplier:g}/mu"
+        sleeps[label] = delayed_factory(multiplier * mean_service)
+
+    curves = sweep_states(
+        spec,
+        sleeps,
+        power_model,
+        utilization=utilization,
+        num_jobs=config.sweep_num_jobs,
+        seed=config.seed,
+        frequency_step=config.sweep_frequency_step,
+    )
+
+    rows: list[dict[str, object]] = []
+    minima: dict[str, float] = {}
+    for label, curve in curves.items():
+        minima[label] = curve.minimum_power_point().average_power
+        for point in curve:
+            rows.append(
+                {
+                    "workload": workload,
+                    "policy": label,
+                    "frequency": point.frequency,
+                    "normalized_mean_response_time": point.normalized_mean_response_time,
+                    "average_power_w": point.average_power,
+                }
+            )
+
+    notes = (
+        "At any fixed frequency the delayed policies' power should lie "
+        "between the immediate-C6S3 and pure-C0(i)S0(i) curves.",
+        "Larger tau2 values move the delayed curve toward the C0(i)S0(i) curve.",
+    )
+    return ExperimentResult(
+        name="figure3",
+        description=(
+            "Delayed entry into C6S3 for the Google-like workload "
+            f"(rho={utilization})"
+        ),
+        rows=tuple(rows),
+        metadata={
+            "utilization": utilization,
+            "delay_multipliers": delay_multipliers,
+            "minimum_power_per_policy": minima,
+        },
+        notes=notes,
+    )
+
+
+def power_at_frequency(
+    result: ExperimentResult, policy: str, frequency: float, tolerance: float = 0.026
+) -> float:
+    """Average power of *policy* at the swept frequency closest to *frequency*."""
+    rows = result.filtered(policy=policy)
+    best = min(rows, key=lambda row: abs(row["frequency"] - frequency))
+    if abs(best["frequency"] - frequency) > tolerance:
+        raise KeyError(
+            f"no swept frequency within {tolerance} of {frequency} for {policy!r}"
+        )
+    return float(best["average_power_w"])

@@ -1,0 +1,74 @@
+"""Figure 7 — daily utilisation traces (file server and email store).
+
+The original departmental traces are not public; the library ships synthetic
+stand-ins (:mod:`repro.workloads.traces`) that preserve the features the
+evaluation depends on: a low-utilisation, low-variance file-server trace and
+a strongly diurnal email-store trace spanning roughly 0.1–0.9 with nightly
+back-up surges.  This experiment reports hour-of-day profiles and summary
+statistics of both traces so the resemblance can be checked at a glance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.units import SECONDS_PER_HOUR
+from repro.workloads.traces import (
+    UtilizationTrace,
+    synthetic_email_store_trace,
+    synthetic_file_server_trace,
+)
+
+
+def _hourly_profile(trace: UtilizationTrace) -> np.ndarray:
+    """Mean utilisation per hour of day, averaged across the trace's days."""
+    hour_of_day = (
+        ((trace.times - trace.start_time) % (24 * SECONDS_PER_HOUR)) / SECONDS_PER_HOUR
+    ).astype(int)
+    profile = np.zeros(24)
+    for hour in range(24):
+        mask = hour_of_day == hour
+        profile[hour] = float(np.mean(trace.values[mask])) if np.any(mask) else 0.0
+    return profile
+
+
+def run(config: ExperimentConfig | None = None, days: int = 3) -> ExperimentResult:
+    """Generate both synthetic traces and report their daily profiles."""
+    config = config or ExperimentConfig()
+    if config.fast:
+        days = min(days, 2)
+    traces = {
+        "file-server": synthetic_file_server_trace(days=days, seed=config.seed + 11),
+        "email-store": synthetic_email_store_trace(days=days, seed=config.seed + 7),
+    }
+
+    rows: list[dict[str, object]] = []
+    summaries: dict[str, dict[str, float]] = {}
+    for name, trace in traces.items():
+        summary = trace.summary()
+        summaries[name] = {
+            "mean": summary.mean,
+            "min": summary.minimum,
+            "max": summary.maximum,
+            "std": summary.std,
+            "duration_hours": summary.duration_hours,
+        }
+        profile = _hourly_profile(trace)
+        for hour, value in enumerate(profile):
+            rows.append(
+                {"trace": name, "hour_of_day": hour, "mean_utilization": float(value)}
+            )
+
+    notes = (
+        "The file-server trace stays below roughly 0.2 utilisation; the "
+        "email-store trace spans roughly 0.1 to 0.9 with an afternoon peak "
+        "and elevated night-time (backup) activity.",
+    )
+    return ExperimentResult(
+        name="figure7",
+        description="Synthetic daily utilisation traces (Figure 7 substitute)",
+        rows=tuple(rows),
+        metadata={"days": days, "summaries": summaries},
+        notes=notes,
+    )

@@ -1,0 +1,111 @@
+"""Figure 9 — SleepScale versus other power-control strategies.
+
+The headline comparison of the paper: SleepScale (SS), SleepScale restricted
+to C3S0(i) (SS(C3)), DVFS-only, and the two race-to-halt variants (R2H(C3),
+R2H(C6)) are run over the same trace-driven workload with the LMS+CUSUM
+predictor (p = 10), update interval T = 5 minutes and over-provisioning
+alpha = 0.35.  Expected shape:
+
+* SleepScale achieves the lowest average power while keeping the mean
+  response time within (or very close to) the budget;
+* DVFS-only consumes clearly more power (it never sleeps) *and* suffers the
+  largest response times (it spends the whole budget, so any misprediction
+  causes queueing);
+* the race-to-halt variants meet the response-time budget easily but burn
+  more power than SleepScale;
+* SS(C3) sits between SleepScale and race-to-halt in power.
+"""
+
+from __future__ import annotations
+
+from repro.core.qos import baseline_normalized_mean_budget
+from repro.core.strategies import figure9_strategies
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.experiments.runtime_common import build_scenario, default_qos, make_predictor, run_strategy
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    workload: str = "dns",
+    trace: str = "email-store",
+    rho_b: float = 0.8,
+    epoch_minutes: float = 5.0,
+    over_provisioning: float = 0.35,
+    predictor_name: str = "LC",
+) -> ExperimentResult:
+    """Run the five strategies of Figure 9 over one trace-driven scenario."""
+    config = config or ExperimentConfig()
+    scenario = build_scenario(workload, trace, config)
+    qos = default_qos(rho_b)
+    budget = baseline_normalized_mean_budget(rho_b)
+
+    strategies = figure9_strategies(
+        scenario.power_model,
+        qos,
+        characterization_jobs=config.characterization_jobs,
+        max_logged_jobs=2_000 if config.fast else 5_000,
+        seed=config.seed,
+    )
+
+    rows: list[dict[str, object]] = []
+    state_fractions: dict[str, dict[str, float]] = {}
+    for strategy in strategies:
+        predictor = make_predictor(predictor_name, scenario)
+        result = run_strategy(
+            scenario,
+            strategy,
+            predictor,
+            epoch_minutes=epoch_minutes,
+            rho_b=rho_b,
+            over_provisioning=over_provisioning,
+        )
+        state_fractions[strategy.name] = result.state_selection_fractions()
+        rows.append(
+            {
+                "strategy": strategy.name,
+                "mean_response_time_s": result.mean_response_time,
+                "normalized_mean_response_time": result.normalized_mean_response_time,
+                "p95_response_time_s": result.response_time_percentile(95.0),
+                "average_power_w": result.average_power,
+                "budget": budget,
+                "meets_budget": result.meets_budget,
+                "mean_selected_frequency": result.mean_selected_frequency(),
+                "over_provisioned_fraction": result.over_provisioned_fraction(),
+            }
+        )
+
+    notes = (
+        "SleepScale (SS) should have the lowest average power of the five "
+        "strategies while keeping the normalised mean response time near or "
+        "below the budget.",
+        "DVFS-only should show both higher power than SS and the largest "
+        "response time; race-to-halt variants should meet the budget but "
+        "burn more power than SS.",
+    )
+    return ExperimentResult(
+        name="figure9",
+        description=(
+            "SleepScale vs SS(C3), DVFS-only, R2H(C3), R2H(C6) "
+            f"({workload} on {trace}, T={epoch_minutes} min, alpha={over_provisioning})"
+        ),
+        rows=tuple(rows),
+        metadata={
+            "workload": workload,
+            "trace": trace,
+            "rho_b": rho_b,
+            "budget": budget,
+            "predictor": predictor_name,
+            "state_fractions": state_fractions,
+            "trace_hours": scenario.trace.duration / 3600.0,
+            "num_jobs": len(scenario.workload.jobs),
+        },
+        notes=notes,
+    )
+
+
+def metric(result: ExperimentResult, strategy: str, column: str) -> float:
+    """One cell of the Figure 9 comparison table."""
+    rows = result.filtered(strategy=strategy)
+    if not rows:
+        raise KeyError(f"no row for strategy {strategy!r}")
+    return float(rows[0][column])

@@ -1,0 +1,114 @@
+"""Experiment registry and command-line entry point.
+
+``python -m repro.experiments <name> [--full] [--seed N]`` runs one experiment
+and prints its result table; ``--list`` shows every registered experiment.
+The same registry is what the benchmark harness iterates over, so the CLI and
+the benchmarks can never diverge on what an experiment means.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Mapping
+
+from repro.exceptions import ExperimentError
+from repro.experiments import (
+    ablations,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table2,
+    table5,
+)
+from repro.experiments.base import ExperimentConfig, ExperimentResult, format_result
+
+#: Registry of experiment name -> run callable.  The ``ablation-*`` entries
+#: are this reproduction's extension studies (see DESIGN.md and
+#: EXPERIMENTS.md); the ``table*``/``figure*`` entries map one-to-one onto
+#: the paper's evaluation section.
+EXPERIMENTS: Mapping[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+    "table2": table2.run,
+    "table5": table5.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "ablation-throttle-back": ablations.run_throttle_back,
+    "ablation-over-provisioning": ablations.run_over_provisioning,
+    "ablation-analytic-vs-simulation": ablations.run_analytic_vs_simulation,
+    "ablation-atom-platform": ablations.run_atom_platform,
+    "ablation-server-farm": ablations.run_server_farm,
+}
+
+
+def available_experiments() -> list[str]:
+    """Names of all registered experiments, in table/figure order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    name: str, config: ExperimentConfig | None = None
+) -> ExperimentResult:
+    """Run one registered experiment by name."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError as error:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from error
+    return runner(config or ExperimentConfig())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.experiments``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate a table or figure of the SleepScale paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment name (e.g. figure1, table5); omit with --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at full fidelity (paper-sized job counts and trace windows)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list or not arguments.experiment:
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    config = ExperimentConfig(fast=not arguments.full, seed=arguments.seed)
+    started = time.perf_counter()
+    result = run_experiment(arguments.experiment, config)
+    elapsed = time.perf_counter() - started
+    print(format_result(result))
+    print(f"\ncompleted in {elapsed:.1f} s (fast={config.fast})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Shared scaffolding for the runtime experiments (Figures 8, 9 and 10).
+
+Section 6 of the paper evaluates SleepScale by replaying a workload (job
+sizes and inter-arrival shapes from BigHouse statistics) whose offered load
+follows a daily utilisation trace, from 2 AM to 8 PM (the nightly back-up
+window is excluded).  The helpers here build that scenario once — trace
+window, job stream, per-minute truth for the oracle predictor — so the three
+figure modules only differ in which strategies/predictors/update intervals
+they sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.epoch import RuntimeResult
+from repro.core.qos import mean_qos_from_baseline
+from repro.core.runtime import RuntimeConfig, SleepScaleRuntime
+from repro.core.strategies import PowerManagementStrategy
+from repro.exceptions import ExperimentError
+from repro.experiments.base import ExperimentConfig
+from repro.power.platform import ServerPowerModel, xeon_power_model
+from repro.prediction.base import UtilizationPredictor
+from repro.prediction.lms import LmsPredictor
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.prediction.naive import NaivePreviousPredictor
+from repro.prediction.oracle import OraclePredictor
+from repro.units import minutes
+from repro.workloads.generator import (
+    TraceDrivenWorkload,
+    empirical_utilization,
+    generate_trace_driven_jobs,
+)
+from repro.workloads.spec import WorkloadSpec, workload_by_name
+from repro.workloads.traces import (
+    UtilizationTrace,
+    synthetic_email_store_trace,
+    synthetic_file_server_trace,
+)
+
+
+@dataclass(frozen=True)
+class RuntimeScenario:
+    """A fully prepared runtime evaluation scenario."""
+
+    spec: WorkloadSpec
+    trace: UtilizationTrace
+    workload: TraceDrivenWorkload
+    power_model: ServerPowerModel
+
+    @property
+    def per_minute_truth(self):
+        """Observed per-minute utilisation of the generated job stream.
+
+        This is what the oracle (offline) predictor is given: the utilisation
+        the server will actually see, minute by minute.
+        """
+        horizon = len(self.trace) * self.trace.interval
+        return empirical_utilization(self.workload.jobs, minutes(1), horizon=horizon)
+
+
+def evaluation_trace(
+    trace_name: str,
+    config: ExperimentConfig,
+    start_hour: float = 5.0,
+    hours: float | None = None,
+) -> UtilizationTrace:
+    """The daily-trace window used for a runtime experiment.
+
+    The paper evaluates 2 AM – 8 PM; in fast mode a shorter window starting
+    at *start_hour* keeps the experiment to a few tens of seconds while still
+    covering a rising-and-falling stretch of the diurnal pattern.
+    """
+    if trace_name == "email-store":
+        trace = synthetic_email_store_trace(days=1, seed=config.seed + 7)
+    elif trace_name == "file-server":
+        trace = synthetic_file_server_trace(days=1, seed=config.seed + 11)
+    else:
+        raise ExperimentError(f"unknown trace {trace_name!r}")
+    window_hours = hours if hours is not None else config.runtime_hours
+    if config.fast:
+        end_hour = min(start_hour + window_hours, 20.0)
+        return trace.slice_hours(start_hour, end_hour)
+    return trace.slice_hours(2.0, 20.0)
+
+
+def build_scenario(
+    workload_name: str,
+    trace_name: str,
+    config: ExperimentConfig,
+    start_hour: float = 5.0,
+    hours: float | None = None,
+    max_utilization: float = 0.9,
+) -> RuntimeScenario:
+    """Generate the job stream for one (workload, trace) runtime scenario."""
+    spec = workload_by_name(workload_name, empirical=True)
+    trace = evaluation_trace(trace_name, config, start_hour=start_hour, hours=hours)
+    workload = generate_trace_driven_jobs(
+        spec,
+        trace,
+        seed=config.seed + 101,
+        max_utilization=max_utilization,
+    )
+    return RuntimeScenario(
+        spec=spec,
+        trace=trace,
+        workload=workload,
+        power_model=xeon_power_model(),
+    )
+
+
+def make_predictor(
+    name: str, scenario: RuntimeScenario, history: int = 10
+) -> UtilizationPredictor:
+    """Instantiate a predictor by its short name (``LC``, ``LMS``, ``NP``, ``Offline``)."""
+    name = name.upper()
+    if name == "LC":
+        return LmsCusumPredictor(history=history)
+    if name == "LMS":
+        return LmsPredictor(history=history)
+    if name == "NP":
+        return NaivePreviousPredictor()
+    if name == "OFFLINE":
+        return OraclePredictor(scenario.per_minute_truth)
+    raise ExperimentError(f"unknown predictor {name!r}")
+
+
+def run_strategy(
+    scenario: RuntimeScenario,
+    strategy: PowerManagementStrategy,
+    predictor: UtilizationPredictor,
+    epoch_minutes: float = 5.0,
+    rho_b: float = 0.8,
+    over_provisioning: float = 0.35,
+    log_epochs: int = 2,
+) -> RuntimeResult:
+    """Run one strategy/predictor pair over a prepared scenario."""
+    runtime = SleepScaleRuntime(
+        power_model=scenario.power_model,
+        spec=scenario.spec,
+        strategy=strategy,
+        predictor=predictor,
+        config=RuntimeConfig(
+            epoch_minutes=epoch_minutes,
+            rho_b=rho_b,
+            over_provisioning=over_provisioning,
+            log_epochs=log_epochs,
+        ),
+    )
+    return runtime.run(scenario.workload.jobs)
+
+
+def default_qos(rho_b: float = 0.8):
+    """The mean-response-time QoS constraint the runtime comparison uses."""
+    return mean_qos_from_baseline(rho_b)

@@ -1,0 +1,89 @@
+"""Table 2 — power consumption of the system's components.
+
+Reproduces the per-component and total platform power numbers of Table 2
+from the :mod:`repro.power` substrate and checks them against the figures
+printed in the paper (platform totals of 120 W operating, 60.5 W idle/sleep,
+13.1 W deeper sleep; CPU coefficients 130/75/47 W and constants 22/15 W).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+from repro.power.components import ComponentMode
+from repro.power.platform import xeon_power_model
+from repro.power.states import LOW_POWER_STATES
+
+#: The paper's platform totals (watts) per Table 2 column.
+PAPER_PLATFORM_TOTALS = {
+    "operating": 120.0,
+    "idle": 60.5,
+    "sleep": 60.5,
+    "deep_sleep": 60.5,
+    "deeper_sleep": 13.1,
+}
+
+#: The paper's CPU power parameters (watts at full voltage/frequency).
+PAPER_CPU_PARAMETERS = {
+    "C0(a)": 130.0,
+    "C0(i)": 75.0,
+    "C1": 47.0,
+    "C3": 22.0,
+    "C6": 15.0,
+}
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Build the Table 2 rows from the Xeon power model."""
+    del config  # the power table does not depend on any experiment knob
+    model = xeon_power_model()
+    rows: list[dict[str, object]] = []
+
+    for name, per_mode in model.inventory.table().items():
+        row: dict[str, object] = {"component": name}
+        row.update({mode: per_mode[mode] for mode in per_mode})
+        rows.append(row)
+
+    # Combined low-power system states at full frequency, with their wake-up
+    # latencies (this also covers Table 4's representative values).
+    for state in LOW_POWER_STATES:
+        rows.append(
+            {
+                "component": f"system {state.name}",
+                "operating": model.system_power(state, 1.0),
+                "idle": model.system_power(state, 1.0),
+                "sleep": model.system_power(state, 1.0),
+                "deep_sleep": model.system_power(state, 1.0),
+                "deeper_sleep": model.system_power(state, 1.0),
+                "wake_up_latency_s": model.wake_up_latency(state),
+            }
+        )
+
+    metadata = {
+        "paper_platform_totals": PAPER_PLATFORM_TOTALS,
+        "paper_cpu_parameters": PAPER_CPU_PARAMETERS,
+        "model_platform_totals": {
+            mode.value: model.inventory.platform_power(mode) for mode in ComponentMode
+        },
+        "peak_system_power_w": model.peak_power(),
+    }
+    notes = (
+        "Platform totals should match the paper exactly: 120 W operating, "
+        "60.5 W in the idle-like modes, 13.1 W in deeper sleep.",
+        "System peak power (C0(a)S0(a) at f=1) is 130 + 120 = 250 W.",
+    )
+    return ExperimentResult(
+        name="table2",
+        description="Component and system power model (Table 2 / Table 4)",
+        rows=tuple(rows),
+        metadata=metadata,
+        notes=notes,
+    )
+
+
+def platform_totals_match(result: ExperimentResult, tolerance: float = 1e-9) -> bool:
+    """Whether the reproduced platform totals equal the paper's numbers."""
+    model_totals = result.metadata["model_platform_totals"]
+    return all(
+        abs(model_totals[mode] - expected) <= tolerance
+        for mode, expected in PAPER_PLATFORM_TOTALS.items()
+    )

@@ -1,0 +1,27 @@
+"""Policy abstraction: joint (frequency, sleep-state) settings and their spaces."""
+
+from repro.policies.policy import (
+    Policy,
+    delayed_deep_sleep_policy,
+    dvfs_only_policy,
+    race_to_halt_policy,
+    single_state_policy,
+)
+from repro.policies.space import (
+    PolicySpace,
+    dvfs_only_space,
+    full_space,
+    single_state_space,
+)
+
+__all__ = [
+    "Policy",
+    "PolicySpace",
+    "delayed_deep_sleep_policy",
+    "dvfs_only_policy",
+    "dvfs_only_space",
+    "full_space",
+    "race_to_halt_policy",
+    "single_state_policy",
+    "single_state_space",
+]

@@ -1,0 +1,76 @@
+"""Power substrate: CPU/platform states, component power, DVFS and sleep states.
+
+This subpackage implements Section 3.1 of the paper — everything needed to
+answer "how much power does the server draw, in which state, at which
+frequency, and how long does it take to wake up".
+"""
+
+from repro.power.components import (
+    ComponentInventory,
+    ComponentMode,
+    ComponentPower,
+    CpuPowerModel,
+    atom_component_inventory,
+    xeon_component_inventory,
+)
+from repro.power.dvfs import (
+    DvfsModel,
+    discrete_pstate_grid,
+    frequency_grid,
+    stable_frequencies,
+)
+from repro.power.platform import (
+    ServerPowerModel,
+    atom_power_model,
+    xeon_power_model,
+)
+from repro.power.sleep import SleepSequence, SleepStateSpec, immediate_sequence
+from repro.power.states import (
+    ACTIVE,
+    C0I_S0I,
+    C1_S0I,
+    C3_S0I,
+    C6_S0I,
+    C6_S3,
+    DEFAULT_WAKE_UP_LATENCIES,
+    LOW_POWER_STATES,
+    WAKE_UP_LATENCY_RANGES,
+    CpuState,
+    PlatformState,
+    SystemState,
+    WakeUpLatencyRange,
+    default_wake_up_latency,
+)
+
+__all__ = [
+    "ACTIVE",
+    "C0I_S0I",
+    "C1_S0I",
+    "C3_S0I",
+    "C6_S0I",
+    "C6_S3",
+    "ComponentInventory",
+    "ComponentMode",
+    "ComponentPower",
+    "CpuPowerModel",
+    "CpuState",
+    "DEFAULT_WAKE_UP_LATENCIES",
+    "DvfsModel",
+    "LOW_POWER_STATES",
+    "PlatformState",
+    "ServerPowerModel",
+    "SleepSequence",
+    "SleepStateSpec",
+    "SystemState",
+    "WAKE_UP_LATENCY_RANGES",
+    "WakeUpLatencyRange",
+    "atom_component_inventory",
+    "atom_power_model",
+    "default_wake_up_latency",
+    "discrete_pstate_grid",
+    "frequency_grid",
+    "immediate_sequence",
+    "stable_frequencies",
+    "xeon_component_inventory",
+    "xeon_power_model",
+]

@@ -1,0 +1,159 @@
+"""Dynamic voltage and frequency scaling (DVFS) model.
+
+The paper assumes *linear DVFS*: the supply voltage ``V`` is scaled linearly
+with the clock-frequency scaling factor ``f`` (``V`` proportional to ``f``,
+``f`` in ``[0, 1]``), so dynamic power — proportional to ``V**2 * f`` — scales
+cubically with ``f``.  Real processors expose a small set of discrete
+operating points (P-states); the paper sweeps a fine grid of 0.01 only to draw
+smooth plots and notes a real system would have about ten frequencies.
+
+This module provides:
+
+* :class:`DvfsModel` — maps a frequency scaling factor to a voltage scaling
+  factor and a dynamic-power multiplier (``f**3`` under linear scaling, with
+  an optional exponent for sensitivity studies);
+* frequency-grid helpers used by the simulator and the policy manager,
+  including the paper's "fine plotting grid" (step 0.01 starting from
+  ``rho + 0.01``) and a realistic discrete P-state grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DvfsModel:
+    """Linear (or generalised) voltage/frequency scaling model.
+
+    Parameters
+    ----------
+    voltage_exponent:
+        Exponent ``a`` in ``V = f**a``.  The paper's linear DVFS corresponds
+        to ``a = 1`` so that dynamic power ``V**2 f = f**3``.  Setting
+        ``a = 0`` models frequency-only scaling (dynamic power linear in f).
+    min_frequency:
+        The lowest frequency scaling factor the hardware supports.  Policies
+        are never allowed to run below it.
+    max_frequency:
+        The highest scaling factor, normally ``1.0``.
+    """
+
+    voltage_exponent: float = 1.0
+    min_frequency: float = 0.0
+    max_frequency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.voltage_exponent < 0:
+            raise ConfigurationError("voltage_exponent must be non-negative")
+        if not 0.0 <= self.min_frequency <= self.max_frequency <= 1.0:
+            raise ConfigurationError(
+                "frequency bounds must satisfy 0 <= min <= max <= 1, got "
+                f"[{self.min_frequency}, {self.max_frequency}]"
+            )
+
+    def validate_frequency(self, frequency: float) -> float:
+        """Check that *frequency* lies within the supported range and return it."""
+        if not self.min_frequency <= frequency <= self.max_frequency:
+            raise ConfigurationError(
+                f"frequency {frequency} outside supported range "
+                f"[{self.min_frequency}, {self.max_frequency}]"
+            )
+        return float(frequency)
+
+    def voltage(self, frequency: float) -> float:
+        """Relative supply voltage at *frequency* (``V = f**a``)."""
+        self.validate_frequency(frequency)
+        return float(frequency**self.voltage_exponent)
+
+    def dynamic_power_factor(self, frequency: float) -> float:
+        """Relative dynamic power ``V**2 * f`` at *frequency*.
+
+        Equals ``f**3`` under the paper's linear DVFS assumption.
+        """
+        self.validate_frequency(frequency)
+        return float(frequency ** (2.0 * self.voltage_exponent + 1.0))
+
+    def leakage_power_factor(self, frequency: float) -> float:
+        """Relative leakage power ``V**2`` at *frequency* (``f**2`` linearly)."""
+        self.validate_frequency(frequency)
+        return float(frequency ** (2.0 * self.voltage_exponent))
+
+
+def frequency_grid(
+    utilization: float,
+    step: float = 0.01,
+    max_frequency: float = 1.0,
+    margin: float = 0.01,
+) -> np.ndarray:
+    """The paper's evaluation frequency grid for a given utilisation.
+
+    Section 4.1: "The simulated maximum frequency is f = 1 and the minimum is
+    the one that the system is barely stable, i.e., f = rho + 0.01 with step
+    size of 0.01."
+
+    Parameters
+    ----------
+    utilization:
+        The offered load ``rho = lambda / mu`` (at full frequency).
+    step:
+        Grid spacing; the paper uses 0.01 for plots and 0.05 hash marks.
+    max_frequency:
+        Upper end of the sweep (normally 1.0).
+    margin:
+        Stability margin added above ``rho`` for the lowest frequency.
+
+    Returns
+    -------
+    numpy.ndarray
+        Frequencies in ascending order, all strictly greater than
+        ``utilization`` and no greater than ``max_frequency``.
+    """
+    if not 0.0 <= utilization < 1.0:
+        raise ConfigurationError(
+            f"utilization must lie in [0, 1), got {utilization}"
+        )
+    if step <= 0:
+        raise ConfigurationError(f"step must be positive, got {step}")
+    if not utilization < max_frequency <= 1.0:
+        raise ConfigurationError(
+            f"max_frequency must lie in ({utilization}, 1], got {max_frequency}"
+        )
+    minimum = min(utilization + margin, max_frequency)
+    count = int(np.floor((max_frequency - minimum) / step + 1e-9)) + 1
+    grid = minimum + step * np.arange(count)
+    grid = grid[grid <= max_frequency + 1e-12]
+    if grid.size == 0 or grid[-1] < max_frequency - 1e-12:
+        grid = np.append(grid, max_frequency)
+    return np.clip(grid, 0.0, max_frequency)
+
+
+def discrete_pstate_grid(levels: int = 10, min_frequency: float = 0.1) -> np.ndarray:
+    """A realistic discrete P-state grid.
+
+    The paper notes a real system exposes on the order of ten distinct
+    frequencies.  This helper returns ``levels`` equally spaced scaling
+    factors from *min_frequency* to 1.0 inclusive, used by the runtime policy
+    manager where a coarse grid keeps the per-epoch search cheap.
+    """
+    if levels < 2:
+        raise ConfigurationError(f"need at least 2 P-states, got {levels}")
+    if not 0.0 < min_frequency < 1.0:
+        raise ConfigurationError(
+            f"min_frequency must lie in (0, 1), got {min_frequency}"
+        )
+    return np.linspace(min_frequency, 1.0, levels)
+
+
+def stable_frequencies(grid: np.ndarray, utilization: float) -> np.ndarray:
+    """Filter *grid* down to the frequencies that keep the queue stable.
+
+    A frequency ``f`` is stable when the effective service rate exceeds the
+    arrival rate, i.e. ``f > rho`` for CPU-bound jobs.
+    """
+    grid = np.asarray(grid, dtype=float)
+    return grid[grid > utilization]

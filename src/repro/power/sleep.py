@@ -1,0 +1,250 @@
+"""Sleep-state policy primitives.
+
+Section 3.2 of the paper characterises the *i*-th low-power state by the
+three-tuple ``(P_i, tau_i, w_i)``:
+
+* ``P_i`` — power consumed while resident in the state,
+* ``tau_i`` — the delay after the queue empties before the server enters the
+  state (measured from the instant the queue empties),
+* ``w_i`` — the average wake-up latency back to the active state.
+
+Each time the server becomes idle it walks through an ordered *sequence* of
+such states (``tau_1 < tau_2 < ... < tau_n``); a job arrival interrupts the
+walk and triggers a wake-up whose latency is the ``w_i`` of the state the
+server currently occupies.  Deeper states consume less power but wake more
+slowly, so a valid sequence has ``P_1 > P_2 > ... > P_n`` and
+``w_1 < w_2 < ... < w_n``.
+
+:class:`SleepStateSpec` is one such tuple (annotated with the
+:class:`~repro.power.states.SystemState` it corresponds to, for reporting),
+and :class:`SleepSequence` is an ordered, validated collection of them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.power.states import SystemState
+
+
+@dataclass(frozen=True)
+class SleepStateSpec:
+    """One low-power state in a sleep sequence: the paper's ``(P_i, tau_i, w_i)``.
+
+    Parameters
+    ----------
+    state:
+        The combined CPU/platform state this entry corresponds to (used for
+        power lookup and reporting; e.g. ``C6S3``).
+    power:
+        ``P_i``, the power drawn while resident in the state, in watts.
+    entry_delay:
+        ``tau_i``, seconds of idleness (measured from the moment the queue
+        empties) after which the server enters this state.
+    wake_up_latency:
+        ``w_i``, seconds required to return to the active state when a job
+        arrives while the server is in this state.
+    """
+
+    state: SystemState
+    power: float
+    entry_delay: float
+    wake_up_latency: float
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise ConfigurationError(
+                f"sleep state {self.state.name} has negative power {self.power}"
+            )
+        if self.entry_delay < 0 or not math.isfinite(self.entry_delay):
+            raise ConfigurationError(
+                f"sleep state {self.state.name} has invalid entry delay "
+                f"{self.entry_delay}"
+            )
+        if self.wake_up_latency < 0 or not math.isfinite(self.wake_up_latency):
+            raise ConfigurationError(
+                f"sleep state {self.state.name} has invalid wake-up latency "
+                f"{self.wake_up_latency}"
+            )
+        if self.state.is_active:
+            raise ConfigurationError(
+                "the active state cannot be part of a sleep sequence"
+            )
+
+    @property
+    def name(self) -> str:
+        """The combined state name, e.g. ``"C6S3"``."""
+        return self.state.name
+
+    def with_entry_delay(self, entry_delay: float) -> "SleepStateSpec":
+        """Return a copy of this spec with a different ``tau_i``."""
+        return SleepStateSpec(
+            state=self.state,
+            power=self.power,
+            entry_delay=entry_delay,
+            wake_up_latency=self.wake_up_latency,
+        )
+
+
+class SleepSequence:
+    """An ordered sequence of low-power states the server walks through.
+
+    The sequence is validated on construction:
+
+    * entry delays must be strictly increasing (``tau_1 < tau_2 < ...``),
+    * wake-up latencies must be non-decreasing (deeper states wake slower).
+
+    Powers are *usually* non-increasing with depth but this is not enforced:
+    under the paper's own Table 2 model the halt state (``47 V^2``) can draw
+    more than operating-idle (``75 V^2 f``) at low DVFS settings, and the
+    sequence must still be representable there.
+
+    The class also answers the two questions the simulator and the analytic
+    model need: *which state is the server in after idling for t seconds*,
+    and *how much energy does an idle period of length t cost* (excluding the
+    wake-up, which the caller accounts at active power).
+    """
+
+    def __init__(self, states: Iterable[SleepStateSpec], name: str | None = None):
+        self._states: tuple[SleepStateSpec, ...] = tuple(states)
+        if not self._states:
+            raise ConfigurationError("a sleep sequence needs at least one state")
+        self._validate()
+        self._name = name or "->".join(s.name for s in self._states)
+
+    def _validate(self) -> None:
+        for earlier, later in zip(self._states, self._states[1:]):
+            if later.entry_delay <= earlier.entry_delay:
+                raise ConfigurationError(
+                    "sleep sequence entry delays must be strictly increasing: "
+                    f"{earlier.name} has tau={earlier.entry_delay}, "
+                    f"{later.name} has tau={later.entry_delay}"
+                )
+            if later.wake_up_latency < earlier.wake_up_latency:
+                raise ConfigurationError(
+                    "sleep sequence wake-up latencies must be non-decreasing: "
+                    f"{earlier.name} wakes in {earlier.wake_up_latency}s but deeper "
+                    f"{later.name} wakes in {later.wake_up_latency}s"
+                )
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[SleepStateSpec]:
+        return iter(self._states)
+
+    def __getitem__(self, index: int) -> SleepStateSpec:
+        return self._states[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SleepSequence):
+            return NotImplemented
+        return self._states == other._states
+
+    def __hash__(self) -> int:
+        return hash(self._states)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SleepSequence({self._name})"
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Human-readable name, e.g. ``"C0(i)S0(i)->C6S3"``."""
+        return self._name
+
+    @property
+    def states(self) -> Sequence[SleepStateSpec]:
+        """The ordered state specs."""
+        return self._states
+
+    @property
+    def first_entry_delay(self) -> float:
+        """``tau_1``: how long the server stays active-idle before sleeping."""
+        return self._states[0].entry_delay
+
+    @property
+    def deepest(self) -> SleepStateSpec:
+        """The last (deepest) state of the sequence."""
+        return self._states[-1]
+
+    def state_after_idle(self, idle_time: float) -> SleepStateSpec | None:
+        """The state occupied after the queue has been empty *idle_time* seconds.
+
+        Returns ``None`` when the idle time is shorter than the first entry
+        delay, i.e. the server is still in the active (operating idle at the
+        current DVFS setting) state and no transition has happened yet.
+        """
+        if idle_time < 0:
+            raise ConfigurationError(f"idle_time must be non-negative, got {idle_time}")
+        current: SleepStateSpec | None = None
+        for spec in self._states:
+            if idle_time >= spec.entry_delay:
+                current = spec
+            else:
+                break
+        return current
+
+    def wake_up_latency_after_idle(self, idle_time: float) -> float:
+        """Wake-up latency incurred if a job arrives after *idle_time* of idleness."""
+        state = self.state_after_idle(idle_time)
+        return 0.0 if state is None else state.wake_up_latency
+
+    def idle_energy(self, idle_time: float, pre_sleep_power: float) -> float:
+        """Energy (joules) consumed over an idle period of *idle_time* seconds.
+
+        The period starts when the queue empties.  Before ``tau_1`` the server
+        draws *pre_sleep_power* (the power of the active-idle state at the
+        current frequency); from ``tau_i`` to ``tau_{i+1}`` it draws ``P_i``;
+        after ``tau_n`` it draws ``P_n``.  Wake-up energy is *not* included
+        here — the simulator charges wake-up time at active power, matching
+        the paper's conservative assumption.
+        """
+        if idle_time < 0:
+            raise ConfigurationError(f"idle_time must be non-negative, got {idle_time}")
+        energy = 0.0
+        # Segment before the first transition.
+        boundary = min(idle_time, self._states[0].entry_delay)
+        energy += pre_sleep_power * boundary
+        if idle_time <= self._states[0].entry_delay:
+            return energy
+        # Segments between consecutive transitions.
+        for index, spec in enumerate(self._states):
+            start = spec.entry_delay
+            if index + 1 < len(self._states):
+                end = self._states[index + 1].entry_delay
+            else:
+                end = math.inf
+            if idle_time <= start:
+                break
+            segment = min(idle_time, end) - start
+            energy += spec.power * segment
+            if idle_time <= end:
+                break
+        return energy
+
+    def with_entry_delays(self, delays: Sequence[float]) -> "SleepSequence":
+        """Return a new sequence with the same states but different ``tau_i``."""
+        if len(delays) != len(self._states):
+            raise ConfigurationError(
+                f"expected {len(self._states)} delays, got {len(delays)}"
+            )
+        return SleepSequence(
+            (spec.with_entry_delay(delay) for spec, delay in zip(self._states, delays)),
+        )
+
+
+def immediate_sequence(spec: SleepStateSpec) -> SleepSequence:
+    """A single-state sequence entered immediately when the queue empties.
+
+    This is the ``tau_1 = 0`` setting used throughout Section 4.2 of the
+    paper ("whenever the server completes all jobs in its queue the server
+    immediately enters a low-power state").
+    """
+    return SleepSequence([spec.with_entry_delay(0.0)])

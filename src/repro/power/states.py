@@ -1,0 +1,214 @@
+"""CPU and platform power states.
+
+This module encodes the state taxonomy of the paper's Section 3.1:
+
+* **CPU C-states** (Table 1): ``C0(a)`` operating active, ``C0(i)`` operating
+  idle, ``C1`` halt, ``C3`` sleep, ``C6`` deep sleep.
+* **Platform S-states** (Table 3): ``S0(a)`` active, ``S0(i)`` idle, ``S3``
+  sleep (RAM powered, CPU must be in C6).
+* **Combined system states** written by concatenation, e.g. ``C0(i)S0(i)`` or
+  ``C6S3`` — the states a whole server can actually be in.
+* **Wake-up latency ranges** (Table 4) and the representative default values
+  the paper uses in Section 4.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.units import microseconds, milliseconds, seconds
+
+
+class CpuState(enum.Enum):
+    """CPU power states (Table 1 of the paper)."""
+
+    #: Operating active state: there is work to do; DVFS adjusts V and f.
+    C0_ACTIVE = "C0(a)"
+    #: Operating idle state: no work; V and f held at the last DVFS setting.
+    C0_IDLE = "C0(i)"
+    #: Halt state: the clock is stopped, only leakage power is drawn.
+    C1 = "C1"
+    #: Sleep state: caches flushed, architectural state kept, clock stopped.
+    C3 = "C3"
+    #: Deep sleep state: architectural state saved to RAM, voltage at zero.
+    C6 = "C6"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def is_operating(self) -> bool:
+        """Whether the CPU clock is running (C0 active or C0 idle)."""
+        return self in (CpuState.C0_ACTIVE, CpuState.C0_IDLE)
+
+
+class PlatformState(enum.Enum):
+    """Platform power states (Table 3 of the paper)."""
+
+    #: Active platform state; only valid together with CPU ``C0(a)``.
+    S0_ACTIVE = "S0(a)"
+    #: Idle platform state; valid with any non-active CPU state.
+    S0_IDLE = "S0(i)"
+    #: Platform sleep; RAM stays powered; only valid with CPU ``C6``.
+    S3 = "S3"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Which CPU states each platform state supports (Table 3).
+SUPPORTED_CPU_STATES: dict[PlatformState, frozenset[CpuState]] = {
+    PlatformState.S0_ACTIVE: frozenset({CpuState.C0_ACTIVE}),
+    PlatformState.S0_IDLE: frozenset(
+        {CpuState.C0_IDLE, CpuState.C1, CpuState.C3, CpuState.C6}
+    ),
+    PlatformState.S3: frozenset({CpuState.C6}),
+}
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """A combined CPU + platform state such as ``C0(i)S0(i)`` or ``C6S3``.
+
+    The combination is validated on construction against the support matrix
+    of Table 3: for instance ``C0(a)S3`` is rejected because the platform
+    cannot be asleep while the CPU is actively processing.
+    """
+
+    cpu: CpuState
+    platform: PlatformState
+
+    def __post_init__(self) -> None:
+        supported = SUPPORTED_CPU_STATES[self.platform]
+        if self.cpu not in supported:
+            raise ConfigurationError(
+                f"platform state {self.platform.value} does not support CPU "
+                f"state {self.cpu.value}; supported CPU states are "
+                f"{sorted(s.value for s in supported)}"
+            )
+
+    @property
+    def name(self) -> str:
+        """The concatenated name used throughout the paper, e.g. ``C6S3``."""
+        return f"{self.cpu.value}{self.platform.value}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this is the active operating state ``C0(a)S0(a)``."""
+        return self.cpu is CpuState.C0_ACTIVE
+
+    @property
+    def is_low_power(self) -> bool:
+        """Whether this state is one of the low-power (non-active) states."""
+        return not self.is_active
+
+    @classmethod
+    def parse(cls, name: str) -> "SystemState":
+        """Parse a combined state name such as ``"C0(i)S0(i)"`` or ``"C6S3"``.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` for unknown
+        names or invalid combinations.
+        """
+        for cpu in CpuState:
+            if name.startswith(cpu.value):
+                remainder = name[len(cpu.value) :]
+                for platform in PlatformState:
+                    if remainder == platform.value:
+                        return cls(cpu, platform)
+        raise ConfigurationError(f"cannot parse system state name {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Canonical combined states used throughout the paper
+# ---------------------------------------------------------------------------
+
+#: Active operating state: serving jobs.
+ACTIVE = SystemState(CpuState.C0_ACTIVE, PlatformState.S0_ACTIVE)
+
+#: Operating idle: CPU clocked but doing nothing, platform idle.
+C0I_S0I = SystemState(CpuState.C0_IDLE, PlatformState.S0_IDLE)
+
+#: Halt: clock gated, platform idle.
+C1_S0I = SystemState(CpuState.C1, PlatformState.S0_IDLE)
+
+#: Sleep: caches flushed, platform idle.
+C3_S0I = SystemState(CpuState.C3, PlatformState.S0_IDLE)
+
+#: Deep sleep: CPU state in RAM, platform still idle.
+C6_S0I = SystemState(CpuState.C6, PlatformState.S0_IDLE)
+
+#: Deepest combined sleep: CPU in C6, platform in S3.
+C6_S3 = SystemState(CpuState.C6, PlatformState.S3)
+
+#: All low-power states studied in the paper, ordered from shallowest
+#: (highest power, fastest wake-up) to deepest (lowest power, slowest).
+LOW_POWER_STATES: tuple[SystemState, ...] = (
+    C0I_S0I,
+    C1_S0I,
+    C3_S0I,
+    C6_S0I,
+    C6_S3,
+)
+
+
+@dataclass(frozen=True)
+class WakeUpLatencyRange:
+    """The latency range reported in Table 4 for waking from a state."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ConfigurationError(
+                f"invalid wake-up latency range [{self.low}, {self.high}]"
+            )
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* (seconds) falls inside the range, inclusive."""
+        return self.low <= value <= self.high
+
+    @property
+    def midpoint(self) -> float:
+        """Arithmetic midpoint of the range, in seconds."""
+        return 0.5 * (self.low + self.high)
+
+
+#: Wake-up latency ranges from Table 4 (keyed by combined state).
+WAKE_UP_LATENCY_RANGES: dict[SystemState, WakeUpLatencyRange] = {
+    ACTIVE: WakeUpLatencyRange(0.0, 0.0),
+    C0I_S0I: WakeUpLatencyRange(0.0, 0.0),
+    C1_S0I: WakeUpLatencyRange(microseconds(1), microseconds(10)),
+    C3_S0I: WakeUpLatencyRange(microseconds(10), microseconds(100)),
+    C6_S0I: WakeUpLatencyRange(milliseconds(0.1), milliseconds(1)),
+    C6_S3: WakeUpLatencyRange(seconds(1), seconds(10)),
+}
+
+#: The representative wake-up latencies the paper fixes in Section 4.2:
+#: C1S0(i) 10 us, C3S0(i) 100 us, C6S0(i) 1 ms, C6S3 1 s; C0(i)S0(i) wakes
+#: instantly.
+DEFAULT_WAKE_UP_LATENCIES: dict[SystemState, float] = {
+    C0I_S0I: 0.0,
+    C1_S0I: microseconds(10),
+    C3_S0I: microseconds(100),
+    C6_S0I: milliseconds(1),
+    C6_S3: seconds(1),
+}
+
+
+def default_wake_up_latency(state: SystemState) -> float:
+    """Return the paper's default wake-up latency for *state*, in seconds.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` if *state* is not a
+    low-power state (the active state has no wake-up latency concept).
+    """
+    if state not in DEFAULT_WAKE_UP_LATENCIES:
+        raise ConfigurationError(
+            f"state {state.name} is not a low-power state with a wake-up latency"
+        )
+    return DEFAULT_WAKE_UP_LATENCIES[state]

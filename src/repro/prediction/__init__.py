@@ -1,0 +1,30 @@
+"""Runtime utilisation predictors: naive-previous, LMS, LMS+CUSUM, oracle."""
+
+from repro.prediction.base import UtilizationPredictor, validate_utilization
+from repro.prediction.cusum import CusumDetector, CusumState
+from repro.prediction.evaluation import (
+    PredictionAccuracy,
+    compare_predictors,
+    evaluate_predictor,
+    replay,
+)
+from repro.prediction.lms import LmsPredictor
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.prediction.naive import MovingAveragePredictor, NaivePreviousPredictor
+from repro.prediction.oracle import OraclePredictor
+
+__all__ = [
+    "CusumDetector",
+    "CusumState",
+    "LmsCusumPredictor",
+    "LmsPredictor",
+    "MovingAveragePredictor",
+    "NaivePreviousPredictor",
+    "OraclePredictor",
+    "PredictionAccuracy",
+    "UtilizationPredictor",
+    "compare_predictors",
+    "evaluate_predictor",
+    "replay",
+    "validate_utilization",
+]

@@ -1,0 +1,97 @@
+"""Utilisation predictor interface.
+
+SleepScale's runtime predictor (Section 5.2) works epoch by epoch: at the
+start of each epoch it predicts the utilisation of the epoch's first minute
+from the minute-granularity utilisations observed so far, and the policy
+manager scales the logged workload of past epochs to that prediction.
+
+All predictors implement the same minimal interface:
+
+* :meth:`UtilizationPredictor.observe` — feed one observed per-minute
+  utilisation (called once per minute of history, in order);
+* :meth:`UtilizationPredictor.predict` — the prediction for the *next*
+  minute;
+* :meth:`UtilizationPredictor.reset` — forget all history.
+
+Predictions and observations are utilisations in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import PredictionError
+
+
+def validate_utilization(value: float) -> float:
+    """Check that *value* is a valid utilisation and return it as a float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise PredictionError(
+            f"utilisation observations must lie in [0, 1], got {value}"
+        )
+    return value
+
+
+class UtilizationPredictor(abc.ABC):
+    """Base class for per-minute utilisation predictors.
+
+    Parameters
+    ----------
+    initial_prediction:
+        The value returned by :meth:`predict` before any observation has
+        been made (the runtime controller needs *some* prediction for the
+        very first epoch).
+    """
+
+    #: Short name used in figures and reports, e.g. ``"NP"`` or ``"LC"``.
+    name: str = "predictor"
+
+    def __init__(self, initial_prediction: float = 0.1):
+        self._initial_prediction = validate_utilization(initial_prediction)
+        self._observation_count = 0
+
+    # -- subclass hooks ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def _observe(self, utilization: float) -> None:
+        """Incorporate one observation (already validated)."""
+
+    @abc.abstractmethod
+    def _predict(self) -> float:
+        """Prediction for the next minute (at least one observation made)."""
+
+    def _reset(self) -> None:
+        """Clear subclass state; the default does nothing extra."""
+
+    # -- public interface ----------------------------------------------------------
+
+    def observe(self, utilization: float) -> None:
+        """Feed one observed per-minute utilisation."""
+        self._observe(validate_utilization(utilization))
+        self._observation_count += 1
+
+    def observe_many(self, utilizations) -> None:
+        """Feed a sequence of observations in chronological order."""
+        for value in utilizations:
+            self.observe(value)
+
+    def predict(self) -> float:
+        """Predicted utilisation of the next minute, clipped into ``[0, 1]``."""
+        if self._observation_count == 0:
+            return self._initial_prediction
+        prediction = self._predict()
+        return min(1.0, max(0.0, float(prediction)))
+
+    def reset(self) -> None:
+        """Forget all observed history."""
+        self._observation_count = 0
+        self._reset()
+
+    @property
+    def observation_count(self) -> int:
+        """How many observations have been fed so far."""
+        return self._observation_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(observations={self._observation_count})"

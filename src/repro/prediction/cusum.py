@@ -1,0 +1,123 @@
+"""Cumulative-sum (CUSUM) change-point detection.
+
+Page's CUSUM test (Biometrika 1954) detects abrupt shifts in the mean of a
+signal: two one-sided cumulative sums accumulate positive and negative
+deviations beyond an allowance ``drift`` and raise an alarm when either
+exceeds a ``threshold``.  The paper's LMS+CUSUM predictor uses such a test on
+the utilisation signal (via the prediction errors) to decide when to drop the
+LMS filter's smoothing ("if error is larger than some adaptive threshold ...
+reset p = 1").
+
+Because minute-level utilisation traces differ wildly in scale, the detector
+standardises the signal with running (exponentially weighted) estimates of
+its mean and standard deviation, making ``drift`` and ``threshold``
+dimensionless (expressed in standard deviations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class CusumState:
+    """Internal running state of the detector (exposed for tests/inspection)."""
+
+    mean: float = 0.0
+    variance: float = 0.0
+    positive_sum: float = 0.0
+    negative_sum: float = 0.0
+    samples: int = 0
+
+
+class CusumDetector:
+    """Two-sided standardised CUSUM change detector.
+
+    Parameters
+    ----------
+    drift:
+        Allowance ``k`` in standard deviations; deviations smaller than this
+        never accumulate.  0.5 is the classical choice.
+    threshold:
+        Alarm threshold ``h`` in standard deviations of accumulated
+        deviation; larger values mean fewer (but more confident) alarms.
+    smoothing:
+        Exponential forgetting factor for the running mean/variance
+        estimates, in ``(0, 1)``; closer to 1 adapts faster.
+    min_std:
+        Lower bound on the standard-deviation estimate, protecting the
+        standardisation from locking onto a perfectly flat warm-up period.
+    """
+
+    def __init__(
+        self,
+        drift: float = 0.5,
+        threshold: float = 4.0,
+        smoothing: float = 0.1,
+        min_std: float = 0.01,
+    ):
+        if drift < 0:
+            raise ConfigurationError(f"drift must be non-negative, got {drift}")
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        if not 0.0 < smoothing < 1.0:
+            raise ConfigurationError(
+                f"smoothing must lie in (0, 1), got {smoothing}"
+            )
+        if min_std <= 0:
+            raise ConfigurationError(f"min_std must be positive, got {min_std}")
+        self._drift = drift
+        self._threshold = threshold
+        self._smoothing = smoothing
+        self._min_std = min_std
+        self._state = CusumState()
+
+    @property
+    def state(self) -> CusumState:
+        """The detector's running statistics (mainly for tests)."""
+        return self._state
+
+    def reset(self) -> None:
+        """Clear all running statistics and the accumulated sums."""
+        self._state = CusumState()
+
+    def _update_statistics(self, value: float) -> float:
+        state = self._state
+        if state.samples == 0:
+            state.mean = value
+            state.variance = 0.0
+        else:
+            alpha = self._smoothing
+            delta = value - state.mean
+            state.mean += alpha * delta
+            state.variance = (1.0 - alpha) * (state.variance + alpha * delta * delta)
+        state.samples += 1
+        return max(self._min_std, state.variance**0.5)
+
+    def update(self, value: float) -> bool:
+        """Feed one sample; return ``True`` when a change is detected.
+
+        On detection the accumulated sums are cleared (the running mean and
+        variance keep adapting), so consecutive alarms require the deviation
+        to build up again.
+        """
+        std = self._update_statistics(float(value))
+        state = self._state
+        standardized = (value - state.mean) / std
+        state.positive_sum = max(0.0, state.positive_sum + standardized - self._drift)
+        state.negative_sum = max(0.0, state.negative_sum - standardized - self._drift)
+        if state.positive_sum > self._threshold or state.negative_sum > self._threshold:
+            state.positive_sum = 0.0
+            state.negative_sum = 0.0
+            return True
+        return False
+
+    def update_many(self, values) -> list[int]:
+        """Feed a whole sequence; return the indices at which alarms fired."""
+        alarms = []
+        for index, value in enumerate(values):
+            if self.update(value):
+                alarms.append(index)
+        return alarms

@@ -1,0 +1,100 @@
+"""Predictor evaluation helpers.
+
+These utilities replay a utilisation trace through a predictor causally
+(predict the next minute, then reveal it) and report the usual accuracy
+metrics.  They are used by the predictor unit tests and by the Figure 8
+ablation benchmark that relates prediction accuracy to response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import PredictionError
+from repro.prediction.base import UtilizationPredictor
+from repro.workloads.traces import UtilizationTrace
+
+
+@dataclass(frozen=True)
+class PredictionAccuracy:
+    """Accuracy metrics of one predictor over one trace."""
+
+    predictor: str
+    mean_absolute_error: float
+    root_mean_squared_error: float
+    max_absolute_error: float
+    bias: float
+
+    def summary(self) -> dict[str, float]:
+        """Flat metric dictionary for reports."""
+        return {
+            "mae": self.mean_absolute_error,
+            "rmse": self.root_mean_squared_error,
+            "max_error": self.max_absolute_error,
+            "bias": self.bias,
+        }
+
+
+def replay(
+    predictor: UtilizationPredictor,
+    utilizations: Sequence[float] | np.ndarray | UtilizationTrace,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run *predictor* causally over a utilisation sequence.
+
+    Returns ``(predictions, truths)`` where ``predictions[i]`` was issued
+    *before* ``truths[i]`` was revealed to the predictor.  The predictor is
+    reset before the replay.
+    """
+    if isinstance(utilizations, UtilizationTrace):
+        values = np.asarray(utilizations.values, dtype=float)
+    else:
+        values = np.asarray(utilizations, dtype=float)
+    if values.size == 0:
+        raise PredictionError("cannot replay an empty utilisation sequence")
+    predictor.reset()
+    predictions = np.empty(values.size)
+    for index, truth in enumerate(values):
+        predictions[index] = predictor.predict()
+        predictor.observe(float(truth))
+    return predictions, values
+
+
+def evaluate_predictor(
+    predictor: UtilizationPredictor,
+    utilizations: Sequence[float] | np.ndarray | UtilizationTrace,
+    warm_up: int = 0,
+) -> PredictionAccuracy:
+    """Replay a predictor over a trace and compute accuracy metrics.
+
+    ``warm_up`` initial minutes are excluded from the metrics (the predictor
+    still observes them), which avoids penalising filters for their cold
+    start when comparing long traces.
+    """
+    predictions, truths = replay(predictor, utilizations)
+    if warm_up < 0 or warm_up >= truths.size:
+        raise PredictionError(
+            f"warm_up must lie in [0, {truths.size}), got {warm_up}"
+        )
+    errors = predictions[warm_up:] - truths[warm_up:]
+    return PredictionAccuracy(
+        predictor=predictor.name,
+        mean_absolute_error=float(np.mean(np.abs(errors))),
+        root_mean_squared_error=float(np.sqrt(np.mean(errors**2))),
+        max_absolute_error=float(np.max(np.abs(errors))),
+        bias=float(np.mean(errors)),
+    )
+
+
+def compare_predictors(
+    predictors: Sequence[UtilizationPredictor],
+    utilizations: Sequence[float] | np.ndarray | UtilizationTrace,
+    warm_up: int = 0,
+) -> dict[str, PredictionAccuracy]:
+    """Evaluate several predictors on the same trace."""
+    return {
+        predictor.name: evaluate_predictor(predictor, utilizations, warm_up)
+        for predictor in predictors
+    }

@@ -1,0 +1,150 @@
+"""Least-mean-square (LMS) adaptive-filter utilisation predictor.
+
+Section 5.2.2: "The LMS adaptive filter predicts the utilization based on a
+weighted combination of the utilizations observed over the past p minutes.
+The weights are updated every minute based on the prediction error."  Like
+any moving-average style filter it smoothes the signal, so it tracks the
+stationary daily pattern well but reacts slowly to abrupt changes — which is
+why the paper pairs it with a CUSUM change detector
+(:mod:`repro.prediction.lms_cusum`).
+
+The implementation is a normalised LMS (NLMS) filter: the weight update is
+scaled by the energy of the input window, which keeps the adaptation stable
+for any utilisation magnitude without hand-tuning the step size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.prediction.base import UtilizationPredictor
+
+
+class LmsPredictor(UtilizationPredictor):
+    """Adaptive linear predictor over the last *history* minutes.
+
+    Parameters
+    ----------
+    history:
+        ``p`` — the maximum look-back depth (the paper uses ``p = 10``).
+    step_size:
+        NLMS adaptation rate ``mu`` in ``(0, 2)``.  The default of 0.1 keeps
+        the filter smoothing-oriented, matching the paper's description of
+        LMS as slow to react to abrupt changes.
+    initial_prediction:
+        Returned before any observation is available.
+    """
+
+    name = "LMS"
+
+    def __init__(
+        self,
+        history: int = 10,
+        step_size: float = 0.1,
+        initial_prediction: float = 0.1,
+    ):
+        super().__init__(initial_prediction)
+        if history < 1:
+            raise ConfigurationError(f"history depth must be >= 1, got {history}")
+        if not 0.0 < step_size < 2.0:
+            raise ConfigurationError(
+                f"step_size must lie in (0, 2) for stability, got {step_size}"
+            )
+        self._history_depth = history
+        self._step_size = step_size
+        # Most-recent-first window of past observations.
+        self._window: deque[float] = deque(maxlen=history)
+        # Weight vector, aligned with the window (index 0 = most recent).
+        self._weights = np.full(history, 1.0 / history)
+        # Effective look-back depth (can be shrunk/grown by LMS+CUSUM).
+        self._depth = history
+
+    # -- properties ----------------------------------------------------------------
+
+    @property
+    def history_depth(self) -> int:
+        """Maximum look-back depth ``p`` the filter can use."""
+        return self._history_depth
+
+    @property
+    def depth(self) -> int:
+        """Current effective look-back depth."""
+        return self._depth
+
+    @property
+    def weights(self) -> np.ndarray:
+        """A copy of the current weight vector (most recent observation first)."""
+        return self._weights.copy()
+
+    # -- internal helpers -------------------------------------------------------------
+
+    def _input_vector(self) -> np.ndarray:
+        """Past observations as a vector aligned with the weights.
+
+        Shorter-than-depth histories are zero-padded, which simply means the
+        missing past contributes nothing to the prediction.
+        """
+        vector = np.zeros(self._history_depth)
+        recent_first = list(self._window)[::-1]
+        usable = min(len(recent_first), self._depth)
+        vector[:usable] = recent_first[:usable]
+        return vector
+
+    def _raw_prediction(self) -> float:
+        return float(np.dot(self._weights, self._input_vector()))
+
+    def _adapt(self, observed: float) -> float:
+        """Update the weights against *observed* and return the prediction error."""
+        inputs = self._input_vector()
+        prediction = float(np.dot(self._weights, inputs))
+        error = observed - prediction
+        energy = float(np.dot(inputs, inputs))
+        if energy > 1e-12:
+            self._weights = self._weights + (
+                self._step_size * error / energy
+            ) * inputs
+        return error
+
+    # -- depth control (used by the LMS+CUSUM combination) ------------------------------
+
+    def shrink_depth(self) -> None:
+        """Collapse the look-back to one minute, keeping the total weight mass.
+
+        This is line 10 of the paper's Algorithm 2: on an abrupt change the
+        smoothing is dropped so the filter can track the new level.
+        """
+        total = float(np.sum(self._weights))
+        self._depth = 1
+        self._weights = np.zeros(self._history_depth)
+        self._weights[0] = total if total > 0 else 1.0
+
+    def grow_depth(self) -> None:
+        """Grow the look-back by one minute, redistributing the weight mass.
+
+        Line 12 of Algorithm 2: as long as no change is detected the filter
+        gradually returns to its full smoothing depth.
+        """
+        total = float(np.sum(self._weights))
+        self._depth = min(self._depth + 1, self._history_depth)
+        self._weights = np.zeros(self._history_depth)
+        self._weights[: self._depth] = (
+            total / self._depth if total > 0 else 1.0 / self._depth
+        )
+
+    # -- UtilizationPredictor interface ---------------------------------------------------
+
+    def _observe(self, utilization: float) -> None:
+        if self._window:
+            self._adapt(utilization)
+        self._window.append(utilization)
+
+    def _predict(self) -> float:
+        return self._raw_prediction()
+
+    def _reset(self) -> None:
+        self._window.clear()
+        self._weights = np.full(self._history_depth, 1.0 / self._history_depth)
+        self._depth = self._history_depth

@@ -1,0 +1,96 @@
+"""LMS + CUSUM utilisation predictor (the paper's Algorithm 2).
+
+Section 5.2.2: "As an intermediary between naive-previous predictor and LMS
+filter, LMS+CUSUM does both tracking and stationary behavior prediction ...
+When the CUSUM algorithm detects an abrupt change, the look-back period p in
+the LMS is reset to 1.  This resetting drops the smoothing effect of LMS and
+allows the filter to track the change better.  As long as no further abrupt
+change is detected, p grows until some maximum value is reached."
+
+The implementation composes :class:`~repro.prediction.lms.LmsPredictor`
+(which owns the weight vector and the shrink/grow depth operations of
+Algorithm 2 lines 10 and 12) with
+:class:`~repro.prediction.cusum.CusumDetector` applied to the per-minute
+prediction errors (the "adaptive threshold" of line 8).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.prediction.base import UtilizationPredictor
+from repro.prediction.cusum import CusumDetector
+from repro.prediction.lms import LmsPredictor
+
+
+class LmsCusumPredictor(UtilizationPredictor):
+    """LMS adaptive filter whose look-back collapses on detected change points.
+
+    Parameters
+    ----------
+    history:
+        Maximum look-back depth ``p`` (the paper uses 10).
+    step_size:
+        NLMS adaptation rate, forwarded to the underlying LMS filter.
+    drift, threshold:
+        CUSUM allowance and alarm threshold (in standard deviations of the
+        prediction error).
+    initial_prediction:
+        Returned before any observation is available.
+    """
+
+    name = "LC"
+
+    def __init__(
+        self,
+        history: int = 10,
+        step_size: float = 0.1,
+        drift: float = 0.5,
+        threshold: float = 3.0,
+        initial_prediction: float = 0.1,
+    ):
+        super().__init__(initial_prediction)
+        if history < 1:
+            raise ConfigurationError(f"history depth must be >= 1, got {history}")
+        self._lms = LmsPredictor(
+            history=history, step_size=step_size, initial_prediction=initial_prediction
+        )
+        self._detector = CusumDetector(drift=drift, threshold=threshold)
+        self._change_points: list[int] = []
+        self._minute = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def change_points(self) -> list[int]:
+        """Observation indices at which the CUSUM detector fired."""
+        return list(self._change_points)
+
+    @property
+    def depth(self) -> int:
+        """Current effective look-back depth of the underlying LMS filter."""
+        return self._lms.depth
+
+    # -- UtilizationPredictor interface ----------------------------------------------
+
+    def _observe(self, utilization: float) -> None:
+        # Prediction error before the LMS filter adapts to this sample.
+        error = abs(utilization - self._lms.predict())
+        self._lms.observe(utilization)
+        alarmed = self._detector.update(error)
+        # Ignore alarms until the LMS window has filled once: cold-start
+        # errors are artefacts of the empty history, not workload changes.
+        if alarmed and self._minute >= self._lms.history_depth:
+            self._change_points.append(self._minute)
+            self._lms.shrink_depth()
+        else:
+            self._lms.grow_depth()
+        self._minute += 1
+
+    def _predict(self) -> float:
+        return self._lms.predict()
+
+    def _reset(self) -> None:
+        self._lms.reset()
+        self._detector.reset()
+        self._change_points.clear()
+        self._minute = 0

@@ -1,0 +1,68 @@
+"""The naive-previous predictor.
+
+Section 5.2.2: "The naive-previous predictor simply uses the utilization in
+the last minute of the past T-minute epoch as the prediction for the current
+epoch.  This predictor is best suited to track sudden changes in utilization,
+however it does not effectively predict the stationary behavior of the
+workload."
+"""
+
+from __future__ import annotations
+
+from repro.prediction.base import UtilizationPredictor
+
+
+class NaivePreviousPredictor(UtilizationPredictor):
+    """Predict the next minute's utilisation as the last observed value."""
+
+    name = "NP"
+
+    def __init__(self, initial_prediction: float = 0.1):
+        super().__init__(initial_prediction)
+        self._last: float | None = None
+
+    def _observe(self, utilization: float) -> None:
+        self._last = utilization
+
+    def _predict(self) -> float:
+        assert self._last is not None  # guarded by the base class
+        return self._last
+
+    def _reset(self) -> None:
+        self._last = None
+
+
+class MovingAveragePredictor(UtilizationPredictor):
+    """Predict the mean of the last *window* observations.
+
+    The paper mentions this as the fixed-weight baseline that the LMS filter
+    improves upon ("the LMS adaptive filter outperforms the moving average
+    predictor ... because the weight for each of the past p minutes is chosen
+    adaptively, rather than being fixed to a constant 1/p").  Included for
+    ablation benchmarks.
+    """
+
+    name = "MA"
+
+    def __init__(self, window: int = 10, initial_prediction: float = 0.1):
+        super().__init__(initial_prediction)
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._history: list[float] = []
+
+    def _observe(self, utilization: float) -> None:
+        self._history.append(utilization)
+        if len(self._history) > self._window:
+            self._history.pop(0)
+
+    def _predict(self) -> float:
+        return sum(self._history) / len(self._history)
+
+    def _reset(self) -> None:
+        self._history.clear()
+
+    @property
+    def window(self) -> int:
+        """The averaging window length in minutes."""
+        return self._window

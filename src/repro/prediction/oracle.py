@@ -1,0 +1,54 @@
+"""Offline (oracle) utilisation predictor.
+
+Section 6.1: "The offline predictor is a genie-aided predictor where the true
+utilizations are assumed to be known non-causally in advance."  It provides
+the lower bound on response time against which the causal predictors (naive-
+previous, LMS, LMS+CUSUM) are compared in Figure 8.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import PredictionError
+from repro.prediction.base import UtilizationPredictor, validate_utilization
+
+
+class OraclePredictor(UtilizationPredictor):
+    """Predicts the *true* next-minute utilisation from a known trace.
+
+    The oracle is constructed with the full minute-by-minute utilisation
+    sequence.  Observations advance an internal cursor (their values are
+    ignored — the oracle already knows the truth) and :meth:`predict`
+    returns the true utilisation of the minute about to happen.
+    """
+
+    name = "Offline"
+
+    def __init__(self, true_utilizations: Sequence[float] | np.ndarray):
+        super().__init__(initial_prediction=0.0)
+        values = [validate_utilization(v) for v in np.asarray(true_utilizations, dtype=float)]
+        if not values:
+            raise PredictionError("oracle predictor needs a non-empty truth sequence")
+        self._truth = values
+        self._cursor = 0
+        # The very first prediction is the true first minute.
+        self._initial_prediction = self._truth[0]
+
+    @property
+    def remaining(self) -> int:
+        """How many true values have not yet been consumed."""
+        return len(self._truth) - self._cursor
+
+    def _observe(self, utilization: float) -> None:
+        if self._cursor < len(self._truth):
+            self._cursor += 1
+
+    def _predict(self) -> float:
+        index = min(self._cursor, len(self._truth) - 1)
+        return self._truth[index]
+
+    def _reset(self) -> None:
+        self._cursor = 0

@@ -1,0 +1,53 @@
+"""Queueing simulation substrate: Algorithm 1, metrics and trade-off sweeps."""
+
+from repro.simulation.engine import (
+    ServerConfiguration,
+    check_stability,
+    simulate_trace,
+    simulate_workload,
+    warm_up_truncated,
+)
+from repro.simulation.metrics import (
+    STATE_PRE_SLEEP,
+    STATE_SERVING,
+    STATE_WAKING,
+    EnergyBreakdown,
+    SimulationResult,
+    merge_results,
+)
+from repro.simulation.service_scaling import (
+    ServiceScaling,
+    cpu_bound,
+    memory_bound,
+    partially_bound,
+)
+from repro.simulation.sweep import (
+    TradeoffCurve,
+    TradeoffPoint,
+    best_policy_across_states,
+    sweep_frequencies,
+    sweep_states,
+)
+
+__all__ = [
+    "EnergyBreakdown",
+    "STATE_PRE_SLEEP",
+    "STATE_SERVING",
+    "STATE_WAKING",
+    "ServerConfiguration",
+    "ServiceScaling",
+    "SimulationResult",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "best_policy_across_states",
+    "check_stability",
+    "cpu_bound",
+    "memory_bound",
+    "merge_results",
+    "partially_bound",
+    "simulate_trace",
+    "simulate_workload",
+    "sweep_frequencies",
+    "sweep_states",
+    "warm_up_truncated",
+]

@@ -1,0 +1,278 @@
+"""The queueing simulator — the paper's Algorithm 1, generalised.
+
+A single FCFS server processes a stream of jobs.  The server runs at a fixed
+DVFS scaling factor ``f`` while it has work; whenever its queue empties it
+walks an ordered sequence of low-power states (entering state ``i`` after the
+queue has been empty ``tau_i`` seconds).  A job arriving to a sleeping server
+triggers a wake-up of latency ``w_i`` during which no work is done; wake-up
+time is charged at active power (the paper's conservative assumption).
+
+The simulator reports per-job response times, an energy breakdown, state
+residency and the derived metrics (:class:`~repro.simulation.metrics.SimulationResult`).
+
+Two entry points are provided:
+
+* :func:`simulate_trace` — run one policy against an explicit
+  :class:`~repro.workloads.jobs.JobTrace` (what the SleepScale policy manager
+  does with logged epochs);
+* :func:`simulate_workload` — generate a stationary stream from a
+  :class:`~repro.workloads.spec.WorkloadSpec` at a target utilisation and run
+  one policy against it (Algorithm 1 as written, used by all Section 4
+  figures).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.power.platform import ServerPowerModel
+from repro.power.sleep import SleepSequence
+from repro.simulation.metrics import (
+    STATE_PRE_SLEEP,
+    STATE_SERVING,
+    STATE_WAKING,
+    EnergyBreakdown,
+    SimulationResult,
+)
+from repro.simulation.service_scaling import ServiceScaling, cpu_bound
+from repro.workloads.generator import generate_jobs
+from repro.workloads.jobs import JobTrace
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ServerConfiguration:
+    """Static description of the simulated server.
+
+    Bundles the power model with the service-time scaling rule so experiment
+    code can pass a single object around.
+    """
+
+    power_model: ServerPowerModel
+    scaling: ServiceScaling = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.scaling is None:
+            object.__setattr__(self, "scaling", cpu_bound())
+
+
+def _validate_frequency(frequency: float) -> float:
+    if not 0.0 < frequency <= 1.0:
+        raise ConfigurationError(
+            f"operating frequency must lie in (0, 1], got {frequency}"
+        )
+    return float(frequency)
+
+
+def check_stability(
+    utilization: float, frequency: float, scaling: ServiceScaling
+) -> None:
+    """Raise :class:`StabilityError` if the operating point is unstable.
+
+    The effective utilisation at scaling factor ``f`` is
+    ``rho / f**beta``; the queue is stable only when this is below 1.
+    """
+    effective = utilization * scaling.time_factor(frequency)
+    if effective >= 1.0:
+        raise StabilityError(
+            f"utilization {utilization:.3f} at frequency {frequency:.3f} gives "
+            f"effective load {effective:.3f} >= 1; the queue is unstable"
+        )
+
+
+def simulate_trace(
+    jobs: JobTrace,
+    frequency: float,
+    sleep: SleepSequence,
+    power_model: ServerPowerModel,
+    scaling: ServiceScaling | None = None,
+    start_time: float | None = None,
+    busy_until: float | None = None,
+) -> SimulationResult:
+    """Simulate one policy (``frequency`` + ``sleep``) against a job trace.
+
+    Parameters
+    ----------
+    jobs:
+        The arrival/service-demand stream.  Service demands are *nominal*
+        (full-frequency) and are stretched by the service-scaling rule.
+    frequency:
+        DVFS scaling factor held for the whole trace.
+    sleep:
+        The low-power state sequence entered whenever the queue empties.
+    power_model:
+        Server power model used for active, idle and sleep power.
+    scaling:
+        Service-time/frequency dependence; defaults to CPU-bound.
+    start_time:
+        The instant the observation window opens (the server is assumed to
+        have just gone idle at this time).  Defaults to the trace's first
+        arrival, which excludes any artificial initial idle period.
+    busy_until:
+        If given, the server is still working off earlier backlog until this
+        absolute time; jobs arriving before it queue behind that backlog.
+        Used by the runtime controller so delays can propagate from one
+        epoch into the next, as the paper describes.
+    """
+    frequency = _validate_frequency(frequency)
+    scaling = scaling or cpu_bound()
+    time_factor = scaling.time_factor(frequency)
+
+    active_power = power_model.active_power(frequency)
+    pre_sleep_power = power_model.idle_power(frequency)
+
+    # Pre-extract the sleep sequence into flat tuples for the hot loop.
+    entry_delays = tuple(spec.entry_delay for spec in sleep)
+    sleep_powers = tuple(spec.power for spec in sleep)
+    wake_latencies = tuple(spec.wake_up_latency for spec in sleep)
+    state_names = tuple(spec.name for spec in sleep)
+    num_states = len(entry_delays)
+
+    arrivals = jobs.arrival_times
+    demands = jobs.service_demands
+    num_jobs = len(jobs)
+
+    response_times = np.empty(num_jobs)
+    waiting_times = np.empty(num_jobs)
+
+    serving_energy = 0.0
+    waking_energy = 0.0
+    idle_energy = 0.0
+    residency: dict[str, float] = {STATE_SERVING: 0.0, STATE_WAKING: 0.0, STATE_PRE_SLEEP: 0.0}
+    for name in state_names:
+        residency.setdefault(name, 0.0)
+    wake_up_count = 0
+
+    clock_start = float(arrivals[0]) if start_time is None else float(start_time)
+    if clock_start > arrivals[0]:
+        raise ConfigurationError(
+            "start_time must not be later than the first arrival"
+        )
+    previous_departure = clock_start
+    if busy_until is not None:
+        if busy_until < clock_start:
+            raise ConfigurationError(
+                "busy_until must not be earlier than the observation start"
+            )
+        previous_departure = float(busy_until)
+
+    for index in range(num_jobs):
+        arrival = float(arrivals[index])
+        service = float(demands[index]) * time_factor
+
+        if arrival >= previous_departure:
+            # The server idled between the previous departure and this
+            # arrival: walk the sleep sequence, charge idle energy per
+            # segment, then pay the wake-up of whatever state was reached.
+            idle = arrival - previous_departure
+            # Segment before the first transition (operating idle at f).
+            boundary = entry_delays[0] if entry_delays[0] < idle else idle
+            if boundary > 0.0:
+                idle_energy += pre_sleep_power * boundary
+                residency[STATE_PRE_SLEEP] += boundary
+            reached = -1
+            for state_index in range(num_states):
+                start = entry_delays[state_index]
+                if idle < start:
+                    break
+                reached = state_index
+                if state_index + 1 < num_states:
+                    end = entry_delays[state_index + 1]
+                    segment_end = end if end < idle else idle
+                else:
+                    segment_end = idle
+                segment = segment_end - start
+                idle_energy += sleep_powers[state_index] * segment
+                residency[state_names[state_index]] += segment
+            if reached >= 0:
+                wake_latency = wake_latencies[reached]
+                wake_up_count += 1
+            else:
+                wake_latency = 0.0
+            if wake_latency > 0.0:
+                waking_energy += active_power * wake_latency
+                residency[STATE_WAKING] += wake_latency
+            start_service = arrival + wake_latency
+        else:
+            # The server is still busy; the job queues behind earlier work.
+            start_service = previous_departure
+
+        departure = start_service + service
+        serving_energy += active_power * service
+        residency[STATE_SERVING] += service
+        response_times[index] = departure - arrival
+        waiting_times[index] = start_service - arrival
+        previous_departure = departure
+
+    horizon = previous_departure - clock_start
+    if horizon <= 0.0:
+        # Degenerate single-instant trace; fall back to the total service time
+        # so power is still well defined.
+        horizon = max(float(np.sum(demands)) * time_factor, 1e-12)
+
+    energy = EnergyBreakdown(
+        serving=serving_energy, waking=waking_energy, idle=idle_energy
+    )
+    return SimulationResult(
+        response_times=response_times,
+        waiting_times=waiting_times,
+        energy=energy,
+        horizon=horizon,
+        state_residency=residency,
+        frequency=frequency,
+        wake_up_count=wake_up_count,
+        mean_service_demand=jobs.mean_service_demand,
+    )
+
+
+def simulate_workload(
+    spec: WorkloadSpec,
+    frequency: float,
+    sleep: SleepSequence,
+    power_model: ServerPowerModel,
+    utilization: float | None = None,
+    num_jobs: int = 10_000,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
+    scaling: ServiceScaling | None = None,
+    enforce_stability: bool = True,
+) -> SimulationResult:
+    """Algorithm 1: generate a stationary job stream and simulate one policy.
+
+    The stream has *num_jobs* jobs sampled from *spec* (re-targeted to
+    *utilization* if given), and the server runs at *frequency* with the
+    given *sleep* sequence.  ``enforce_stability`` raises
+    :class:`~repro.exceptions.StabilityError` for operating points where the
+    queue would grow without bound, matching the paper's restriction to
+    frequencies above ``rho``.
+    """
+    scaling = scaling or ServiceScaling(beta=spec.cpu_boundedness)
+    rho = utilization if utilization is not None else spec.utilization
+    if enforce_stability:
+        check_stability(rho, frequency, scaling)
+    jobs = generate_jobs(
+        spec, num_jobs=num_jobs, utilization=utilization, rng=rng, seed=seed
+    )
+    return simulate_trace(
+        jobs=jobs,
+        frequency=frequency,
+        sleep=sleep,
+        power_model=power_model,
+        scaling=scaling,
+    )
+
+
+def warm_up_truncated(result: SimulationResult, fraction: float = 0.05) -> np.ndarray:
+    """Response times with the initial warm-up fraction of jobs removed.
+
+    The paper's evaluation simply averages all jobs; this helper supports
+    sensitivity checks on transient bias.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigurationError(f"fraction must lie in [0, 1), got {fraction}")
+    skip = int(math.floor(result.num_jobs * fraction))
+    return result.response_times[skip:]

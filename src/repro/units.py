@@ -1,0 +1,101 @@
+"""Unit helpers and physical constants used throughout the library.
+
+All quantities in the library use SI base units internally:
+
+* time is measured in **seconds**,
+* power is measured in **watts**,
+* energy is measured in **joules**.
+
+The paper quotes wake-up latencies in microseconds/milliseconds and epoch
+lengths in minutes, so small conversion helpers are provided to keep call
+sites readable (``milliseconds(100)`` instead of ``100e-3``).
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Time conversions (all return seconds)
+# ---------------------------------------------------------------------------
+
+#: Number of seconds in one minute.
+SECONDS_PER_MINUTE = 60.0
+
+#: Number of seconds in one hour.
+SECONDS_PER_HOUR = 3600.0
+
+#: Number of seconds in one day.
+SECONDS_PER_DAY = 86400.0
+
+
+def microseconds(value: float) -> float:
+    """Convert *value* expressed in microseconds to seconds."""
+    return value * 1e-6
+
+
+def milliseconds(value: float) -> float:
+    """Convert *value* expressed in milliseconds to seconds."""
+    return value * 1e-3
+
+
+def seconds(value: float) -> float:
+    """Identity helper: *value* is already in seconds.
+
+    Exists so call sites can be written symmetrically, e.g.
+    ``wake_up=seconds(1.0)`` next to ``wake_up=milliseconds(1.0)``.
+    """
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Convert *value* expressed in minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert *value* expressed in hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Convert *value* expressed in days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+# ---------------------------------------------------------------------------
+# Inverse conversions (from seconds)
+# ---------------------------------------------------------------------------
+
+
+def to_milliseconds(value_seconds: float) -> float:
+    """Convert a duration in seconds to milliseconds."""
+    return value_seconds * 1e3
+
+
+def to_microseconds(value_seconds: float) -> float:
+    """Convert a duration in seconds to microseconds."""
+    return value_seconds * 1e6
+
+
+def to_minutes(value_seconds: float) -> float:
+    """Convert a duration in seconds to minutes."""
+    return value_seconds / SECONDS_PER_MINUTE
+
+
+def to_hours(value_seconds: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return value_seconds / SECONDS_PER_HOUR
+
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+
+def watt_hours(energy_joules: float) -> float:
+    """Convert energy in joules to watt-hours."""
+    return energy_joules / SECONDS_PER_HOUR
+
+
+def joules(power_watts: float, duration_seconds: float) -> float:
+    """Energy consumed by a constant *power_watts* draw over *duration_seconds*."""
+    return power_watts * duration_seconds

@@ -1,0 +1,451 @@
+"""Probability distributions for inter-arrival and service times.
+
+The idealised analysis of the paper (Section 4) uses Poisson arrivals and
+exponential service times.  The SleepScale policy manager (Section 5) instead
+works with *arbitrary* empirical statistics; the paper sources them from the
+BigHouse simulator, which stores inter-arrival and service-time distributions
+accumulated from live traces and summarises them by their mean and coefficient
+of variation (Cv, Table 5).
+
+Because the BigHouse CDF files are not available, this module provides the
+standard substitution used in queueing studies: distributions *moment-matched*
+to the published mean and Cv —
+
+* Cv == 1  → exponential,
+* Cv > 1   → two-phase balanced-means hyper-exponential,
+* Cv < 1   → Erlang (sum of exponentials) rounded to the nearest feasible Cv,
+* Cv == 0  → deterministic.
+
+plus lognormal, Pareto, uniform and empirical distributions for sensitivity
+studies and for replaying logged job events (Section 5.2.1 works directly
+with logs from past epochs).
+
+All distributions expose the same interface (:class:`Distribution`): ``mean``,
+``cv``, ``sample(n, rng)`` and ``scaled(factor)``, the last of which is how the
+library scales inter-arrival times to a target utilisation and service times
+to a DVFS frequency.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class Distribution(abc.ABC):
+    """A non-negative random variable with known first two moments."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected value."""
+
+    @property
+    @abc.abstractmethod
+    def cv(self) -> float:
+        """Coefficient of variation (standard deviation divided by the mean)."""
+
+    @abc.abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` independent samples using *rng*."""
+
+    @abc.abstractmethod
+    def scaled(self, factor: float) -> "Distribution":
+        """Return the distribution of ``factor * X`` (same Cv, scaled mean)."""
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def variance(self) -> float:
+        """Variance, derived from the mean and Cv."""
+        return (self.cv * self.mean) ** 2
+
+    @property
+    def second_moment(self) -> float:
+        """``E[X^2]``, used by M/G/1 formulas (Pollaczek–Khinchine)."""
+        return self.variance + self.mean**2
+
+    @property
+    def rate(self) -> float:
+        """``1 / mean`` — the rate parameter for arrival/service processes."""
+        if self.mean <= 0:
+            raise ConfigurationError("rate undefined for zero-mean distribution")
+        return 1.0 / self.mean
+
+    def _check_n(self, n: int) -> None:
+        if n < 0:
+            raise ConfigurationError(f"sample count must be non-negative, got {n}")
+
+
+def _check_positive(name: str, value: float) -> float:
+    if not (value > 0 and math.isfinite(value)):
+        raise ConfigurationError(f"{name} must be positive and finite, got {value}")
+    return float(value)
+
+
+def _check_scale(factor: float) -> float:
+    if not (factor > 0 and math.isfinite(factor)):
+        raise ConfigurationError(f"scale factor must be positive, got {factor}")
+    return float(factor)
+
+
+@dataclass(frozen=True)
+class Deterministic(Distribution):
+    """A degenerate distribution: every sample equals *value* (Cv = 0)."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0 or not math.isfinite(self.value):
+            raise ConfigurationError(
+                f"deterministic value must be non-negative, got {self.value}"
+            )
+
+    @property
+    def mean(self) -> float:
+        return self.value
+
+    @property
+    def cv(self) -> float:
+        return 0.0
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        return np.full(n, self.value, dtype=float)
+
+    def scaled(self, factor: float) -> "Deterministic":
+        return Deterministic(self.value * _check_scale(factor))
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential distribution with the given mean (Cv = 1)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        _check_positive("mean", self.mean_value)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+    @property
+    def cv(self) -> float:
+        return 1.0
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        return rng.exponential(self.mean_value, size=n)
+
+    def scaled(self, factor: float) -> "Exponential":
+        return Exponential(self.mean_value * _check_scale(factor))
+
+
+@dataclass(frozen=True)
+class HyperExponential(Distribution):
+    """Two-phase hyper-exponential distribution (Cv > 1).
+
+    With probability ``p1`` a sample is exponential with mean ``mean1``,
+    otherwise exponential with mean ``mean2``.  Use
+    :meth:`from_mean_cv` to build one matched to a target mean and Cv using
+    the *balanced means* construction (``p1 * mean1 == p2 * mean2``), the
+    standard choice in performance modelling.
+    """
+
+    p1: float
+    mean1: float
+    mean2: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p1 < 1.0:
+            raise ConfigurationError(f"p1 must lie in (0, 1), got {self.p1}")
+        _check_positive("mean1", self.mean1)
+        _check_positive("mean2", self.mean2)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "HyperExponential":
+        """Balanced-means H2 matched to *mean* and *cv* (requires cv > 1)."""
+        _check_positive("mean", mean)
+        if cv <= 1.0:
+            raise ConfigurationError(
+                f"hyper-exponential requires Cv > 1, got {cv}"
+            )
+        scv = cv * cv
+        # Balanced means: p1/mu1 == p2/mu2 == mean/2.
+        p1 = 0.5 * (1.0 + math.sqrt((scv - 1.0) / (scv + 1.0)))
+        mean1 = mean / (2.0 * p1)
+        mean2 = mean / (2.0 * (1.0 - p1))
+        return cls(p1=p1, mean1=mean1, mean2=mean2)
+
+    @property
+    def p2(self) -> float:
+        """Probability of the second phase."""
+        return 1.0 - self.p1
+
+    @property
+    def mean(self) -> float:
+        return self.p1 * self.mean1 + self.p2 * self.mean2
+
+    @property
+    def second_moment(self) -> float:
+        return 2.0 * (self.p1 * self.mean1**2 + self.p2 * self.mean2**2)
+
+    @property
+    def cv(self) -> float:
+        mean = self.mean
+        variance = self.second_moment - mean**2
+        return math.sqrt(max(variance, 0.0)) / mean
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        choose_first = rng.random(n) < self.p1
+        samples = np.where(
+            choose_first,
+            rng.exponential(self.mean1, size=n),
+            rng.exponential(self.mean2, size=n),
+        )
+        return samples
+
+    def scaled(self, factor: float) -> "HyperExponential":
+        factor = _check_scale(factor)
+        return HyperExponential(self.p1, self.mean1 * factor, self.mean2 * factor)
+
+
+@dataclass(frozen=True)
+class Erlang(Distribution):
+    """Erlang-k distribution: sum of *k* exponentials (Cv = 1/sqrt(k) < 1)."""
+
+    k: int
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"Erlang shape k must be >= 1, got {self.k}")
+        _check_positive("mean", self.mean_value)
+
+    @classmethod
+    def from_mean_cv(cls, mean: float, cv: float) -> "Erlang":
+        """Erlang with shape ``k = round(1 / cv**2)`` matched to *mean*.
+
+        The shape is capped at 10,000 phases — beyond that the distribution
+        is indistinguishable from deterministic (Cv = 0.01) and an unbounded
+        shape would only risk numerical overflow.
+        """
+        _check_positive("mean", mean)
+        if not 0.0 < cv <= 1.0:
+            raise ConfigurationError(f"Erlang requires 0 < Cv <= 1, got {cv}")
+        cv = max(cv, 1e-2)
+        k = max(1, min(10_000, round(1.0 / (cv * cv))))
+        return cls(k=k, mean_value=mean)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+    @property
+    def cv(self) -> float:
+        return 1.0 / math.sqrt(self.k)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        return rng.gamma(shape=self.k, scale=self.mean_value / self.k, size=n)
+
+    def scaled(self, factor: float) -> "Erlang":
+        return Erlang(self.k, self.mean_value * _check_scale(factor))
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Lognormal distribution parameterised directly by mean and Cv."""
+
+    mean_value: float
+    cv_value: float
+
+    def __post_init__(self) -> None:
+        _check_positive("mean", self.mean_value)
+        if self.cv_value <= 0:
+            raise ConfigurationError(f"Cv must be positive, got {self.cv_value}")
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+    @property
+    def cv(self) -> float:
+        return self.cv_value
+
+    @property
+    def _sigma(self) -> float:
+        return math.sqrt(math.log(1.0 + self.cv_value**2))
+
+    @property
+    def _mu(self) -> float:
+        return math.log(self.mean_value) - 0.5 * self._sigma**2
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        return rng.lognormal(mean=self._mu, sigma=self._sigma, size=n)
+
+    def scaled(self, factor: float) -> "LogNormal":
+        return LogNormal(self.mean_value * _check_scale(factor), self.cv_value)
+
+
+@dataclass(frozen=True)
+class Pareto(Distribution):
+    """Lomax/Pareto-II heavy-tailed distribution with finite variance.
+
+    Requires shape ``alpha > 2`` so the mean and variance exist; used for
+    tail-sensitivity studies around the 95th-percentile QoS constraint.
+    """
+
+    alpha: float
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 2.0:
+            raise ConfigurationError(
+                f"Pareto shape must exceed 2 for finite variance, got {self.alpha}"
+            )
+        _check_positive("mean", self.mean_value)
+
+    @property
+    def _scale(self) -> float:
+        # Lomax mean = scale / (alpha - 1)
+        return self.mean_value * (self.alpha - 1.0)
+
+    @property
+    def mean(self) -> float:
+        return self.mean_value
+
+    @property
+    def cv(self) -> float:
+        variance = (
+            self._scale**2
+            * self.alpha
+            / ((self.alpha - 1.0) ** 2 * (self.alpha - 2.0))
+        )
+        return math.sqrt(variance) / self.mean_value
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        # Lomax sampling via inverse CDF of Pareto-II.
+        uniform = rng.random(n)
+        return self._scale * ((1.0 - uniform) ** (-1.0 / self.alpha) - 1.0)
+
+    def scaled(self, factor: float) -> "Pareto":
+        return Pareto(self.alpha, self.mean_value * _check_scale(factor))
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform distribution on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low < self.high:
+            raise ConfigurationError(
+                f"uniform bounds must satisfy 0 <= low < high, got "
+                f"[{self.low}, {self.high}]"
+            )
+
+    @property
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def cv(self) -> float:
+        std = (self.high - self.low) / math.sqrt(12.0)
+        return std / self.mean
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        return rng.uniform(self.low, self.high, size=n)
+
+    def scaled(self, factor: float) -> "Uniform":
+        factor = _check_scale(factor)
+        return Uniform(self.low * factor, self.high * factor)
+
+
+class Empirical(Distribution):
+    """Empirical distribution backed by observed samples.
+
+    This is how SleepScale's policy manager consumes the logged arrival and
+    service times of previous epochs (Section 5.2.1): rather than fitting a
+    parametric model, the logged values are resampled (bootstrap) or replayed
+    directly.  ``scaled`` multiplies every logged value, which is exactly the
+    paper's "the empirical inter-arrival times between jobs are scaled to
+    match the upcoming predicted utilization".
+    """
+
+    def __init__(self, samples: np.ndarray | list[float]):
+        values = np.asarray(samples, dtype=float)
+        if values.size == 0:
+            raise ConfigurationError("empirical distribution needs at least one sample")
+        if np.any(values < 0) or not np.all(np.isfinite(values)):
+            raise ConfigurationError(
+                "empirical samples must be non-negative and finite"
+            )
+        self._values = values
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying observations (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self._values))
+
+    @property
+    def cv(self) -> float:
+        mean = self.mean
+        if mean == 0:
+            return 0.0
+        return float(np.std(self._values) / mean)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        return rng.choice(self._values, size=n, replace=True)
+
+    def scaled(self, factor: float) -> "Empirical":
+        return Empirical(self._values * _check_scale(factor))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Empirical):
+            return NotImplemented
+        return np.array_equal(self._values, other._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Empirical(n={self._values.size}, mean={self.mean:.4g}, cv={self.cv:.3g})"
+
+
+def from_mean_cv(mean: float, cv: float) -> Distribution:
+    """Moment-matched distribution for a target *mean* and coefficient of variation.
+
+    This is the substitution for BigHouse's empirical CDFs (DESIGN.md §5):
+
+    * ``cv < 0.01``     → :class:`Deterministic` (variability is negligible)
+    * ``0.01 <= cv < 0.99`` → :class:`Erlang`
+    * ``0.99 <= cv <= 1.01`` → :class:`Exponential`
+    * ``cv > 1.01``     → balanced-means :class:`HyperExponential`
+    """
+    _check_positive("mean", mean)
+    if cv < 0 or not math.isfinite(cv):
+        raise ConfigurationError(f"Cv must be non-negative and finite, got {cv}")
+    if cv < 0.01:
+        return Deterministic(mean)
+    if cv < 0.99:
+        return Erlang.from_mean_cv(mean, cv)
+    if cv <= 1.01:
+        return Exponential(mean)
+    return HyperExponential.from_mean_cv(mean, cv)

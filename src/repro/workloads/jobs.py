@@ -1,0 +1,292 @@
+"""Job and job-trace containers.
+
+The simulator (the paper's Algorithm 1) operates on a stream of jobs, each
+characterised by its arrival time and its *nominal* service demand — the
+time the job would take at full frequency on a CPU-bound server.  The actual
+service time at a given DVFS setting is computed by the simulator through a
+:class:`~repro.simulation.service_scaling.ServiceScaling` rule, so the trace
+itself is frequency-independent and can be re-evaluated under many policies.
+
+:class:`JobTrace` stores the stream as two parallel numpy arrays (arrival
+times and service demands), which keeps policy evaluation — the inner loop of
+SleepScale's policy manager — cheap.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import TraceError
+
+
+@dataclass(frozen=True)
+class Job:
+    """A single job: arrival time and nominal (full-frequency) service demand.
+
+    Both values are in seconds; ``index`` is the position in the originating
+    trace, which keeps per-job results traceable back to their input.
+    """
+
+    index: int
+    arrival_time: float
+    service_demand: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise TraceError(f"job {self.index} has negative arrival time")
+        if self.service_demand < 0:
+            raise TraceError(f"job {self.index} has negative service demand")
+
+
+class JobTrace:
+    """An ordered stream of jobs, stored as parallel numpy arrays.
+
+    Invariants enforced on construction:
+
+    * arrival times are non-decreasing,
+    * all arrival times and service demands are finite and non-negative,
+    * the trace is non-empty.
+    """
+
+    def __init__(
+        self,
+        arrival_times: Sequence[float] | np.ndarray,
+        service_demands: Sequence[float] | np.ndarray,
+    ):
+        arrivals = np.asarray(arrival_times, dtype=float)
+        demands = np.asarray(service_demands, dtype=float)
+        if arrivals.ndim != 1 or demands.ndim != 1:
+            raise TraceError("arrival times and service demands must be 1-D")
+        if arrivals.size == 0:
+            raise TraceError("a job trace must contain at least one job")
+        if arrivals.size != demands.size:
+            raise TraceError(
+                f"got {arrivals.size} arrival times but {demands.size} service demands"
+            )
+        if not np.all(np.isfinite(arrivals)) or not np.all(np.isfinite(demands)):
+            raise TraceError("arrival times and service demands must be finite")
+        if np.any(arrivals < 0) or np.any(demands < 0):
+            raise TraceError("arrival times and service demands must be non-negative")
+        if np.any(np.diff(arrivals) < 0):
+            raise TraceError("arrival times must be non-decreasing")
+        self._arrivals = arrivals
+        self._demands = demands
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_interarrivals(
+        cls,
+        interarrival_times: Sequence[float] | np.ndarray,
+        service_demands: Sequence[float] | np.ndarray,
+        start_time: float = 0.0,
+    ) -> "JobTrace":
+        """Build a trace from inter-arrival gaps instead of absolute times.
+
+        The first job arrives at ``start_time + interarrival_times[0]``.
+        """
+        gaps = np.asarray(interarrival_times, dtype=float)
+        if np.any(gaps < 0):
+            raise TraceError("inter-arrival times must be non-negative")
+        arrivals = start_time + np.cumsum(gaps)
+        return cls(arrivals, service_demands)
+
+    @classmethod
+    def from_jobs(cls, jobs: Sequence[Job]) -> "JobTrace":
+        """Build a trace from a sequence of :class:`Job` objects."""
+        if not jobs:
+            raise TraceError("a job trace must contain at least one job")
+        arrivals = [job.arrival_time for job in jobs]
+        demands = [job.service_demand for job in jobs]
+        return cls(arrivals, demands)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._arrivals.size)
+
+    def __iter__(self) -> Iterator[Job]:
+        for index in range(len(self)):
+            yield Job(index, float(self._arrivals[index]), float(self._demands[index]))
+
+    def __getitem__(self, index: int) -> Job:
+        if not -len(self) <= index < len(self):
+            raise IndexError(index)
+        index = index % len(self)
+        return Job(index, float(self._arrivals[index]), float(self._demands[index]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JobTrace):
+            return NotImplemented
+        return np.array_equal(self._arrivals, other._arrivals) and np.array_equal(
+            self._demands, other._demands
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobTrace(n={len(self)}, span={self.duration:.4g}s, "
+            f"mean_demand={self.mean_service_demand:.4g}s)"
+        )
+
+    # -- views and summary statistics -----------------------------------------
+
+    @property
+    def arrival_times(self) -> np.ndarray:
+        """Absolute arrival times, seconds (read-only view)."""
+        view = self._arrivals.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def service_demands(self) -> np.ndarray:
+        """Nominal (full-frequency) service demands, seconds (read-only view)."""
+        view = self._demands.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def interarrival_times(self) -> np.ndarray:
+        """Gaps between consecutive arrivals (first gap measured from time 0)."""
+        return np.diff(self._arrivals, prepend=0.0)
+
+    @property
+    def start_time(self) -> float:
+        """Arrival time of the first job."""
+        return float(self._arrivals[0])
+
+    @property
+    def end_time(self) -> float:
+        """Arrival time of the last job."""
+        return float(self._arrivals[-1])
+
+    @property
+    def duration(self) -> float:
+        """Time between the first and last arrival."""
+        return self.end_time - self.start_time
+
+    @property
+    def mean_interarrival_time(self) -> float:
+        """Average gap between consecutive arrivals."""
+        if len(self) == 1:
+            return float(self._arrivals[0])
+        return float(np.mean(np.diff(self._arrivals)))
+
+    @property
+    def mean_service_demand(self) -> float:
+        """Average nominal service demand."""
+        return float(np.mean(self._demands))
+
+    @property
+    def offered_load(self) -> float:
+        """Utilisation offered at full frequency: total demand / trace duration.
+
+        For a single-job trace this falls back to demand divided by arrival
+        time (or 1.0 if the job arrives at time zero).
+        """
+        span = self.end_time if len(self) == 1 else self.duration
+        if span <= 0:
+            return 1.0
+        return float(np.sum(self._demands) / span)
+
+    # -- transformations -------------------------------------------------------
+
+    def shifted(self, offset: float) -> "JobTrace":
+        """Return a copy with every arrival time shifted by *offset* seconds."""
+        shifted = self._arrivals + offset
+        if np.any(shifted < 0):
+            raise TraceError("shift would produce negative arrival times")
+        return JobTrace(shifted, self._demands.copy())
+
+    def scaled_interarrivals(self, factor: float) -> "JobTrace":
+        """Stretch or compress the arrival process by *factor*.
+
+        Multiplying every inter-arrival gap by ``factor`` divides the arrival
+        rate (and hence the utilisation) by the same factor.  This is the
+        operation SleepScale uses to re-target a logged epoch at the
+        predicted utilisation of the next epoch.
+        """
+        if factor <= 0 or not np.isfinite(factor):
+            raise TraceError(f"inter-arrival scale factor must be positive, got {factor}")
+        gaps = self.interarrival_times * factor
+        return JobTrace.from_interarrivals(gaps, self._demands.copy())
+
+    def scaled_to_utilization(self, utilization: float) -> "JobTrace":
+        """Rescale inter-arrival times so the offered load equals *utilization*."""
+        if not 0.0 < utilization < 1.0:
+            raise TraceError(
+                f"target utilization must lie in (0, 1), got {utilization}"
+            )
+        current = self.offered_load
+        if current <= 0:
+            raise TraceError("cannot rescale a trace with zero offered load")
+        return self.scaled_interarrivals(current / utilization)
+
+    def slice_by_time(self, start: float, end: float) -> "JobTrace | None":
+        """Jobs arriving in ``[start, end)``, re-based so the slice starts at 0.
+
+        Returns ``None`` when no job arrives in the window (an empty
+        :class:`JobTrace` is not representable by design).
+        """
+        if end <= start:
+            raise TraceError(f"invalid time window [{start}, {end})")
+        mask = (self._arrivals >= start) & (self._arrivals < end)
+        if not np.any(mask):
+            return None
+        return JobTrace(self._arrivals[mask] - start, self._demands[mask])
+
+    def head(self, count: int) -> "JobTrace":
+        """The first *count* jobs of the trace."""
+        if count < 1:
+            raise TraceError(f"head count must be >= 1, got {count}")
+        count = min(count, len(self))
+        return JobTrace(self._arrivals[:count], self._demands[:count])
+
+    def concatenated(self, other: "JobTrace", gap: float = 0.0) -> "JobTrace":
+        """Append *other* after this trace, separated by *gap* seconds."""
+        if gap < 0:
+            raise TraceError(f"gap must be non-negative, got {gap}")
+        offset = self.end_time + gap
+        arrivals = np.concatenate([self._arrivals, other._arrivals + offset])
+        demands = np.concatenate([self._demands, other._demands])
+        return JobTrace(arrivals, demands)
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the trace as a two-column CSV (``arrival_s, service_demand_s``).
+
+        This is the interchange format for replaying externally collected
+        job logs through the simulator (the Section 5.2.1 workflow of
+        working directly with logged arrival and service times).
+        """
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["arrival_s", "service_demand_s"])
+            for arrival, demand in zip(self._arrivals, self._demands):
+                writer.writerow([f"{arrival:.9f}", f"{demand:.9f}"])
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "JobTrace":
+        """Load a trace written by :meth:`to_csv` (or any compatible CSV)."""
+        path = Path(path)
+        arrivals: list[float] = []
+        demands: list[float] = []
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                raise TraceError(f"{path} is empty")
+            for row in reader:
+                if not row:
+                    continue
+                arrivals.append(float(row[0]))
+                demands.append(float(row[1]))
+        if not arrivals:
+            raise TraceError(f"{path} contains no jobs")
+        return cls(arrivals, demands)

@@ -1,0 +1,191 @@
+"""Workload specifications (Table 5 of the paper).
+
+A :class:`WorkloadSpec` bundles the inter-arrival and service-time
+distributions of one workload class together with a human-readable name and
+the CPU-boundedness exponent used by the service-time scaling rule.
+
+Table 5 of the paper lists the summary statistics of three BigHouse
+workloads.  Two presets are referenced throughout the evaluation:
+
+* **DNS-like** — large jobs, ``1/mu = 194 ms``, Cv ≈ 1.0 for both service and
+  inter-arrival times;
+* **Google-like** — small web-search jobs, ``1/mu = 4.2 ms``, service Cv 1.1,
+  inter-arrival Cv 1.2;
+
+plus a **Mail** workload (92 ms, service Cv 3.6) that exercises the
+heavy-tailed regime.  Because the BigHouse CDFs themselves are not available,
+each spec can produce either its *idealised* variant (Poisson arrivals and
+exponential service, matching only the means — the model of Section 4) or its
+*empirical* variant (moment-matched distributions that also reproduce the Cv
+values — standing in for the BigHouse statistics of Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ConfigurationError
+from repro.units import milliseconds, microseconds, seconds
+from repro.workloads.distributions import Distribution, Exponential, from_mean_cv
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Statistical description of one workload class.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports, e.g. ``"dns"``.
+    interarrival:
+        Distribution of the time between consecutive job arrivals at the
+        *nominal* utilisation implied by the workload statistics.
+    service:
+        Distribution of the nominal (full-frequency) per-job service demand.
+    cpu_boundedness:
+        Exponent ``beta`` in the service-time scaling rule
+        ``service_time = demand / f**beta``: 1.0 for CPU-bound jobs (the
+        paper's default), 0.0 for memory-bound jobs, intermediate values for
+        mixed behaviour (Figure 4 sweeps beta over {1, 0.5, 0.2, 0}).
+    """
+
+    name: str
+    interarrival: Distribution
+    service: Distribution
+    cpu_boundedness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cpu_boundedness <= 1.0:
+            raise ConfigurationError(
+                f"cpu_boundedness must lie in [0, 1], got {self.cpu_boundedness}"
+            )
+
+    # -- derived rates --------------------------------------------------------
+
+    @property
+    def arrival_rate(self) -> float:
+        """``lambda`` — jobs per second offered by the arrival process."""
+        return self.interarrival.rate
+
+    @property
+    def service_rate(self) -> float:
+        """``mu`` — jobs per second at full frequency."""
+        return self.service.rate
+
+    @property
+    def mean_service_time(self) -> float:
+        """``1/mu`` — mean full-frequency job size, seconds."""
+        return self.service.mean
+
+    @property
+    def utilization(self) -> float:
+        """Offered load ``rho = lambda / mu`` implied by the two distributions."""
+        return self.arrival_rate / self.service_rate
+
+    # -- transformations -------------------------------------------------------
+
+    def at_utilization(self, utilization: float) -> "WorkloadSpec":
+        """Re-target the arrival process so the offered load equals *utilization*.
+
+        The service-time distribution is left untouched — the paper notes
+        that "in systems that serve only a single type of job, the service
+        time distribution is stationary; what varies with utilization is the
+        distribution of inter-arrival times".
+        """
+        if not 0.0 < utilization < 1.0:
+            raise ConfigurationError(
+                f"utilization must lie in (0, 1), got {utilization}"
+            )
+        target_mean_gap = self.mean_service_time / utilization
+        factor = target_mean_gap / self.interarrival.mean
+        return replace(self, interarrival=self.interarrival.scaled(factor))
+
+    def with_cpu_boundedness(self, beta: float) -> "WorkloadSpec":
+        """Copy of this spec with a different CPU-boundedness exponent."""
+        return replace(self, cpu_boundedness=beta)
+
+    def idealized(self) -> "WorkloadSpec":
+        """The Section 4 idealisation: Poisson arrivals, exponential service.
+
+        Only the means are preserved; the coefficients of variation collapse
+        to 1.  This is the model SleepScale's "idealized" policy curves in
+        Figure 6 are computed from.
+        """
+        return replace(
+            self,
+            interarrival=Exponential(self.interarrival.mean),
+            service=Exponential(self.service.mean),
+            name=f"{self.name}-idealized",
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Table 5-style summary row: means and coefficients of variation."""
+        return {
+            "interarrival_mean_s": self.interarrival.mean,
+            "interarrival_cv": self.interarrival.cv,
+            "service_mean_s": self.service.mean,
+            "service_cv": self.service.cv,
+            "utilization": self.utilization,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Table 5 presets
+# ---------------------------------------------------------------------------
+
+#: Table 5 rows: name -> (inter-arrival mean s, inter-arrival Cv,
+#: service mean s, service Cv).
+TABLE5_STATISTICS: dict[str, tuple[float, float, float, float]] = {
+    "dns": (seconds(1.1), 1.1, milliseconds(194), 1.0),
+    "mail": (milliseconds(206), 1.9, milliseconds(92), 3.6),
+    "google": (microseconds(319), 1.2, milliseconds(4.2), 1.1),
+}
+
+
+def _spec_from_table5(name: str, empirical: bool) -> WorkloadSpec:
+    try:
+        gap_mean, gap_cv, service_mean, service_cv = TABLE5_STATISTICS[name]
+    except KeyError as error:
+        raise ConfigurationError(
+            f"unknown Table 5 workload {name!r}; choose from "
+            f"{sorted(TABLE5_STATISTICS)}"
+        ) from error
+    if empirical:
+        interarrival = from_mean_cv(gap_mean, gap_cv)
+        service = from_mean_cv(service_mean, service_cv)
+    else:
+        interarrival = Exponential(gap_mean)
+        service = Exponential(service_mean)
+    return WorkloadSpec(name=name, interarrival=interarrival, service=service)
+
+
+def dns_workload(empirical: bool = True) -> WorkloadSpec:
+    """The DNS look-up workload of Table 5 (large, ~194 ms jobs).
+
+    With ``empirical=True`` the distributions match both mean and Cv of
+    Table 5 (the BigHouse substitution); with ``empirical=False`` the
+    idealised Poisson/exponential variant of Section 4 is returned.
+    """
+    return _spec_from_table5("dns", empirical)
+
+
+def google_workload(empirical: bool = True) -> WorkloadSpec:
+    """The Google web-search workload of Table 5 (small, ~4.2 ms jobs)."""
+    return _spec_from_table5("google", empirical)
+
+
+def mail_workload(empirical: bool = True) -> WorkloadSpec:
+    """The Mail workload of Table 5 (bursty, heavy-tailed service times)."""
+    return _spec_from_table5("mail", empirical)
+
+
+def workload_by_name(name: str, empirical: bool = True) -> WorkloadSpec:
+    """Look up a Table 5 workload by name (``"dns"``, ``"google"``, ``"mail"``)."""
+    return _spec_from_table5(name.lower(), empirical)
+
+
+def table5() -> dict[str, dict[str, float]]:
+    """The full Table 5 as a mapping ``workload -> summary statistics``."""
+    return {
+        name: workload_by_name(name).summary() for name in sorted(TABLE5_STATISTICS)
+    }

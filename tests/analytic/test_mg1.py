@@ -1,0 +1,124 @@
+"""Tests for the M/G/1 (Pollaczek–Khinchine and setup) results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.mg1 import (
+    mg1_mean_response_time,
+    mg1_setup_average_power,
+    mg1_setup_mean_response_time,
+    pollaczek_khinchine_waiting_time,
+)
+from repro.analytic.mm1_sleep import average_power, mean_response_time
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.power.sleep import SleepSequence, SleepStateSpec
+from repro.power.states import C6_S3
+from repro.workloads.distributions import (
+    Deterministic,
+    Exponential,
+    HyperExponential,
+)
+
+
+def sleep(power=28.1, wake=1.0, delay=0.0) -> SleepSequence:
+    return SleepSequence(
+        [SleepStateSpec(C6_S3, power=power, entry_delay=delay, wake_up_latency=wake)]
+    )
+
+
+class TestPollaczekKhinchine:
+    def test_exponential_service_reduces_to_mm1(self):
+        # M/M/1 waiting time: rho / (mu - lambda).
+        arrival_rate, mean_service = 1.0, 0.25
+        waiting = pollaczek_khinchine_waiting_time(
+            arrival_rate, mean_service, 2 * mean_service**2
+        )
+        rho = arrival_rate * mean_service
+        assert waiting == pytest.approx(rho * mean_service / (1 - rho))
+
+    def test_deterministic_service_halves_mm1_waiting(self):
+        arrival_rate, mean_service = 1.0, 0.25
+        md1 = pollaczek_khinchine_waiting_time(arrival_rate, mean_service, mean_service**2)
+        mm1 = pollaczek_khinchine_waiting_time(
+            arrival_rate, mean_service, 2 * mean_service**2
+        )
+        assert md1 == pytest.approx(mm1 / 2)
+
+    def test_unstable_load_rejected(self):
+        with pytest.raises(StabilityError):
+            pollaczek_khinchine_waiting_time(5.0, 0.25, 0.125)
+
+    def test_invalid_second_moment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pollaczek_khinchine_waiting_time(1.0, 0.25, 0.01)
+
+
+class TestMg1ResponseTime:
+    def test_exponential_matches_mm1_closed_form(self):
+        arrival_rate = 1.0
+        service = Exponential(0.25)
+        expected = 1.0 / (4.0 - 1.0)
+        assert mg1_mean_response_time(arrival_rate, service) == pytest.approx(expected)
+
+    def test_frequency_scaling_stretches_service(self):
+        arrival_rate = 1.0
+        service = Exponential(0.25)
+        slowed = mg1_mean_response_time(arrival_rate, service, frequency=0.5)
+        assert slowed == pytest.approx(1.0 / (2.0 - 1.0))
+
+    def test_heavier_tail_increases_waiting(self):
+        arrival_rate = 2.0
+        exponential = Exponential(0.25)
+        heavy = HyperExponential.from_mean_cv(0.25, 3.0)
+        assert mg1_mean_response_time(arrival_rate, heavy) > mg1_mean_response_time(
+            arrival_rate, exponential
+        )
+
+    def test_deterministic_is_fastest(self):
+        arrival_rate = 2.0
+        deterministic = Deterministic(0.25)
+        exponential = Exponential(0.25)
+        assert mg1_mean_response_time(
+            arrival_rate, deterministic
+        ) < mg1_mean_response_time(arrival_rate, exponential)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mg1_mean_response_time(1.0, Exponential(0.25), frequency=0.0)
+
+
+class TestMg1WithSetup:
+    def test_exponential_service_matches_mm1_sleep_formula(self):
+        arrival_rate = 1.0
+        service = Exponential(0.25)
+        sequence = sleep(wake=0.4)
+        assert mg1_setup_mean_response_time(
+            arrival_rate, service, sequence
+        ) == pytest.approx(mean_response_time(arrival_rate, 4.0, sequence))
+
+    def test_setup_only_adds_penalty(self):
+        arrival_rate = 1.0
+        service = HyperExponential.from_mean_cv(0.25, 2.0)
+        base = mg1_mean_response_time(arrival_rate, service)
+        with_setup = mg1_setup_mean_response_time(arrival_rate, service, sleep(wake=0.3))
+        assert with_setup > base
+
+    def test_power_matches_mm1_formula_for_any_service_shape(self):
+        arrival_rate = 1.0
+        sequence = sleep(power=30.0, wake=0.2)
+        active = 250.0
+        for service in (Exponential(0.25), HyperExponential.from_mean_cv(0.25, 3.0)):
+            assert mg1_setup_average_power(
+                arrival_rate, service, sequence, active
+            ) == pytest.approx(average_power(arrival_rate, 4.0, sequence, active))
+
+    def test_power_rejects_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            mg1_setup_average_power(1.0, Exponential(0.25), sleep(), -5.0)
+        with pytest.raises(ConfigurationError):
+            mg1_setup_average_power(1.0, Exponential(0.25), sleep(), 100.0, frequency=0.0)
+
+    def test_power_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            mg1_setup_average_power(10.0, Exponential(0.25), sleep(), 100.0)

@@ -1,0 +1,210 @@
+"""Tests for the Appendix closed forms (M/M/1 with sleep states)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.analytic.mm1_sleep import (
+    average_power,
+    evaluate_policy,
+    expected_cycle_length,
+    mean_response_time,
+    response_time_exceedance,
+    response_time_percentile,
+    setup_delay_moment,
+)
+from repro.power.sleep import SleepSequence, SleepStateSpec
+from repro.power.states import C0I_S0I, C6_S0I, C6_S3
+
+
+def single_state(power=28.1, delay=0.0, wake=1.0, state=C6_S3) -> SleepSequence:
+    return SleepSequence(
+        [SleepStateSpec(state=state, power=power, entry_delay=delay, wake_up_latency=wake)]
+    )
+
+
+class TestSetupDelayMoments:
+    def test_immediate_single_state(self):
+        sleep = single_state(wake=0.5)
+        assert setup_delay_moment(1.0, sleep, 1) == pytest.approx(0.5)
+        assert setup_delay_moment(1.0, sleep, 2) == pytest.approx(0.25)
+
+    def test_delayed_entry_discounts_by_arrival_probability(self):
+        sleep = single_state(wake=1.0, delay=2.0)
+        arrival_rate = 0.5
+        expected = math.exp(-arrival_rate * 2.0)
+        assert setup_delay_moment(arrival_rate, sleep, 1) == pytest.approx(expected)
+
+    def test_two_state_sequence(self):
+        shallow = SleepStateSpec(C0I_S0I, power=135.5, entry_delay=0.0, wake_up_latency=0.0)
+        deep = SleepStateSpec(C6_S3, power=28.1, entry_delay=3.0, wake_up_latency=1.0)
+        sleep = SleepSequence([shallow, deep])
+        arrival_rate = 0.4
+        # Only arrivals after tau_2 see a wake-up.
+        assert setup_delay_moment(arrival_rate, sleep, 1) == pytest.approx(
+            math.exp(-arrival_rate * 3.0)
+        )
+
+    def test_zeroth_moment_is_probability_of_sleeping(self):
+        sleep = single_state(delay=1.0)
+        assert setup_delay_moment(2.0, sleep, 0) == pytest.approx(math.exp(-2.0))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ConfigurationError):
+            setup_delay_moment(1.0, single_state(), -1)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            setup_delay_moment(0.0, single_state(), 1)
+
+
+class TestCycleLength:
+    def test_plain_mm1_cycle(self):
+        # No wake-up latency: cycle = 1/lambda + busy period = mu/(lambda(mu-lambda)).
+        sleep = single_state(wake=0.0)
+        assert expected_cycle_length(1.0, 4.0, sleep) == pytest.approx(4.0 / (1.0 * 3.0))
+
+    def test_setup_lengthens_cycle(self):
+        without = expected_cycle_length(1.0, 4.0, single_state(wake=0.0))
+        with_setup = expected_cycle_length(1.0, 4.0, single_state(wake=0.5))
+        assert with_setup > without
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            expected_cycle_length(4.0, 4.0, single_state())
+
+
+class TestMeanResponseTime:
+    def test_no_setup_reduces_to_mm1(self):
+        sleep = single_state(wake=0.0)
+        assert mean_response_time(1.0, 4.0, sleep) == pytest.approx(1.0 / 3.0)
+
+    def test_setup_penalty_formula(self):
+        wake = 0.5
+        arrival_rate = 1.0
+        sleep = single_state(wake=wake)
+        expected_penalty = (2 * wake + arrival_rate * wake**2) / (
+            2 * (1 + arrival_rate * wake)
+        )
+        assert mean_response_time(arrival_rate, 4.0, sleep) == pytest.approx(
+            1.0 / 3.0 + expected_penalty
+        )
+
+    def test_deeper_state_has_larger_response_time(self):
+        fast_wake = mean_response_time(1.0, 4.0, single_state(wake=0.01))
+        slow_wake = mean_response_time(1.0, 4.0, single_state(wake=1.0))
+        assert slow_wake > fast_wake
+
+    def test_unstable_rejected(self):
+        with pytest.raises(StabilityError):
+            mean_response_time(5.0, 4.0, single_state())
+
+
+class TestAveragePower:
+    def test_no_sleep_savings_when_sleep_power_equals_active(self):
+        # If the "sleep" state draws the active power, E[P] equals it.
+        active = 250.0
+        sleep = single_state(power=active, wake=0.0)
+        assert average_power(1.0, 4.0, sleep, active) == pytest.approx(active)
+
+    def test_interpolates_between_sleep_and_active_power(self):
+        active = 250.0
+        sleep = single_state(power=30.0, wake=0.0)
+        power = average_power(1.0, 4.0, sleep, active)
+        assert 30.0 < power < active
+        # Busy fraction is rho = 0.25, idle fraction 0.75.
+        assert power == pytest.approx(0.25 * active + 0.75 * 30.0)
+
+    def test_wake_up_cost_increases_power(self):
+        active = 250.0
+        cheap = average_power(1.0, 4.0, single_state(power=30.0, wake=0.0), active)
+        costly = average_power(1.0, 4.0, single_state(power=30.0, wake=0.3), active)
+        assert costly > cheap
+
+    def test_entry_delay_keeps_server_at_active_power_longer(self):
+        active = 250.0
+        immediate = average_power(1.0, 4.0, single_state(power=30.0, wake=0.0), active)
+        delayed = average_power(
+            1.0, 4.0, single_state(power=30.0, wake=0.0, delay=0.5), active
+        )
+        assert delayed > immediate
+
+    def test_negative_active_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_power(1.0, 4.0, single_state(), -1.0)
+
+
+class TestExceedanceProbability:
+    def test_boundary_cases(self):
+        assert response_time_exceedance(1.0, 4.0, 0.5, 0.0) == 1.0
+        assert response_time_exceedance(1.0, 4.0, 0.0, 1.0) == pytest.approx(
+            math.exp(-3.0)
+        )
+
+    def test_monotone_decreasing_in_deadline(self):
+        values = [
+            response_time_exceedance(1.0, 4.0, 0.5, d) for d in (0.1, 0.5, 1.0, 2.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_larger_wake_up_fattens_tail(self):
+        small = response_time_exceedance(1.0, 4.0, 0.01, 2.0)
+        large = response_time_exceedance(1.0, 4.0, 1.0, 2.0)
+        assert large > small
+
+    def test_removable_singularity_is_finite(self):
+        # w1 = 1 / (mu f - lambda) hits the 0/0 point of the formula.
+        gap = 3.0
+        value = response_time_exceedance(1.0, 4.0, 1.0 / gap, 1.0)
+        assert 0.0 <= value <= 1.0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            response_time_exceedance(1.0, 4.0, -0.1, 1.0)
+        with pytest.raises(ConfigurationError):
+            response_time_exceedance(1.0, 4.0, 0.1, -1.0)
+
+
+class TestPercentileInversion:
+    def test_matches_closed_form_for_zero_wake(self):
+        # Pr(R >= d) = exp(-(mu f - lambda) d) -> p95 = ln(20)/(mu f - lambda).
+        p95 = response_time_percentile(1.0, 4.0, 0.0, 95.0)
+        assert p95 == pytest.approx(math.log(20.0) / 3.0, rel=1e-6)
+
+    def test_inversion_consistency(self):
+        p95 = response_time_percentile(1.0, 4.0, 0.5, 95.0)
+        assert response_time_exceedance(1.0, 4.0, 0.5, p95) == pytest.approx(
+            0.05, abs=1e-6
+        )
+
+    def test_higher_percentile_gives_larger_deadline(self):
+        p95 = response_time_percentile(1.0, 4.0, 0.5, 95.0)
+        p99 = response_time_percentile(1.0, 4.0, 0.5, 99.0)
+        assert p99 > p95
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            response_time_percentile(1.0, 4.0, 0.5, 100.0)
+
+
+class TestEvaluatePolicy:
+    def test_normalisation_uses_full_speed_service_rate(self):
+        sleep = single_state(wake=0.0, state=C6_S0I, power=75.5)
+        point = evaluate_policy(1.0, 5.0, 0.5, sleep, active_power=136.0)
+        assert point.normalized_mean_response_time == pytest.approx(
+            point.mean_response_time * 5.0
+        )
+
+    def test_frequency_bounds(self):
+        sleep = single_state()
+        with pytest.raises(ConfigurationError):
+            evaluate_policy(1.0, 5.0, 0.0, sleep, 100.0)
+
+    def test_memory_bound_beta_zero(self):
+        sleep = single_state(wake=0.0)
+        slow = evaluate_policy(1.0, 5.0, 0.5, sleep, 100.0, service_scaling_beta=0.0)
+        fast = evaluate_policy(1.0, 5.0, 1.0, sleep, 100.0, service_scaling_beta=0.0)
+        assert slow.mean_response_time == pytest.approx(fast.mean_response_time)

@@ -1,0 +1,73 @@
+"""Tests for the analytic-vs-simulation validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytic.validation import (
+    ValidationPoint,
+    ValidationReport,
+    validate_against_simulation,
+)
+from repro.exceptions import ConfigurationError
+from repro.power.states import C6_S0I
+
+
+class TestValidationPoint:
+    def test_relative_errors(self):
+        point = ValidationPoint(
+            utilization=0.3,
+            frequency=0.8,
+            sleep_state="C6S0(i)",
+            simulated_mean_response_time=1.05,
+            analytic_mean_response_time=1.0,
+            simulated_average_power=95.0,
+            analytic_average_power=100.0,
+        )
+        assert point.response_time_relative_error == pytest.approx(0.05)
+        assert point.power_relative_error == pytest.approx(0.05)
+
+
+class TestValidationReport:
+    def test_aggregates(self):
+        points = tuple(
+            ValidationPoint(0.2, f, "s", 1.0 + e, 1.0, 100.0 * (1 + e), 100.0)
+            for f, e in ((0.5, 0.01), (0.8, 0.03))
+        )
+        report = ValidationReport(points=points)
+        assert report.max_response_time_error == pytest.approx(0.03)
+        assert report.mean_power_error == pytest.approx(0.02)
+        assert report.summary()["points"] == 2.0
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ValidationReport(points=())
+
+
+class TestValidateAgainstSimulation:
+    def test_simulation_matches_closed_form(self, dns_ideal, xeon):
+        report = validate_against_simulation(
+            dns_ideal,
+            xeon.immediate_sleep_sequence(C6_S0I, 1.0),
+            xeon,
+            utilizations=[0.2, 0.4],
+            frequencies=[0.6, 1.0],
+            num_jobs=30_000,
+            seed=1,
+        )
+        assert len(report.points) == 4
+        assert report.max_response_time_error < 0.08
+        assert report.max_power_error < 0.05
+
+    def test_unstable_points_are_skipped(self, dns_ideal, xeon):
+        report = validate_against_simulation(
+            dns_ideal,
+            xeon.immediate_sleep_sequence(C6_S0I, 1.0),
+            xeon,
+            utilizations=[0.5],
+            frequencies=[0.4, 0.8],
+            num_jobs=5_000,
+            seed=2,
+        )
+        assert len(report.points) == 1
+        assert report.points[0].frequency == pytest.approx(0.8)

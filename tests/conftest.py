@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (hundreds to a few thousand jobs) so the
+whole suite runs in well under a minute; statistical assertions use wide
+tolerances consistent with those sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.power.platform import ServerPowerModel, atom_power_model, xeon_power_model
+from repro.workloads.generator import generate_jobs
+from repro.workloads.jobs import JobTrace
+from repro.workloads.spec import WorkloadSpec, dns_workload, google_workload
+
+
+@pytest.fixture(scope="session")
+def xeon() -> ServerPowerModel:
+    """The Table 2 Xeon server power model."""
+    return xeon_power_model()
+
+
+@pytest.fixture(scope="session")
+def atom() -> ServerPowerModel:
+    """The Atom-class server power model."""
+    return atom_power_model()
+
+
+@pytest.fixture(scope="session")
+def dns_ideal() -> WorkloadSpec:
+    """DNS-like workload with idealised (Poisson/exponential) statistics."""
+    return dns_workload(empirical=False)
+
+
+@pytest.fixture(scope="session")
+def dns_empirical() -> WorkloadSpec:
+    """DNS-like workload with moment-matched (Table 5) statistics."""
+    return dns_workload(empirical=True)
+
+
+@pytest.fixture(scope="session")
+def google_ideal() -> WorkloadSpec:
+    """Google-like workload with idealised statistics."""
+    return google_workload(empirical=False)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic random generator for per-test sampling."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dns_trace(dns_ideal) -> JobTrace:
+    """A small stationary DNS-like job stream at utilisation 0.3."""
+    return generate_jobs(dns_ideal, num_jobs=2_000, utilization=0.3, seed=7)
+
+
+@pytest.fixture()
+def simple_trace() -> JobTrace:
+    """A tiny hand-written job trace with known arithmetic.
+
+    Three jobs: arrivals at t = 0, 1, 10 with service demands 0.5, 0.5, 1.0
+    seconds.  At full frequency with no sleep latency the departures are
+    0.5, 1.5 and 11.0.
+    """
+    return JobTrace([0.0, 1.0, 10.0], [0.5, 0.5, 1.0])

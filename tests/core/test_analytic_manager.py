@@ -1,0 +1,156 @@
+"""Tests for the closed-form (analytic) policy manager and strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analytic_manager import (
+    AnalyticPolicyManager,
+    AnalyticSleepScaleStrategy,
+    analytic_sleepscale_strategy,
+)
+from repro.core.policy_manager import PolicyManager
+from repro.core.qos import (
+    MeanResponseTimeConstraint,
+    PercentileResponseTimeConstraint,
+    mean_qos_from_baseline,
+)
+from repro.core.strategies import EpochContext
+from repro.exceptions import ConfigurationError
+from repro.policies.space import full_space
+from repro.power.states import C6_S0I
+
+
+@pytest.fixture()
+def analytic_manager(xeon, dns_ideal) -> AnalyticPolicyManager:
+    return AnalyticPolicyManager(
+        power_model=xeon,
+        policy_space=full_space(xeon, frequency_step=0.1),
+        qos=MeanResponseTimeConstraint(5.0),
+        mean_service_time=dns_ideal.mean_service_time,
+    )
+
+
+class TestAnalyticManager:
+    def test_characterize_covers_whole_space(self, analytic_manager):
+        evaluations = analytic_manager.characterize(0.3)
+        assert len(evaluations) == analytic_manager.policy_space.size(0.3)
+        for evaluation in evaluations:
+            assert evaluation.average_power > 0
+            assert evaluation.mean_response_time > 0
+
+    def test_selection_is_cheapest_feasible(self, analytic_manager):
+        selection = analytic_manager.select(0.3)
+        assert selection.feasible
+        feasible = [e for e in selection.evaluations if e.meets_qos]
+        assert selection.best.average_power == min(e.average_power for e in feasible)
+        assert selection.best.normalized_mean_response_time <= 5.0
+
+    def test_frequency_rises_with_utilization(self, analytic_manager):
+        low = analytic_manager.select(0.1).policy.frequency
+        high = analytic_manager.select(0.6).policy.frequency
+        assert high > low
+
+    def test_matches_simulation_based_selection(self, xeon, dns_ideal):
+        """The two managers land on nearby operating points.
+
+        The paper's observation 3 applies: the idealized model often computes
+        the right neighbourhood but a slightly *lower* frequency than the
+        simulation of the actual statistics, so exact agreement is not
+        expected — closeness is.
+        """
+        qos = MeanResponseTimeConstraint(5.0)
+        simulation = PolicyManager(
+            power_model=xeon,
+            policy_space=full_space(xeon, frequency_step=0.1),
+            qos=qos,
+            characterization_jobs=4_000,
+            seed=5,
+        ).select_for_spec(dns_ideal, 0.3)
+        analytic = AnalyticPolicyManager(
+            power_model=xeon,
+            policy_space=full_space(xeon, frequency_step=0.1),
+            qos=qos,
+            mean_service_time=dns_ideal.mean_service_time,
+        ).select(0.3)
+        assert analytic.feasible and simulation.feasible
+        assert abs(analytic.policy.frequency - simulation.policy.frequency) <= 0.15
+        assert analytic.policy.frequency <= simulation.policy.frequency + 1e-9
+        assert analytic.best.average_power == pytest.approx(
+            simulation.best.average_power, rel=0.08
+        )
+
+    def test_percentile_constraint_supported(self, xeon, dns_ideal):
+        manager = AnalyticPolicyManager(
+            power_model=xeon,
+            policy_space=full_space(xeon, frequency_step=0.1),
+            qos=PercentileResponseTimeConstraint(deadline=6.0 * 0.194),
+            mean_service_time=dns_ideal.mean_service_time,
+        )
+        selection = manager.select(0.2)
+        assert selection.feasible
+        assert selection.best.p95_response_time <= 6.0 * 0.194
+
+    def test_invalid_inputs_rejected(self, xeon):
+        with pytest.raises(ConfigurationError):
+            AnalyticPolicyManager(
+                power_model=xeon,
+                policy_space=full_space(xeon),
+                qos=MeanResponseTimeConstraint(5.0),
+                mean_service_time=0.0,
+            )
+
+    def test_invalid_utilization_rejected(self, analytic_manager):
+        with pytest.raises(ConfigurationError):
+            analytic_manager.characterize(0.0)
+        with pytest.raises(ConfigurationError):
+            analytic_manager.characterize(1.0)
+
+
+class TestAnalyticStrategy:
+    def test_strategy_selects_feasible_policy(self, xeon, dns_ideal):
+        strategy = analytic_sleepscale_strategy(
+            xeon, mean_qos_from_baseline(0.8), dns_ideal
+        )
+        policy = strategy.select_policy(
+            EpochContext(predicted_utilization=0.4, spec=dns_ideal)
+        )
+        assert policy.frequency > 0.4
+        assert strategy.last_selection is not None
+        assert strategy.last_selection.feasible
+
+    def test_strategy_name(self, xeon, dns_ideal):
+        strategy = AnalyticSleepScaleStrategy(
+            power_model=xeon,
+            qos=mean_qos_from_baseline(0.8),
+            mean_service_time=dns_ideal.mean_service_time,
+        )
+        assert strategy.name == "SS(analytic)"
+
+    def test_ignores_job_log(self, xeon, dns_ideal, small_dns_trace):
+        strategy = analytic_sleepscale_strategy(
+            xeon, mean_qos_from_baseline(0.8), dns_ideal
+        )
+        with_log = strategy.select_policy(
+            EpochContext(
+                predicted_utilization=0.4, spec=dns_ideal, logged_jobs=small_dns_trace
+            )
+        )
+        without_log = strategy.select_policy(
+            EpochContext(predicted_utilization=0.4, spec=dns_ideal)
+        )
+        assert with_log.frequency == without_log.frequency
+        assert with_log.sleep_state_name == without_log.sleep_state_name
+
+    def test_selection_is_fast(self, xeon, dns_ideal):
+        """The whole point: a full policy search without any simulation."""
+        import time
+
+        strategy = analytic_sleepscale_strategy(
+            xeon, mean_qos_from_baseline(0.8), dns_ideal
+        )
+        context = EpochContext(predicted_utilization=0.5, spec=dns_ideal)
+        start = time.perf_counter()
+        strategy.select_policy(context)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 0.25

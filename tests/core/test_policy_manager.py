@@ -1,0 +1,147 @@
+"""Tests for the SleepScale policy manager (characterisation and selection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy_manager import PolicyManager
+from repro.core.qos import MeanResponseTimeConstraint, PercentileResponseTimeConstraint
+from repro.exceptions import PolicySelectionError
+from repro.policies.space import PolicySpace, full_space
+from repro.power.states import C0I_S0I, C6_S0I, C6_S3
+
+
+@pytest.fixture()
+def manager(xeon) -> PolicyManager:
+    space = PolicySpace(
+        power_model=xeon,
+        states=(C0I_S0I, C6_S0I, C6_S3),
+        frequency_step=0.1,
+    )
+    return PolicyManager(
+        power_model=xeon,
+        policy_space=space,
+        qos=MeanResponseTimeConstraint(5.0),
+        characterization_jobs=1_500,
+        seed=3,
+    )
+
+
+class TestCharacterization:
+    def test_every_candidate_is_evaluated(self, manager, small_dns_trace):
+        evaluations = manager.characterize(small_dns_trace, 0.3)
+        assert len(evaluations) == manager.policy_space.size(0.3)
+
+    def test_evaluations_expose_metrics(self, manager, small_dns_trace):
+        evaluation = manager.characterize(small_dns_trace, 0.3)[0]
+        assert evaluation.average_power > 0
+        assert evaluation.mean_response_time > 0
+        assert evaluation.p95_response_time >= evaluation.mean_response_time * 0.5
+        assert evaluation.frequency == evaluation.policy.frequency
+        assert evaluation.sleep_state == evaluation.policy.sleep_state_name
+
+    def test_characterize_spec_generates_jobs(self, manager, dns_ideal):
+        evaluations = manager.characterize_spec(dns_ideal, 0.3, num_jobs=500)
+        assert len(evaluations) > 0
+
+    def test_feasibility_flag_matches_constraint(self, manager, small_dns_trace):
+        for evaluation in manager.characterize(small_dns_trace, 0.3):
+            assert evaluation.meets_qos == (
+                evaluation.normalized_mean_response_time <= 5.0
+            )
+            assert (evaluation.qos_slack >= 0) == evaluation.meets_qos
+
+
+class TestSelection:
+    def test_selected_policy_is_cheapest_feasible(self, manager, small_dns_trace):
+        selection = manager.select(small_dns_trace, 0.3)
+        assert selection.feasible
+        feasible = [e for e in selection.evaluations if e.meets_qos]
+        assert selection.best.average_power == min(e.average_power for e in feasible)
+
+    def test_selection_meets_budget(self, manager, small_dns_trace):
+        selection = manager.select(small_dns_trace, 0.3)
+        assert selection.best.normalized_mean_response_time <= 5.0
+
+    def test_select_for_spec(self, manager, dns_ideal):
+        selection = manager.select_for_spec(dns_ideal, 0.3, num_jobs=800)
+        assert selection.policy.frequency > 0.3
+
+    def test_tight_constraint_forces_higher_frequency(self, xeon, dns_ideal):
+        def best_frequency(budget):
+            manager = PolicyManager(
+                power_model=xeon,
+                policy_space=full_space(xeon, frequency_step=0.1),
+                qos=MeanResponseTimeConstraint(budget),
+                characterization_jobs=1_500,
+                seed=5,
+            )
+            return manager.select_for_spec(dns_ideal, 0.4).policy.frequency
+
+        assert best_frequency(2.0) >= best_frequency(8.0)
+
+    def test_infeasible_budget_falls_back_to_least_bad(self, xeon, small_dns_trace):
+        manager = PolicyManager(
+            power_model=xeon,
+            policy_space=PolicySpace(
+                power_model=xeon, states=(C6_S3,), frequencies=(0.5,)
+            ),
+            qos=MeanResponseTimeConstraint(0.01),
+            seed=1,
+        )
+        selection = manager.select(small_dns_trace, 0.3)
+        assert not selection.feasible
+        # The least-infeasible candidate has the largest (least negative) slack.
+        assert selection.best.qos_slack == max(
+            e.qos_slack for e in selection.evaluations
+        )
+
+    def test_pick_rejects_empty_evaluations(self):
+        with pytest.raises(PolicySelectionError):
+            PolicyManager._pick([])
+
+    def test_by_state_reports_cheapest_feasible_per_state(self, manager, small_dns_trace):
+        selection = manager.select(small_dns_trace, 0.3)
+        per_state = selection.by_state()
+        assert set(per_state).issubset({"C0(i)S0(i)", "C6S0(i)", "C6S3"})
+        for state, evaluation in per_state.items():
+            assert evaluation.meets_qos
+            assert evaluation.sleep_state == state
+
+
+class TestPercentileSelection:
+    def test_percentile_constraint_selects_feasible_policy(self, xeon, dns_ideal):
+        # The M/M/1 baseline at rho=0.2 has a normalised p95 of ln(20)/0.8
+        # (about 3.7), so a normalised deadline of 6 is feasible but binding.
+        deadline = 6.0 * 0.194
+        manager = PolicyManager(
+            power_model=xeon,
+            policy_space=full_space(xeon, frequency_step=0.1),
+            qos=PercentileResponseTimeConstraint(deadline=deadline),
+            characterization_jobs=2_000,
+            seed=9,
+        )
+        selection = manager.select_for_spec(dns_ideal, 0.2)
+        assert selection.feasible
+        assert selection.best.p95_response_time <= deadline
+        assert selection.policy.frequency >= 0.6
+
+    def test_percentile_tighter_than_mean(self, xeon, dns_ideal):
+        """A p95 deadline equal to the mean budget forces faster operation."""
+        mean_manager = PolicyManager(
+            power_model=xeon,
+            policy_space=full_space(xeon, frequency_step=0.1),
+            qos=MeanResponseTimeConstraint(5.0),
+            characterization_jobs=2_000,
+            seed=11,
+        )
+        tail_manager = PolicyManager(
+            power_model=xeon,
+            policy_space=full_space(xeon, frequency_step=0.1),
+            qos=PercentileResponseTimeConstraint(deadline=5.0 * 0.194),
+            characterization_jobs=2_000,
+            seed=11,
+        )
+        mean_selection = mean_manager.select_for_spec(dns_ideal, 0.3)
+        tail_selection = tail_manager.select_for_spec(dns_ideal, 0.3)
+        assert tail_selection.policy.frequency >= mean_selection.policy.frequency

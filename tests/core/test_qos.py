@@ -1,0 +1,120 @@
+"""Tests for QoS constraints and the baseline QoS construction."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.qos import (
+    MeanResponseTimeConstraint,
+    PercentileResponseTimeConstraint,
+    baseline_mean_response_budget,
+    baseline_normalized_mean_budget,
+    baseline_percentile_deadline,
+    mean_qos_from_baseline,
+    percentile_qos_from_baseline,
+)
+from repro.exceptions import ConfigurationError
+from repro.simulation.metrics import EnergyBreakdown, SimulationResult
+
+
+def result_with_responses(responses, mean_demand=1.0) -> SimulationResult:
+    responses = np.asarray(responses, dtype=float)
+    return SimulationResult(
+        response_times=responses,
+        waiting_times=np.zeros_like(responses),
+        energy=EnergyBreakdown(1.0, 0.0, 0.0),
+        horizon=10.0,
+        mean_service_demand=mean_demand,
+    )
+
+
+class TestMeanResponseTimeConstraint:
+    def test_met_when_normalized_mean_below_budget(self):
+        constraint = MeanResponseTimeConstraint(5.0)
+        assert constraint.is_met(result_with_responses([1.0, 2.0], mean_demand=1.0))
+
+    def test_violated_when_above_budget(self):
+        constraint = MeanResponseTimeConstraint(2.0)
+        assert not constraint.is_met(result_with_responses([3.0, 5.0]))
+
+    def test_slack_sign(self):
+        constraint = MeanResponseTimeConstraint(5.0)
+        assert constraint.slack(result_with_responses([1.0])) > 0
+        assert constraint.slack(result_with_responses([10.0])) < 0
+
+    def test_uses_normalisation(self):
+        # Mean response 1.0 s but jobs of 0.1 s -> normalised 10.
+        constraint = MeanResponseTimeConstraint(5.0)
+        assert not constraint.is_met(result_with_responses([1.0], mean_demand=0.1))
+
+    def test_describe(self):
+        assert "5" in MeanResponseTimeConstraint(5.0).describe()
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ConfigurationError):
+            MeanResponseTimeConstraint(0.0)
+
+
+class TestPercentileConstraint:
+    def test_met_when_tail_below_deadline(self):
+        constraint = PercentileResponseTimeConstraint(deadline=5.0)
+        responses = np.concatenate([np.full(99, 1.0), [4.0]])
+        assert constraint.is_met(result_with_responses(responses))
+
+    def test_violated_by_heavy_tail(self):
+        constraint = PercentileResponseTimeConstraint(deadline=2.0)
+        responses = np.concatenate([np.full(90, 1.0), np.full(10, 10.0)])
+        assert not constraint.is_met(result_with_responses(responses))
+
+    def test_slack(self):
+        constraint = PercentileResponseTimeConstraint(deadline=5.0)
+        assert constraint.slack(result_with_responses([1.0, 1.0])) == pytest.approx(4.0)
+
+    def test_custom_percentile(self):
+        constraint = PercentileResponseTimeConstraint(deadline=1.5, percentile=50.0)
+        assert constraint.is_met(result_with_responses([1.0, 1.0, 1.0, 10.0]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PercentileResponseTimeConstraint(deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            PercentileResponseTimeConstraint(deadline=1.0, percentile=100.0)
+
+    def test_describe(self):
+        text = PercentileResponseTimeConstraint(deadline=0.5).describe()
+        assert "p95" in text
+
+
+class TestBaselineBudgets:
+    def test_normalized_budget_formula(self):
+        assert baseline_normalized_mean_budget(0.8) == pytest.approx(5.0)
+        assert baseline_normalized_mean_budget(0.6) == pytest.approx(2.5)
+
+    def test_mean_budget_in_seconds(self):
+        assert baseline_mean_response_budget(0.8, 0.194) == pytest.approx(0.97)
+
+    def test_percentile_deadline_formula(self):
+        deadline = baseline_percentile_deadline(0.8, 1.0, 95.0)
+        assert deadline == pytest.approx(math.log(20.0) / 0.2)
+
+    def test_tighter_rho_b_means_tighter_budget(self):
+        assert baseline_normalized_mean_budget(0.6) < baseline_normalized_mean_budget(0.8)
+        assert baseline_percentile_deadline(0.6, 1.0) < baseline_percentile_deadline(0.8, 1.0)
+
+    def test_constraint_factories(self):
+        mean_constraint = mean_qos_from_baseline(0.8)
+        assert mean_constraint.normalized_budget == pytest.approx(5.0)
+        tail_constraint = percentile_qos_from_baseline(0.8, 0.194)
+        assert tail_constraint.percentile == 95.0
+        assert tail_constraint.deadline == pytest.approx(0.194 * math.log(20.0) / 0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            baseline_normalized_mean_budget(1.0)
+        with pytest.raises(ConfigurationError):
+            baseline_mean_response_budget(0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            baseline_percentile_deadline(0.5, 1.0, percentile=0.0)

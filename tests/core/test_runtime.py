@@ -1,0 +1,246 @@
+"""Tests for the epoch-by-epoch SleepScale runtime controller."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.qos import mean_qos_from_baseline
+from repro.core.runtime import RuntimeConfig, SleepScaleRuntime
+from repro.core.strategies import FixedPolicyStrategy, race_to_halt_c6, sleepscale_strategy
+from repro.exceptions import ConfigurationError
+from repro.policies.policy import race_to_halt_policy, single_state_policy
+from repro.power.states import C0I_S0I, C6_S0I
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.prediction.naive import NaivePreviousPredictor
+from repro.prediction.oracle import OraclePredictor
+from repro.units import minutes
+from repro.workloads.generator import empirical_utilization, generate_trace_driven_jobs
+from repro.workloads.jobs import JobTrace
+from repro.workloads.traces import constant_trace, step_trace
+
+
+@pytest.fixture(scope="module")
+def flat_workload(dns_empirical):
+    """30 minutes of DNS-like jobs at a flat utilisation of 0.4."""
+    trace = constant_trace(0.4, num_samples=30)
+    return generate_trace_driven_jobs(dns_empirical, trace, seed=21)
+
+
+def build_runtime(
+    xeon,
+    spec,
+    strategy,
+    predictor=None,
+    epoch_minutes=5.0,
+    alpha=0.0,
+    rho_b=0.8,
+    log_epochs=2,
+):
+    return SleepScaleRuntime(
+        power_model=xeon,
+        spec=spec,
+        strategy=strategy,
+        predictor=predictor or NaivePreviousPredictor(),
+        config=RuntimeConfig(
+            epoch_minutes=epoch_minutes,
+            rho_b=rho_b,
+            over_provisioning=alpha,
+            log_epochs=log_epochs,
+        ),
+    )
+
+
+class TestRuntimeConfig:
+    def test_derived_seconds(self):
+        config = RuntimeConfig(epoch_minutes=5, observation_minutes=1)
+        assert config.epoch_seconds == 300.0
+        assert config.observation_seconds == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(epoch_minutes=0)
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(rho_b=1.0)
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(over_provisioning=-0.1)
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(log_epochs=-1)
+        with pytest.raises(ConfigurationError):
+            RuntimeConfig(min_utilization=0.0)
+
+
+class TestRuntimeWithFixedPolicy:
+    def test_epoch_count_covers_trace(self, xeon, dns_empirical, flat_workload):
+        policy = race_to_halt_policy(xeon, C6_S0I)
+        runtime = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy), epoch_minutes=5.0
+        )
+        result = runtime.run(flat_workload.jobs)
+        expected_epochs = int(np.ceil(flat_workload.jobs.end_time / minutes(5)))
+        assert len(result.epochs) == expected_epochs
+
+    def test_all_jobs_accounted_for(self, xeon, dns_empirical, flat_workload):
+        policy = race_to_halt_policy(xeon, C6_S0I)
+        runtime = build_runtime(xeon, dns_empirical, FixedPolicyStrategy(policy))
+        result = runtime.run(flat_workload.jobs)
+        assert result.num_jobs == len(flat_workload.jobs)
+        assert sum(e.num_jobs for e in result.epochs) == len(flat_workload.jobs)
+
+    def test_power_between_sleep_and_peak(self, xeon, dns_empirical, flat_workload):
+        policy = race_to_halt_policy(xeon, C6_S0I)
+        runtime = build_runtime(xeon, dns_empirical, FixedPolicyStrategy(policy))
+        result = runtime.run(flat_workload.jobs)
+        assert xeon.system_power(C6_S0I) < result.average_power < xeon.peak_power()
+
+    def test_total_duration_at_least_trace_span(self, xeon, dns_empirical, flat_workload):
+        policy = race_to_halt_policy(xeon, C6_S0I)
+        runtime = build_runtime(xeon, dns_empirical, FixedPolicyStrategy(policy))
+        result = runtime.run(flat_workload.jobs)
+        assert result.total_duration >= flat_workload.jobs.end_time
+
+    def test_fixed_policy_recorded_every_epoch(self, xeon, dns_empirical, flat_workload):
+        policy = race_to_halt_policy(xeon, C6_S0I)
+        runtime = build_runtime(xeon, dns_empirical, FixedPolicyStrategy(policy))
+        result = runtime.run(flat_workload.jobs)
+        assert {e.sleep_state for e in result.epochs} == {"C6S0(i)"}
+        assert {e.selected_frequency for e in result.epochs} == {1.0}
+
+    def test_observed_utilization_matches_trace(self, xeon, dns_empirical, flat_workload):
+        policy = race_to_halt_policy(xeon, C6_S0I)
+        runtime = build_runtime(xeon, dns_empirical, FixedPolicyStrategy(policy))
+        result = runtime.run(flat_workload.jobs)
+        observed = np.mean([e.observed_utilization for e in result.epochs])
+        assert observed == pytest.approx(0.4, rel=0.2)
+
+
+class TestOverProvisioning:
+    def test_alpha_zero_never_over_provisions(self, xeon, dns_empirical, flat_workload):
+        policy = single_state_policy(xeon, C0I_S0I, 0.8)
+        runtime = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy), alpha=0.0
+        )
+        result = runtime.run(flat_workload.jobs)
+        assert result.over_provisioned_fraction() == 0.0
+
+    def test_alpha_raises_applied_frequency(self, xeon, dns_empirical, flat_workload):
+        policy = single_state_policy(xeon, C0I_S0I, 0.7)
+        runtime = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy), alpha=0.35
+        )
+        result = runtime.run(flat_workload.jobs)
+        over_provisioned = [e for e in result.epochs if e.over_provisioned]
+        assert over_provisioned
+        for epoch in over_provisioned:
+            assert epoch.applied_frequency == pytest.approx(min(1.0, 0.7 * 1.35))
+            assert epoch.selected_frequency == pytest.approx(0.7)
+
+    def test_first_epoch_is_never_over_provisioned(self, xeon, dns_empirical, flat_workload):
+        policy = single_state_policy(xeon, C0I_S0I, 0.7)
+        runtime = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy), alpha=0.35
+        )
+        result = runtime.run(flat_workload.jobs)
+        assert not result.epochs[0].over_provisioned
+
+    def test_over_provisioning_reduces_response_time(self, xeon, dns_empirical, flat_workload):
+        policy = single_state_policy(xeon, C0I_S0I, 0.6)
+        without = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy), alpha=0.0
+        ).run(flat_workload.jobs)
+        with_alpha = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy), alpha=0.35
+        ).run(flat_workload.jobs)
+        assert with_alpha.mean_response_time < without.mean_response_time
+        assert with_alpha.average_power >= without.average_power
+
+
+class TestSleepScaleEndToEnd:
+    def test_meets_budget_on_flat_trace(self, xeon, dns_empirical, flat_workload):
+        qos = mean_qos_from_baseline(0.8)
+        strategy = sleepscale_strategy(xeon, qos, characterization_jobs=600, seed=2)
+        runtime = build_runtime(
+            xeon,
+            dns_empirical,
+            strategy,
+            predictor=LmsCusumPredictor(history=10),
+            alpha=0.35,
+        )
+        result = runtime.run(flat_workload.jobs)
+        assert result.meets_budget
+        assert result.strategy == "SS"
+        assert result.predictor == "LC"
+
+    def test_sleepscale_saves_power_vs_race_to_halt_at_low_load(self, xeon, dns_empirical):
+        trace = constant_trace(0.15, num_samples=20)
+        workload = generate_trace_driven_jobs(dns_empirical, trace, seed=31)
+        qos = mean_qos_from_baseline(0.8)
+        sleepscale = build_runtime(
+            xeon,
+            dns_empirical,
+            sleepscale_strategy(xeon, qos, characterization_jobs=600, seed=3),
+            predictor=LmsCusumPredictor(history=10),
+            alpha=0.35,
+        ).run(workload.jobs)
+        race = build_runtime(
+            xeon,
+            dns_empirical,
+            race_to_halt_c6(xeon),
+            predictor=LmsCusumPredictor(history=10),
+            alpha=0.35,
+        ).run(workload.jobs)
+        assert sleepscale.average_power < race.average_power
+
+    def test_adapts_to_step_change(self, xeon, dns_empirical):
+        trace = step_trace(0.15, 0.6, num_samples=40)
+        workload = generate_trace_driven_jobs(dns_empirical, trace, seed=41)
+        qos = mean_qos_from_baseline(0.8)
+        strategy = sleepscale_strategy(xeon, qos, characterization_jobs=600, seed=5)
+        runtime = build_runtime(
+            xeon,
+            dns_empirical,
+            strategy,
+            predictor=NaivePreviousPredictor(),
+            alpha=0.35,
+        )
+        result = runtime.run(workload.jobs)
+        first_half = [e.applied_frequency for e in result.epochs[1:4]]
+        second_half = [e.applied_frequency for e in result.epochs[-3:]]
+        assert np.mean(second_half) > np.mean(first_half)
+
+    def test_oracle_predictor_integration(self, xeon, dns_empirical, flat_workload):
+        truth = empirical_utilization(
+            flat_workload.jobs, minutes(1), horizon=flat_workload.jobs.end_time
+        )
+        qos = mean_qos_from_baseline(0.8)
+        strategy = sleepscale_strategy(xeon, qos, characterization_jobs=600, seed=7)
+        runtime = build_runtime(
+            xeon,
+            dns_empirical,
+            strategy,
+            predictor=OraclePredictor(np.clip(truth, 0, 1)),
+            alpha=0.0,
+        )
+        result = runtime.run(flat_workload.jobs)
+        assert result.predictor == "Offline"
+        assert result.num_jobs == len(flat_workload.jobs)
+
+
+class TestEmptyEpochs:
+    def test_idle_gap_produces_zero_job_epoch(self, xeon, dns_empirical):
+        # Two bursts separated by a long silence spanning a full epoch.
+        arrivals = np.concatenate(
+            [np.linspace(0, 200, 50), np.linspace(700, 880, 50)]
+        )
+        demands = np.full(100, 0.1)
+        jobs = JobTrace(arrivals, demands)
+        policy = single_state_policy(xeon, C6_S0I, 0.8)
+        runtime = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy), epoch_minutes=5.0
+        )
+        result = runtime.run(jobs)
+        empty = [e for e in result.epochs if not e.had_jobs]
+        assert empty
+        for epoch in empty:
+            assert epoch.energy_joules > 0.0  # idle energy still accounted
+        assert result.num_jobs == 100

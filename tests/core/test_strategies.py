@@ -1,0 +1,164 @@
+"""Tests for the power-management strategies of the Figure 9 comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qos import mean_qos_from_baseline
+from repro.core.strategies import (
+    EpochContext,
+    FixedPolicyStrategy,
+    PolicySearchStrategy,
+    RaceToHaltStrategy,
+    dvfs_only_strategy,
+    figure9_strategies,
+    race_to_halt_c3,
+    race_to_halt_c6,
+    sleepscale_single_state_strategy,
+    sleepscale_strategy,
+)
+from repro.exceptions import ConfigurationError
+from repro.policies.policy import race_to_halt_policy
+from repro.power.states import C3_S0I, C6_S0I
+from repro.workloads.generator import generate_jobs
+
+
+@pytest.fixture()
+def qos():
+    return mean_qos_from_baseline(0.8)
+
+
+@pytest.fixture()
+def context(dns_empirical):
+    return EpochContext(predicted_utilization=0.3, spec=dns_empirical)
+
+
+class TestEpochContext:
+    def test_valid(self, dns_empirical):
+        EpochContext(predicted_utilization=0.0, spec=dns_empirical)
+        EpochContext(predicted_utilization=1.0, spec=dns_empirical)
+
+    def test_invalid_utilization(self, dns_empirical):
+        with pytest.raises(ConfigurationError):
+            EpochContext(predicted_utilization=1.5, spec=dns_empirical)
+
+
+class TestRaceToHalt:
+    def test_always_full_speed(self, xeon, context):
+        strategy = race_to_halt_c6(xeon)
+        policy = strategy.select_policy(context)
+        assert policy.frequency == 1.0
+        assert policy.sleep_state_name == "C6S0(i)"
+        assert strategy.name == "R2H(C6)"
+
+    def test_c3_variant(self, xeon, context):
+        strategy = race_to_halt_c3(xeon)
+        assert strategy.select_policy(context).sleep_state_name == "C3S0(i)"
+        assert strategy.name == "R2H(C3)"
+
+    def test_policy_is_independent_of_prediction(self, xeon, dns_empirical):
+        strategy = RaceToHaltStrategy(xeon, C6_S0I)
+        low = strategy.select_policy(
+            EpochContext(predicted_utilization=0.05, spec=dns_empirical)
+        )
+        high = strategy.select_policy(
+            EpochContext(predicted_utilization=0.9, spec=dns_empirical)
+        )
+        assert low is high
+
+
+class TestFixedPolicy:
+    def test_returns_supplied_policy(self, xeon, context):
+        policy = race_to_halt_policy(xeon, C3_S0I)
+        strategy = FixedPolicyStrategy(policy, name="pinned")
+        assert strategy.select_policy(context) is policy
+        assert strategy.name == "pinned"
+        assert strategy.describe() == "pinned"
+
+
+class TestPolicySearchStrategies:
+    def test_sleepscale_selects_stable_feasible_policy(self, xeon, qos, context):
+        strategy = sleepscale_strategy(xeon, qos, characterization_jobs=800, seed=1)
+        policy = strategy.select_policy(context)
+        assert policy.frequency > 0.3
+        assert strategy.last_selection is not None
+        assert strategy.last_selection.feasible
+
+    def test_sleepscale_uses_logged_jobs_when_available(self, xeon, qos, dns_empirical):
+        strategy = sleepscale_strategy(xeon, qos, characterization_jobs=800, seed=1)
+        logged = generate_jobs(dns_empirical, num_jobs=800, utilization=0.5, seed=2)
+        context = EpochContext(
+            predicted_utilization=0.5, spec=dns_empirical, logged_jobs=logged
+        )
+        policy = strategy.select_policy(context)
+        assert policy.frequency > 0.5
+
+    def test_single_state_strategy_restricts_state(self, xeon, qos, context):
+        strategy = sleepscale_single_state_strategy(
+            xeon, qos, C3_S0I, characterization_jobs=800, seed=1
+        )
+        policy = strategy.select_policy(context)
+        assert policy.sleep_state_name == "C3S0(i)"
+        assert strategy.name == "SS(C3)"
+
+    def test_dvfs_only_strategy_never_sleeps(self, xeon, qos, context):
+        strategy = dvfs_only_strategy(xeon, qos, characterization_jobs=800, seed=1)
+        policy = strategy.select_policy(context)
+        assert policy.sleep[0].power == pytest.approx(
+            xeon.active_power(policy.frequency)
+        )
+        assert strategy.name == "DVFS"
+
+    def test_higher_predicted_load_selects_higher_frequency(self, xeon, qos, dns_empirical):
+        strategy = sleepscale_strategy(xeon, qos, characterization_jobs=800, seed=4)
+        low = strategy.select_policy(
+            EpochContext(predicted_utilization=0.1, spec=dns_empirical)
+        )
+        high = strategy.select_policy(
+            EpochContext(predicted_utilization=0.7, spec=dns_empirical)
+        )
+        assert high.frequency > low.frequency
+
+    def test_extreme_prediction_is_clamped(self, xeon, qos, dns_empirical):
+        strategy = sleepscale_strategy(xeon, qos, characterization_jobs=400, seed=4)
+        policy = strategy.select_policy(
+            EpochContext(predicted_utilization=1.0, spec=dns_empirical)
+        )
+        assert 0.0 < policy.frequency <= 1.0
+
+    def test_sleepscale_no_costlier_than_restricted_variants(
+        self, xeon, qos, dns_empirical
+    ):
+        """Searching the full joint space can only improve on a restricted space."""
+        logged = generate_jobs(dns_empirical, num_jobs=2_000, utilization=0.3, seed=6)
+        context = EpochContext(
+            predicted_utilization=0.3, spec=dns_empirical, logged_jobs=logged
+        )
+        full = sleepscale_strategy(xeon, qos, characterization_jobs=800, seed=6)
+        restricted = sleepscale_single_state_strategy(
+            xeon, qos, C3_S0I, characterization_jobs=800, seed=6
+        )
+        full.select_policy(context)
+        restricted.select_policy(context)
+        assert (
+            full.last_selection.best.average_power
+            <= restricted.last_selection.best.average_power + 1e-9
+        )
+
+
+class TestFigure9Factory:
+    def test_five_strategies_in_paper_order(self, xeon, qos):
+        strategies = figure9_strategies(xeon, qos, characterization_jobs=400)
+        assert [s.name for s in strategies] == [
+            "SS",
+            "SS(C3)",
+            "DVFS",
+            "R2H(C3)",
+            "R2H(C6)",
+        ]
+
+    def test_search_strategies_share_interface(self, xeon, qos, context):
+        for strategy in figure9_strategies(xeon, qos, characterization_jobs=300):
+            policy = strategy.select_policy(context)
+            assert 0.0 < policy.frequency <= 1.0
+            assert isinstance(strategy, (PolicySearchStrategy, RaceToHaltStrategy))

@@ -1,0 +1,48 @@
+"""Smoke tests for the sweep-based ablation studies.
+
+The runtime-based ablations (over-provisioning, analytic-vs-simulation,
+server farm) are exercised by the benchmark suite; the two sweep-based ones
+are cheap enough to smoke-test here at tiny sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.base import ExperimentConfig
+
+TINY = ExperimentConfig(fast=True, seed=2, num_jobs=400, frequency_step=0.2)
+
+
+class TestThrottleBackSmoke:
+    def test_rows_and_overheads(self):
+        result = ablations.run_throttle_back(TINY, utilizations=(0.2,))
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row["sequential_power_w"] > 0
+        assert row["best_single_power_w"] > 0
+        # The sequential policy can never be meaningfully cheaper than the
+        # best single state (it has strictly less freedom to sleep deeply).
+        assert row["sequential_overhead"] >= -0.05
+
+    def test_name_registered(self):
+        from repro.experiments.runner import available_experiments
+
+        assert "ablation-throttle-back" in available_experiments()
+
+
+class TestAtomSmoke:
+    def test_atom_overhead_below_xeon(self):
+        result = ablations.run_atom_platform(TINY, utilization=0.15)
+        rows = {row["platform"]: row for row in result.rows}
+        assert set(rows) == {"xeon", "atom"}
+        assert (
+            rows["atom"]["race_to_halt_overhead"]
+            <= rows["xeon"]["race_to_halt_overhead"] + 0.02
+        )
+        assert rows["atom"]["optimal_power_w"] < rows["xeon"]["optimal_power_w"]
+
+    def test_metadata_records_utilization(self):
+        result = ablations.run_atom_platform(TINY, utilization=0.15)
+        assert result.metadata["utilization"] == pytest.approx(0.15)

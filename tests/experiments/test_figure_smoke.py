@@ -1,0 +1,96 @@
+"""Fast smoke tests of the sweep-based figure experiments.
+
+The benchmark suite runs the figure experiments at realistic sizes and
+asserts the paper's qualitative shapes; these tests run them at deliberately
+tiny sizes so the experiment *code paths* (parameter handling, row schemas,
+metadata) are exercised inside the unit-test suite too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure1, figure2, figure3, figure4, figure5, figure6
+from repro.experiments.base import ExperimentConfig
+
+TINY = ExperimentConfig(fast=True, seed=1, num_jobs=300, frequency_step=0.2)
+
+
+class TestFigure1Smoke:
+    def test_single_workload_run(self):
+        result = figure1.run(TINY, workloads=("dns",), utilization=0.2)
+        assert set(result.unique("state")) == {"C0(i)S0(i)", "C6S0(i)", "C6S3"}
+        assert "dns" in result.metadata["optima"]
+        curve = figure1.curve(result, "dns", "C6S3")
+        frequencies = [row["frequency"] for row in curve]
+        assert frequencies == sorted(frequencies)
+
+    def test_rows_have_expected_schema(self):
+        result = figure1.run(TINY, workloads=("dns",), utilization=0.2)
+        row = result.rows[0]
+        assert {"workload", "state", "frequency", "average_power_w"} <= set(row)
+
+
+class TestFigure2Smoke:
+    def test_metadata_contains_best_states(self):
+        result = figure2.run(TINY, utilization=0.6, workloads=("dns",))
+        assert set(result.metadata["best_states"]) == {"dns"}
+        assert result.metadata["utilization"] == 0.6
+
+
+class TestFigure3Smoke:
+    def test_policies_include_delayed_variants(self):
+        result = figure3.run(TINY, delay_multipliers=(10.0,))
+        policies = set(result.unique("policy"))
+        assert "C0(i)S0(i)" in policies
+        assert "C6S3" in policies
+        assert any("tau2=10/mu" in policy for policy in policies)
+
+    def test_power_at_frequency_lookup_errors_cleanly(self):
+        result = figure3.run(TINY, delay_multipliers=(10.0,))
+        with pytest.raises(KeyError):
+            figure3.power_at_frequency(result, "C6S3", 0.005, tolerance=0.001)
+
+
+class TestFigure4Smoke:
+    def test_custom_betas(self):
+        result = figure4.run(TINY, betas=(1.0, 0.0))
+        assert set(result.unique("beta")) == {1.0, 0.0}
+        optima = result.metadata["optimal_frequency_per_beta"]
+        assert optima[0.0] <= optima[1.0] + 1e-9
+
+
+class TestFigure5Smoke:
+    def test_two_utilizations(self):
+        result = figure5.run(TINY, utilizations=(0.1, 0.3))
+        summary = result.metadata["per_utilization"]
+        assert set(summary) == {0.1, 0.3}
+        assert summary[0.1]["qos_frequency"] <= summary[0.3]["qos_frequency"] + 1e-9
+
+
+class TestFigure6Smoke:
+    def test_reduced_grid(self):
+        result = figure6.run(
+            TINY,
+            workloads=("dns",),
+            constraints=("mean",),
+            rho_bs=(0.8,),
+            utilizations=(0.2, 0.5),
+        )
+        # Two utilisations x two models = 4 rows.
+        assert len(result.rows) == 4
+        series = figure6.frequency_series(result, "dns", "mean", 0.8, "empirical")
+        assert [utilization for utilization, _, _ in series] == [0.2, 0.5]
+        assert series[1][1] >= series[0][1]
+
+    def test_unknown_constraint_rejected(self):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            figure6.run(
+                TINY,
+                workloads=("dns",),
+                constraints=("median",),
+                rho_bs=(0.8,),
+                utilizations=(0.2,),
+            )

@@ -1,0 +1,84 @@
+"""Tests for the shared runtime-experiment scaffolding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.runtime_common import (
+    build_scenario,
+    default_qos,
+    evaluation_trace,
+    make_predictor,
+    run_strategy,
+)
+from repro.core.qos import MeanResponseTimeConstraint
+from repro.core.strategies import race_to_halt_c6
+from repro.prediction.lms import LmsPredictor
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.prediction.naive import NaivePreviousPredictor
+from repro.prediction.oracle import OraclePredictor
+
+CONFIG = ExperimentConfig(fast=True, seed=3)
+
+
+class TestEvaluationTrace:
+    def test_fast_window_is_short(self):
+        trace = evaluation_trace("email-store", CONFIG, start_hour=6.0, hours=1.0)
+        assert trace.duration == pytest.approx(3600.0)
+
+    def test_full_mode_uses_paper_window(self):
+        trace = evaluation_trace("email-store", ExperimentConfig(fast=False))
+        assert trace.duration == pytest.approx(18 * 3600.0)
+
+    def test_file_server_trace_available(self):
+        trace = evaluation_trace("file-server", CONFIG, hours=1.0)
+        assert trace.summary().maximum <= 0.2
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ExperimentError):
+            evaluation_trace("database", CONFIG)
+
+
+class TestScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_scenario("dns", "email-store", CONFIG, start_hour=6.0, hours=0.5)
+
+    def test_scenario_pieces(self, scenario):
+        assert scenario.spec.name == "dns"
+        assert len(scenario.workload.jobs) > 50
+        assert scenario.power_model.name == "xeon"
+
+    def test_per_minute_truth_matches_trace_length(self, scenario):
+        truth = scenario.per_minute_truth
+        assert truth.shape == (len(scenario.trace),)
+        assert np.all((truth >= 0) & (truth <= 1))
+
+    def test_make_predictor_by_name(self, scenario):
+        assert isinstance(make_predictor("LC", scenario), LmsCusumPredictor)
+        assert isinstance(make_predictor("lms", scenario), LmsPredictor)
+        assert isinstance(make_predictor("NP", scenario), NaivePreviousPredictor)
+        assert isinstance(make_predictor("Offline", scenario), OraclePredictor)
+
+    def test_unknown_predictor_rejected(self, scenario):
+        with pytest.raises(ExperimentError):
+            make_predictor("arima", scenario)
+
+    def test_run_strategy_end_to_end(self, scenario):
+        result = run_strategy(
+            scenario,
+            race_to_halt_c6(scenario.power_model),
+            make_predictor("NP", scenario),
+            epoch_minutes=5.0,
+            over_provisioning=0.0,
+        )
+        assert result.num_jobs == len(scenario.workload.jobs)
+        assert result.strategy == "R2H(C6)"
+
+    def test_default_qos(self):
+        qos = default_qos(0.8)
+        assert isinstance(qos, MeanResponseTimeConstraint)
+        assert qos.normalized_budget == pytest.approx(5.0)

@@ -1,0 +1,181 @@
+"""End-to-end integration tests reproducing the paper's headline behaviours.
+
+These tests run small (but complete) versions of the paper's experiments and
+assert the qualitative conclusions — they are the "does the whole system tell
+the same story as the paper" safety net, complementing the per-module unit
+tests and the full benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qos import mean_qos_from_baseline
+from repro.core.runtime import RuntimeConfig, SleepScaleRuntime
+from repro.core.strategies import (
+    dvfs_only_strategy,
+    race_to_halt_c6,
+    sleepscale_strategy,
+)
+from repro.power.states import C0I_S0I, C3_S0I, C6_S0I, C6_S3
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.simulation.sweep import best_policy_across_states, sweep_states
+from repro.workloads.generator import generate_trace_driven_jobs
+from repro.workloads.spec import dns_workload, google_workload
+from repro.workloads.traces import synthetic_email_store_trace
+
+
+@pytest.fixture(scope="module")
+def email_window():
+    """A 1.5-hour window of the synthetic email-store trace (rising load)."""
+    return synthetic_email_store_trace(days=1, seed=7).slice_hours(6.0, 7.5)
+
+
+class TestEngineeringLessons:
+    """Section 4's lessons, on reduced problem sizes."""
+
+    def test_joint_optimum_beats_race_to_halt_for_dns(self, xeon):
+        """Lesson 1: the bowl bottom beats the f=1 race-to-halt tip (Figure 1)."""
+        spec = dns_workload(empirical=False)
+        curves = sweep_states(
+            spec,
+            [C0I_S0I, C6_S0I, C6_S3],
+            xeon,
+            utilization=0.1,
+            num_jobs=3_000,
+            frequency_step=0.05,
+            seed=1,
+        )
+        _, optimum = best_policy_across_states(curves)
+        race_power = curves[optimum.sleep_state].race_to_halt_point().average_power
+        assert optimum.sleep_state == "C6S3"
+        assert 0.35 <= optimum.frequency <= 0.55
+        assert race_power > 1.3 * optimum.average_power
+
+    def test_best_state_depends_on_budget_at_low_utilization(self, xeon):
+        """Lesson 2: tight budgets favour C6S0(i), loose budgets C6S3 (DNS, rho=0.1)."""
+        spec = dns_workload(empirical=False)
+        curves = sweep_states(
+            spec,
+            [C0I_S0I, C6_S0I, C6_S3],
+            xeon,
+            utilization=0.1,
+            num_jobs=3_000,
+            frequency_step=0.05,
+            seed=2,
+        )
+        tight_state, _ = best_policy_across_states(curves, normalized_budget=2.0)
+        loose_state, _ = best_policy_across_states(curves, normalized_budget=60.0)
+        assert tight_state in {"C6S0(i)", "C0(i)S0(i)"}
+        assert loose_state == "C6S3"
+
+    def test_best_state_depends_on_job_size_at_high_utilization(self, xeon):
+        """Lesson 3: DNS prefers C6S0(i), Google prefers C3S0(i) (Figure 2)."""
+        best = {}
+        for name, spec in (
+            ("dns", dns_workload(empirical=False)),
+            ("google", google_workload(empirical=False)),
+        ):
+            curves = sweep_states(
+                spec,
+                [C3_S0I, C6_S0I],
+                xeon,
+                utilization=0.7,
+                num_jobs=4_000,
+                frequency_step=0.05,
+                seed=3,
+            )
+            best[name], _ = best_policy_across_states(curves)
+        assert best["dns"] == "C6S0(i)"
+        assert best["google"] == "C3S0(i)"
+
+    def test_memory_bound_jobs_prefer_lowest_frequency(self, xeon):
+        """Lesson 6: the optimal frequency drops as jobs become memory-bound."""
+        from repro.simulation.service_scaling import ServiceScaling
+        from repro.simulation.sweep import sweep_frequencies
+
+        spec = dns_workload(empirical=False)
+        optima = {}
+        for beta in (1.0, 0.0):
+            curve = sweep_frequencies(
+                spec,
+                C6_S3,
+                xeon,
+                utilization=0.1,
+                num_jobs=2_000,
+                frequencies=[0.2, 0.4, 0.6, 0.8, 1.0],
+                scaling=ServiceScaling(beta=beta),
+                seed=4,
+            )
+            optima[beta] = curve.minimum_power_point().frequency
+        assert optima[0.0] <= optima[1.0]
+        assert optima[0.0] == pytest.approx(0.2)
+
+
+class TestRuntimeComparison:
+    """Section 6's comparison, on a short trace window."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self, email_window):
+        spec = dns_workload(empirical=True)
+        workload = generate_trace_driven_jobs(spec, email_window, seed=11)
+        return spec, workload
+
+    def run_strategy(self, xeon, spec, workload, strategy, alpha=0.35):
+        runtime = SleepScaleRuntime(
+            power_model=xeon,
+            spec=spec,
+            strategy=strategy,
+            predictor=LmsCusumPredictor(history=10),
+            config=RuntimeConfig(
+                epoch_minutes=5.0, rho_b=0.8, over_provisioning=alpha
+            ),
+        )
+        return runtime.run(workload.jobs)
+
+    def test_sleepscale_beats_dvfs_only_and_race_to_halt_on_power(
+        self, xeon, scenario
+    ):
+        spec, workload = scenario
+        qos = mean_qos_from_baseline(0.8)
+        sleepscale = self.run_strategy(
+            xeon, spec, workload, sleepscale_strategy(xeon, qos, characterization_jobs=800, seed=1)
+        )
+        dvfs = self.run_strategy(
+            xeon, spec, workload, dvfs_only_strategy(xeon, qos, characterization_jobs=800, seed=1)
+        )
+        race = self.run_strategy(xeon, spec, workload, race_to_halt_c6(xeon))
+        assert sleepscale.average_power < dvfs.average_power
+        assert sleepscale.average_power < race.average_power
+
+    def test_sleepscale_meets_budget_with_over_provisioning(self, xeon, scenario):
+        spec, workload = scenario
+        qos = mean_qos_from_baseline(0.8)
+        result = self.run_strategy(
+            xeon,
+            spec,
+            workload,
+            sleepscale_strategy(xeon, qos, characterization_jobs=800, seed=2),
+            alpha=0.35,
+        )
+        assert result.meets_budget
+
+    def test_over_provisioning_trades_power_for_latency(self, xeon, scenario):
+        spec, workload = scenario
+        qos = mean_qos_from_baseline(0.8)
+        with_alpha = self.run_strategy(
+            xeon,
+            spec,
+            workload,
+            sleepscale_strategy(xeon, qos, characterization_jobs=800, seed=3),
+            alpha=0.35,
+        )
+        without_alpha = self.run_strategy(
+            xeon,
+            spec,
+            workload,
+            sleepscale_strategy(xeon, qos, characterization_jobs=800, seed=3),
+            alpha=0.0,
+        )
+        assert with_alpha.mean_response_time <= without_alpha.mean_response_time
+        assert with_alpha.average_power >= without_alpha.average_power * 0.98

@@ -1,0 +1,96 @@
+"""Tests for Policy objects and the named policy constructors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.policies.policy import (
+    Policy,
+    delayed_deep_sleep_policy,
+    dvfs_only_policy,
+    race_to_halt_policy,
+    single_state_policy,
+)
+from repro.power.states import C0I_S0I, C3_S0I, C6_S3
+
+
+class TestPolicy:
+    def test_default_label(self, xeon):
+        policy = Policy(0.5, xeon.immediate_sleep_sequence(C6_S3, 0.5))
+        assert policy.label == "f=0.50 C6S3"
+        assert policy.sleep_state_name == "C6S3"
+
+    def test_custom_label(self, xeon):
+        policy = Policy(0.5, xeon.immediate_sleep_sequence(C6_S3, 0.5), label="mine")
+        assert str(policy) == "mine"
+
+    def test_invalid_frequency(self, xeon):
+        sleep = xeon.immediate_sleep_sequence(C6_S3, 1.0)
+        with pytest.raises(ConfigurationError):
+            Policy(0.0, sleep)
+        with pytest.raises(ConfigurationError):
+            Policy(1.1, sleep)
+
+    def test_with_frequency(self, xeon):
+        policy = Policy(0.5, xeon.immediate_sleep_sequence(C6_S3, 0.5))
+        faster = policy.with_frequency(0.8)
+        assert faster.frequency == 0.8
+        assert faster.sleep is policy.sleep
+
+    def test_over_provisioned(self, xeon):
+        policy = Policy(0.6, xeon.immediate_sleep_sequence(C6_S3, 0.6))
+        boosted = policy.over_provisioned(0.35)
+        assert boosted.frequency == pytest.approx(0.81)
+
+    def test_over_provisioned_clamps_at_one(self, xeon):
+        policy = Policy(0.9, xeon.immediate_sleep_sequence(C6_S3, 0.9))
+        assert policy.over_provisioned(0.35).frequency == 1.0
+
+    def test_over_provisioned_rejects_negative(self, xeon):
+        policy = Policy(0.9, xeon.immediate_sleep_sequence(C6_S3, 0.9))
+        with pytest.raises(ConfigurationError):
+            policy.over_provisioned(-0.1)
+
+    def test_evaluate_runs_simulation(self, xeon, small_dns_trace):
+        policy = Policy(1.0, xeon.immediate_sleep_sequence(C0I_S0I, 1.0))
+        result = policy.evaluate(small_dns_trace, xeon)
+        assert result.num_jobs == len(small_dns_trace)
+        assert result.frequency == 1.0
+
+
+class TestNamedPolicies:
+    def test_single_state_policy(self, xeon):
+        policy = single_state_policy(xeon, C3_S0I, 0.7, entry_delay=0.5)
+        assert policy.frequency == 0.7
+        assert policy.sleep[0].entry_delay == 0.5
+        assert policy.sleep_state_name == "C3S0(i)"
+
+    def test_race_to_halt_policy(self, xeon):
+        policy = race_to_halt_policy(xeon, C3_S0I)
+        assert policy.frequency == 1.0
+        assert policy.sleep.first_entry_delay == 0.0
+
+    def test_dvfs_only_policy_idles_at_active_power(self, xeon):
+        policy = dvfs_only_policy(xeon, 0.6)
+        assert policy.sleep[0].power == pytest.approx(xeon.active_power(0.6))
+        assert policy.sleep[0].wake_up_latency == 0.0
+        assert "dvfs-only" in policy.label
+
+    def test_dvfs_only_policy_never_saves_power_when_idle(self, xeon, small_dns_trace):
+        dvfs = dvfs_only_policy(xeon, 1.0)
+        sleeping = single_state_policy(xeon, C0I_S0I, 1.0)
+        assert (
+            dvfs.evaluate(small_dns_trace, xeon).average_power
+            > sleeping.evaluate(small_dns_trace, xeon).average_power
+        )
+
+    def test_delayed_deep_sleep_policy(self, xeon):
+        policy = delayed_deep_sleep_policy(xeon, 0.8, C0I_S0I, C6_S3, 30.0)
+        assert len(policy.sleep) == 2
+        assert policy.sleep.deepest.name == "C6S3"
+        assert policy.sleep[1].entry_delay == 30.0
+
+    def test_delayed_deep_sleep_requires_positive_delay(self, xeon):
+        with pytest.raises(ConfigurationError):
+            delayed_deep_sleep_policy(xeon, 0.8, C0I_S0I, C6_S3, 0.0)

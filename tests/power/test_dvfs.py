@@ -1,0 +1,129 @@
+"""Tests for the DVFS model and frequency-grid helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.power.dvfs import (
+    DvfsModel,
+    discrete_pstate_grid,
+    frequency_grid,
+    stable_frequencies,
+)
+
+
+class TestDvfsModel:
+    def test_linear_scaling_gives_cubic_dynamic_power(self):
+        model = DvfsModel()
+        assert model.dynamic_power_factor(1.0) == pytest.approx(1.0)
+        assert model.dynamic_power_factor(0.5) == pytest.approx(0.125)
+
+    def test_linear_scaling_gives_quadratic_leakage(self):
+        model = DvfsModel()
+        assert model.leakage_power_factor(0.5) == pytest.approx(0.25)
+
+    def test_voltage_proportional_to_frequency(self):
+        model = DvfsModel()
+        assert model.voltage(0.7) == pytest.approx(0.7)
+
+    def test_frequency_only_scaling(self):
+        model = DvfsModel(voltage_exponent=0.0)
+        assert model.dynamic_power_factor(0.5) == pytest.approx(0.5)
+        assert model.leakage_power_factor(0.5) == pytest.approx(1.0)
+
+    def test_validate_frequency_bounds(self):
+        model = DvfsModel(min_frequency=0.2, max_frequency=0.9)
+        assert model.validate_frequency(0.5) == 0.5
+        with pytest.raises(ConfigurationError):
+            model.validate_frequency(0.1)
+        with pytest.raises(ConfigurationError):
+            model.validate_frequency(0.95)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DvfsModel(min_frequency=0.8, max_frequency=0.5)
+        with pytest.raises(ConfigurationError):
+            DvfsModel(max_frequency=1.5)
+
+    def test_negative_voltage_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DvfsModel(voltage_exponent=-1.0)
+
+
+class TestFrequencyGrid:
+    def test_paper_grid_starts_just_above_utilization(self):
+        grid = frequency_grid(0.1, step=0.01)
+        assert grid[0] == pytest.approx(0.11)
+        assert grid[-1] == pytest.approx(1.0)
+
+    def test_grid_is_strictly_increasing(self):
+        grid = frequency_grid(0.3, step=0.05)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_all_points_are_stable(self):
+        utilization = 0.4
+        grid = frequency_grid(utilization, step=0.01)
+        assert np.all(grid > utilization)
+
+    def test_grid_never_exceeds_max_frequency(self):
+        grid = frequency_grid(0.2, step=0.07)
+        assert grid[-1] <= 1.0 + 1e-12
+
+    def test_includes_max_frequency_even_when_off_grid(self):
+        grid = frequency_grid(0.2, step=0.3)
+        assert grid[-1] == pytest.approx(1.0)
+
+    def test_zero_utilization_allowed(self):
+        grid = frequency_grid(0.0, step=0.1)
+        assert grid[0] == pytest.approx(0.01)
+
+    def test_rejects_utilization_of_one(self):
+        with pytest.raises(ConfigurationError):
+            frequency_grid(1.0)
+
+    def test_rejects_non_positive_step(self):
+        with pytest.raises(ConfigurationError):
+            frequency_grid(0.1, step=0.0)
+
+    def test_step_spacing_matches_request(self):
+        grid = frequency_grid(0.5, step=0.05)
+        spacing = np.diff(grid)
+        assert np.allclose(spacing[:-1], 0.05, atol=1e-9)
+
+
+class TestDiscretePstates:
+    def test_default_has_ten_levels(self):
+        grid = discrete_pstate_grid()
+        assert grid.size == 10
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(1.0)
+
+    def test_levels_are_equally_spaced(self):
+        grid = discrete_pstate_grid(levels=5, min_frequency=0.2)
+        assert np.allclose(np.diff(grid), 0.2)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ConfigurationError):
+            discrete_pstate_grid(levels=1)
+
+    def test_rejects_bad_min_frequency(self):
+        with pytest.raises(ConfigurationError):
+            discrete_pstate_grid(min_frequency=0.0)
+        with pytest.raises(ConfigurationError):
+            discrete_pstate_grid(min_frequency=1.0)
+
+
+class TestStableFrequencies:
+    def test_filters_unstable_settings(self):
+        grid = np.array([0.2, 0.4, 0.6, 0.8, 1.0])
+        assert list(stable_frequencies(grid, 0.5)) == [0.6, 0.8, 1.0]
+
+    def test_all_stable_when_utilization_low(self):
+        grid = np.array([0.2, 0.4])
+        assert stable_frequencies(grid, 0.1).size == 2
+
+    def test_none_stable_returns_empty(self):
+        grid = np.array([0.2, 0.4])
+        assert stable_frequencies(grid, 0.9).size == 0

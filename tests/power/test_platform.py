@@ -1,0 +1,137 @@
+"""Tests for the whole-server power model (CPU + platform)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.power.platform import ServerPowerModel, atom_power_model, xeon_power_model
+from repro.power.states import (
+    ACTIVE,
+    C0I_S0I,
+    C1_S0I,
+    C3_S0I,
+    C6_S0I,
+    C6_S3,
+    LOW_POWER_STATES,
+    CpuState,
+    PlatformState,
+)
+
+
+class TestXeonSystemPower:
+    def test_peak_power_is_250_watts(self, xeon):
+        assert xeon.peak_power() == pytest.approx(250.0)
+
+    def test_active_power_has_cubic_cpu_term(self, xeon):
+        # 130 * 0.5^3 + 120 platform active.
+        assert xeon.active_power(0.5) == pytest.approx(130.0 * 0.125 + 120.0)
+
+    def test_operating_idle_power_at_full_frequency(self, xeon):
+        assert xeon.system_power(C0I_S0I, 1.0) == pytest.approx(75.0 + 60.5)
+
+    def test_operating_idle_power_tracks_frequency(self, xeon):
+        assert xeon.system_power(C0I_S0I, 0.5) == pytest.approx(75.0 * 0.125 + 60.5)
+
+    def test_halt_power(self, xeon):
+        assert xeon.system_power(C1_S0I, 1.0) == pytest.approx(47.0 + 60.5)
+
+    def test_c3_power(self, xeon):
+        assert xeon.system_power(C3_S0I, 1.0) == pytest.approx(22.0 + 60.5)
+
+    def test_c6_power(self, xeon):
+        assert xeon.system_power(C6_S0I, 1.0) == pytest.approx(15.0 + 60.5)
+
+    def test_deepest_state_power(self, xeon):
+        assert xeon.system_power(C6_S3, 1.0) == pytest.approx(15.0 + 13.1)
+
+    def test_deeper_states_draw_less(self, xeon):
+        powers = [xeon.system_power(state, 1.0) for state in LOW_POWER_STATES]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_active_power_always_exceeds_idle(self, xeon):
+        for frequency in (0.3, 0.6, 1.0):
+            assert xeon.active_power(frequency) > xeon.idle_power(frequency)
+
+    def test_platform_power_s3(self, xeon):
+        assert xeon.platform_power(PlatformState.S3, CpuState.C6) == pytest.approx(13.1)
+
+    def test_platform_power_idle_never_uses_deeper_sleep_column(self, xeon):
+        # Even with the CPU in C6, an S0(i) platform keeps RAM etc. powered.
+        assert xeon.platform_power(PlatformState.S0_IDLE, CpuState.C6) == pytest.approx(60.5)
+
+
+class TestWakeUpLatencies:
+    def test_defaults_match_paper(self, xeon):
+        assert xeon.wake_up_latency(C6_S3) == pytest.approx(1.0)
+        assert xeon.wake_up_latency(C6_S0I) == pytest.approx(1e-3)
+        assert xeon.wake_up_latency(C0I_S0I) == 0.0
+
+    def test_custom_latencies_override_defaults(self):
+        model = xeon_power_model(wake_up_latencies={C6_S3: 5.0})
+        assert model.wake_up_latency(C6_S3) == pytest.approx(5.0)
+        # Unspecified states fall back to the paper defaults.
+        assert model.wake_up_latency(C6_S0I) == pytest.approx(1e-3)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServerPowerModel(
+                inventory=xeon_power_model().inventory,
+                wake_up_latencies={C6_S3: -1.0},
+            )
+
+
+class TestSleepSpecConstruction:
+    def test_sleep_state_spec_fields(self, xeon):
+        spec = xeon.sleep_state_spec(C6_S3, entry_delay=2.0)
+        assert spec.power == pytest.approx(28.1)
+        assert spec.entry_delay == 2.0
+        assert spec.wake_up_latency == pytest.approx(1.0)
+
+    def test_shallow_spec_power_depends_on_frequency(self, xeon):
+        low = xeon.sleep_state_spec(C0I_S0I, frequency=0.4)
+        high = xeon.sleep_state_spec(C0I_S0I, frequency=1.0)
+        assert low.power < high.power
+
+    def test_active_state_rejected(self, xeon):
+        with pytest.raises(ConfigurationError):
+            xeon.sleep_state_spec(ACTIVE)
+
+    def test_immediate_sequence_has_zero_delay(self, xeon):
+        sequence = xeon.immediate_sleep_sequence(C3_S0I)
+        assert sequence.first_entry_delay == 0.0
+        assert len(sequence) == 1
+
+    def test_multi_state_sequence(self, xeon):
+        sequence = xeon.sleep_sequence([C0I_S0I, C6_S3], [0.0, 30.0])
+        assert len(sequence) == 2
+        assert sequence.deepest.name == "C6S3"
+        assert sequence[1].entry_delay == 30.0
+
+    def test_sequence_length_mismatch_rejected(self, xeon):
+        with pytest.raises(ConfigurationError):
+            xeon.sleep_sequence([C0I_S0I, C6_S3], [0.0])
+
+    def test_full_throttle_back_sequence_uses_all_states(self, xeon):
+        sequence = xeon.full_throttle_back_sequence([0.0, 0.1, 0.2, 0.3, 0.4])
+        assert len(sequence) == len(LOW_POWER_STATES)
+        assert [s.name for s in sequence] == [s.name for s in LOW_POWER_STATES]
+
+    def test_low_power_state_table_contains_all_states(self, xeon):
+        table = xeon.low_power_state_table()
+        assert set(table) == {state.name for state in LOW_POWER_STATES}
+        assert table["C6S3"]["power_w"] == pytest.approx(28.1)
+
+
+class TestAtomModel:
+    def test_atom_peak_below_xeon(self, xeon, atom):
+        assert atom.peak_power() < xeon.peak_power() / 3
+
+    def test_atom_platform_dominates_cpu_dynamic_range(self, atom):
+        dynamic_range = atom.active_power(1.0) - atom.active_power(0.3)
+        idle_floor = atom.idle_power(0.3)
+        assert dynamic_range < idle_floor
+
+    def test_atom_name(self, atom):
+        assert atom.name == "atom"
+        assert atom_power_model().name == "atom"

@@ -1,0 +1,171 @@
+"""Tests for sleep-state specs and sleep sequences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.power.sleep import SleepSequence, SleepStateSpec, immediate_sequence
+from repro.power.states import ACTIVE, C0I_S0I, C6_S0I, C6_S3
+
+
+def spec(state=C6_S3, power=28.1, delay=0.0, wake=1.0) -> SleepStateSpec:
+    return SleepStateSpec(state=state, power=power, entry_delay=delay, wake_up_latency=wake)
+
+
+class TestSleepStateSpec:
+    def test_valid_spec(self):
+        s = spec()
+        assert s.name == "C6S3"
+        assert s.power == 28.1
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            spec(power=-1.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            spec(delay=-0.5)
+
+    def test_rejects_negative_wake_latency(self):
+        with pytest.raises(ConfigurationError):
+            spec(wake=-1e-3)
+
+    def test_rejects_active_state(self):
+        with pytest.raises(ConfigurationError):
+            SleepStateSpec(state=ACTIVE, power=250.0, entry_delay=0.0, wake_up_latency=0.0)
+
+    def test_with_entry_delay_returns_copy(self):
+        original = spec(delay=0.0)
+        delayed = original.with_entry_delay(5.0)
+        assert delayed.entry_delay == 5.0
+        assert original.entry_delay == 0.0
+        assert delayed.power == original.power
+
+
+class TestSleepSequenceValidation:
+    def test_single_state_sequence(self):
+        sequence = SleepSequence([spec()])
+        assert len(sequence) == 1
+        assert sequence.deepest.name == "C6S3"
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SleepSequence([])
+
+    def test_entry_delays_must_increase(self):
+        shallow = spec(state=C0I_S0I, power=135.5, delay=1.0, wake=0.0)
+        deep = spec(state=C6_S3, power=28.1, delay=1.0, wake=1.0)
+        with pytest.raises(ConfigurationError):
+            SleepSequence([shallow, deep])
+
+    def test_wake_latencies_must_not_decrease(self):
+        shallow = spec(state=C0I_S0I, power=135.5, delay=0.0, wake=2.0)
+        deep = spec(state=C6_S3, power=28.1, delay=5.0, wake=1.0)
+        with pytest.raises(ConfigurationError):
+            SleepSequence([shallow, deep])
+
+    def test_non_monotone_powers_are_allowed(self):
+        # Under the paper's Table 2 model C1 (47 V^2) can draw more than
+        # C0(i) (75 V^2 f) at low DVFS settings, so power monotonicity must
+        # not be enforced.
+        shallow = spec(state=C6_S0I, power=20.0, delay=0.0, wake=1e-3)
+        deep = spec(state=C6_S3, power=28.1, delay=5.0, wake=1.0)
+        sequence = SleepSequence([shallow, deep])
+        assert sequence.deepest.power == 28.1
+
+    def test_name_concatenates_states(self):
+        shallow = spec(state=C0I_S0I, power=135.5, delay=0.0, wake=0.0)
+        deep = spec(state=C6_S3, power=28.1, delay=5.0, wake=1.0)
+        assert SleepSequence([shallow, deep]).name == "C0(i)S0(i)->C6S3"
+
+    def test_equality_and_hash(self):
+        a = SleepSequence([spec()])
+        b = SleepSequence([spec()])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestStateAfterIdle:
+    @pytest.fixture()
+    def sequence(self) -> SleepSequence:
+        shallow = spec(state=C0I_S0I, power=135.5, delay=0.0, wake=0.0)
+        middle = spec(state=C6_S0I, power=75.5, delay=2.0, wake=1e-3)
+        deep = spec(state=C6_S3, power=28.1, delay=10.0, wake=1.0)
+        return SleepSequence([shallow, middle, deep])
+
+    def test_before_first_delay_returns_none(self):
+        delayed = SleepSequence([spec(delay=1.0)])
+        assert delayed.state_after_idle(0.5) is None
+
+    def test_progresses_through_states(self, sequence):
+        assert sequence.state_after_idle(0.0).name == "C0(i)S0(i)"
+        assert sequence.state_after_idle(1.9).name == "C0(i)S0(i)"
+        assert sequence.state_after_idle(2.0).name == "C6S0(i)"
+        assert sequence.state_after_idle(9.9).name == "C6S0(i)"
+        assert sequence.state_after_idle(10.0).name == "C6S3"
+        assert sequence.state_after_idle(1e6).name == "C6S3"
+
+    def test_wake_up_latency_tracks_state(self, sequence):
+        assert sequence.wake_up_latency_after_idle(1.0) == 0.0
+        assert sequence.wake_up_latency_after_idle(3.0) == pytest.approx(1e-3)
+        assert sequence.wake_up_latency_after_idle(20.0) == pytest.approx(1.0)
+
+    def test_negative_idle_time_rejected(self, sequence):
+        with pytest.raises(ConfigurationError):
+            sequence.state_after_idle(-1.0)
+
+
+class TestIdleEnergy:
+    def test_single_immediate_state(self):
+        sequence = SleepSequence([spec(power=10.0, delay=0.0)])
+        assert sequence.idle_energy(5.0, pre_sleep_power=100.0) == pytest.approx(50.0)
+
+    def test_pre_sleep_segment_uses_pre_sleep_power(self):
+        sequence = SleepSequence([spec(power=10.0, delay=2.0)])
+        # 2 s at 100 W then 3 s at 10 W.
+        assert sequence.idle_energy(5.0, 100.0) == pytest.approx(230.0)
+
+    def test_idle_shorter_than_first_delay(self):
+        sequence = SleepSequence([spec(power=10.0, delay=2.0)])
+        assert sequence.idle_energy(1.0, 100.0) == pytest.approx(100.0)
+
+    def test_multi_state_segments(self):
+        shallow = spec(state=C0I_S0I, power=100.0, delay=0.0, wake=0.0)
+        deep = spec(state=C6_S3, power=10.0, delay=4.0, wake=1.0)
+        sequence = SleepSequence([shallow, deep])
+        # 4 s at 100 W then 6 s at 10 W.
+        assert sequence.idle_energy(10.0, 135.0) == pytest.approx(460.0)
+
+    def test_zero_idle_time_costs_nothing(self):
+        sequence = SleepSequence([spec(power=10.0, delay=0.0)])
+        assert sequence.idle_energy(0.0, 100.0) == 0.0
+
+    def test_negative_idle_rejected(self):
+        sequence = SleepSequence([spec()])
+        with pytest.raises(ConfigurationError):
+            sequence.idle_energy(-1.0, 100.0)
+
+
+class TestSequenceManipulation:
+    def test_with_entry_delays(self):
+        shallow = spec(state=C0I_S0I, power=100.0, delay=0.0, wake=0.0)
+        deep = spec(state=C6_S3, power=10.0, delay=4.0, wake=1.0)
+        sequence = SleepSequence([shallow, deep])
+        retimed = sequence.with_entry_delays([0.0, 30.0])
+        assert retimed[1].entry_delay == 30.0
+        assert sequence[1].entry_delay == 4.0
+
+    def test_with_entry_delays_wrong_length(self):
+        sequence = SleepSequence([spec()])
+        with pytest.raises(ConfigurationError):
+            sequence.with_entry_delays([0.0, 1.0])
+
+    def test_immediate_sequence_resets_delay(self):
+        sequence = immediate_sequence(spec(delay=10.0))
+        assert sequence.first_entry_delay == 0.0
+
+    def test_indexing_and_iteration(self):
+        sequence = SleepSequence([spec()])
+        assert sequence[0].name == "C6S3"
+        assert [s.name for s in sequence] == ["C6S3"]

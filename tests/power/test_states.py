@@ -1,0 +1,135 @@
+"""Tests for CPU/platform power states and wake-up latencies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.power.states import (
+    ACTIVE,
+    C0I_S0I,
+    C1_S0I,
+    C3_S0I,
+    C6_S0I,
+    C6_S3,
+    DEFAULT_WAKE_UP_LATENCIES,
+    LOW_POWER_STATES,
+    WAKE_UP_LATENCY_RANGES,
+    CpuState,
+    PlatformState,
+    SystemState,
+    WakeUpLatencyRange,
+    default_wake_up_latency,
+)
+
+
+class TestCpuState:
+    def test_all_five_states_exist(self):
+        assert len(CpuState) == 5
+
+    def test_operating_states(self):
+        assert CpuState.C0_ACTIVE.is_operating
+        assert CpuState.C0_IDLE.is_operating
+
+    def test_non_operating_states(self):
+        for state in (CpuState.C1, CpuState.C3, CpuState.C6):
+            assert not state.is_operating
+
+    def test_string_representation_matches_paper_notation(self):
+        assert str(CpuState.C0_ACTIVE) == "C0(a)"
+        assert str(CpuState.C0_IDLE) == "C0(i)"
+        assert str(CpuState.C6) == "C6"
+
+
+class TestSystemState:
+    def test_valid_combinations_construct(self):
+        SystemState(CpuState.C0_ACTIVE, PlatformState.S0_ACTIVE)
+        SystemState(CpuState.C1, PlatformState.S0_IDLE)
+        SystemState(CpuState.C6, PlatformState.S3)
+
+    def test_active_platform_requires_active_cpu(self):
+        with pytest.raises(ConfigurationError):
+            SystemState(CpuState.C1, PlatformState.S0_ACTIVE)
+
+    def test_s3_requires_c6(self):
+        with pytest.raises(ConfigurationError):
+            SystemState(CpuState.C3, PlatformState.S3)
+        with pytest.raises(ConfigurationError):
+            SystemState(CpuState.C0_IDLE, PlatformState.S3)
+
+    def test_idle_platform_rejects_active_cpu(self):
+        with pytest.raises(ConfigurationError):
+            SystemState(CpuState.C0_ACTIVE, PlatformState.S0_IDLE)
+
+    def test_name_concatenates_cpu_and_platform(self):
+        assert ACTIVE.name == "C0(a)S0(a)"
+        assert C6_S3.name == "C6S3"
+        assert C0I_S0I.name == "C0(i)S0(i)"
+
+    def test_is_active_flags(self):
+        assert ACTIVE.is_active
+        assert not ACTIVE.is_low_power
+        for state in LOW_POWER_STATES:
+            assert state.is_low_power
+            assert not state.is_active
+
+    def test_parse_round_trips_every_state(self):
+        for state in (ACTIVE, *LOW_POWER_STATES):
+            assert SystemState.parse(state.name) == state
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            SystemState.parse("C9S9")
+        with pytest.raises(ConfigurationError):
+            SystemState.parse("")
+
+    def test_parse_rejects_invalid_combination(self):
+        with pytest.raises(ConfigurationError):
+            SystemState.parse("C3S3")
+
+    def test_states_are_hashable_and_comparable(self):
+        assert len({C0I_S0I, C1_S0I, C3_S0I, C6_S0I, C6_S3}) == 5
+        assert C6_S3 == SystemState(CpuState.C6, PlatformState.S3)
+
+
+class TestLowPowerStateOrdering:
+    def test_five_low_power_states(self):
+        assert len(LOW_POWER_STATES) == 5
+
+    def test_wake_up_latencies_increase_with_depth(self):
+        latencies = [default_wake_up_latency(state) for state in LOW_POWER_STATES]
+        assert latencies == sorted(latencies)
+
+    def test_default_latencies_match_paper_section_4_2(self):
+        assert default_wake_up_latency(C0I_S0I) == 0.0
+        assert default_wake_up_latency(C1_S0I) == pytest.approx(10e-6)
+        assert default_wake_up_latency(C3_S0I) == pytest.approx(100e-6)
+        assert default_wake_up_latency(C6_S0I) == pytest.approx(1e-3)
+        assert default_wake_up_latency(C6_S3) == pytest.approx(1.0)
+
+    def test_default_latencies_fall_in_table4_ranges(self):
+        for state, latency in DEFAULT_WAKE_UP_LATENCIES.items():
+            assert WAKE_UP_LATENCY_RANGES[state].contains(latency)
+
+    def test_active_state_has_no_wake_up_latency(self):
+        with pytest.raises(ConfigurationError):
+            default_wake_up_latency(ACTIVE)
+
+
+class TestWakeUpLatencyRange:
+    def test_contains_endpoints(self):
+        interval = WakeUpLatencyRange(1e-6, 1e-5)
+        assert interval.contains(1e-6)
+        assert interval.contains(1e-5)
+        assert not interval.contains(2e-5)
+
+    def test_midpoint(self):
+        assert WakeUpLatencyRange(1.0, 3.0).midpoint == pytest.approx(2.0)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ConfigurationError):
+            WakeUpLatencyRange(2.0, 1.0)
+
+    def test_rejects_negative_low(self):
+        with pytest.raises(ConfigurationError):
+            WakeUpLatencyRange(-1.0, 1.0)

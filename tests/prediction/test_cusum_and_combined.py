@@ -1,0 +1,170 @@
+"""Tests for the CUSUM detector, the LMS+CUSUM predictor and evaluation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, PredictionError
+from repro.prediction.cusum import CusumDetector
+from repro.prediction.evaluation import compare_predictors, evaluate_predictor, replay
+from repro.prediction.lms import LmsPredictor
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.prediction.naive import NaivePreviousPredictor
+from repro.workloads.traces import UtilizationTrace, step_trace, synthetic_email_store_trace
+
+
+class TestCusumDetector:
+    def test_no_alarm_on_stationary_noise(self):
+        rng = np.random.default_rng(1)
+        detector = CusumDetector(threshold=6.0)
+        alarms = detector.update_many(rng.normal(0.0, 0.05, size=500))
+        assert len(alarms) <= 2
+
+    def test_detects_mean_shift(self):
+        rng = np.random.default_rng(2)
+        signal = np.concatenate(
+            [rng.normal(0.0, 0.05, size=200), rng.normal(0.6, 0.05, size=50)]
+        )
+        detector = CusumDetector(threshold=4.0)
+        alarms = detector.update_many(signal)
+        assert any(alarm >= 200 for alarm in alarms)
+        first_after_change = min(a for a in alarms if a >= 200)
+        assert first_after_change < 215  # detected within ~15 samples
+
+    def test_detects_downward_shift(self):
+        rng = np.random.default_rng(3)
+        signal = np.concatenate(
+            [rng.normal(0.8, 0.05, size=200), rng.normal(0.2, 0.05, size=50)]
+        )
+        alarms = CusumDetector(threshold=4.0).update_many(signal)
+        assert any(alarm >= 200 for alarm in alarms)
+
+    def test_sums_reset_after_alarm(self):
+        detector = CusumDetector(threshold=2.0, drift=0.1)
+        detector.update_many([0.0] * 50)
+        fired = detector.update_many([1.0] * 20)
+        assert fired
+        assert detector.state.positive_sum < 2.0
+
+    def test_reset_clears_state(self):
+        detector = CusumDetector()
+        detector.update_many([0.1, 0.9, 0.1])
+        detector.reset()
+        assert detector.state.samples == 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            CusumDetector(drift=-0.1)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(smoothing=1.5)
+        with pytest.raises(ConfigurationError):
+            CusumDetector(min_std=0.0)
+
+
+class TestLmsCusum:
+    def test_converges_on_constant_signal(self):
+        predictor = LmsCusumPredictor(history=10)
+        predictor.observe_many([0.4] * 200)
+        assert predictor.predict() == pytest.approx(0.4, abs=0.03)
+
+    def test_reacts_faster_than_plain_lms_to_step(self):
+        values = [0.1] * 120 + [0.8] * 15
+        lms = LmsPredictor(history=10)
+        combined = LmsCusumPredictor(history=10)
+        lms.observe_many(values)
+        combined.observe_many(values)
+        truth = 0.8
+        assert abs(combined.predict() - truth) <= abs(lms.predict() - truth) + 1e-9
+
+    def test_records_change_points_on_step(self):
+        predictor = LmsCusumPredictor(history=10, threshold=2.0)
+        predictor.observe_many([0.1] * 120 + [0.85] * 30)
+        assert predictor.change_points
+        assert min(predictor.change_points) >= 110
+
+    def test_depth_shrinks_on_change(self):
+        predictor = LmsCusumPredictor(history=10, threshold=2.0)
+        predictor.observe_many([0.1] * 120)
+        depth_before = predictor.depth
+        predictor.observe_many([0.9] * 3)
+        assert depth_before == 10
+        assert predictor.depth <= 4
+
+    def test_reset(self):
+        predictor = LmsCusumPredictor(history=10)
+        predictor.observe_many([0.1] * 50 + [0.9] * 20)
+        predictor.reset()
+        assert predictor.observation_count == 0
+        assert predictor.change_points == []
+        assert predictor.depth == 10
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            LmsCusumPredictor(history=0)
+
+    def test_name(self):
+        assert LmsCusumPredictor().name == "LC"
+
+
+class TestEvaluationHelpers:
+    def test_replay_is_causal(self):
+        values = [0.2, 0.4, 0.6]
+        predictions, truths = replay(NaivePreviousPredictor(initial_prediction=0.0), values)
+        assert list(truths) == values
+        assert predictions[0] == 0.0
+        assert predictions[1] == 0.2
+        assert predictions[2] == 0.4
+
+    def test_replay_accepts_trace_objects(self):
+        trace = UtilizationTrace([0.1, 0.2, 0.3])
+        predictions, truths = replay(NaivePreviousPredictor(), trace)
+        assert truths.size == 3
+
+    def test_replay_rejects_empty(self):
+        with pytest.raises(PredictionError):
+            replay(NaivePreviousPredictor(), [])
+
+    def test_evaluate_perfect_predictor_has_zero_error(self):
+        values = [0.3, 0.3, 0.3, 0.3]
+        accuracy = evaluate_predictor(
+            NaivePreviousPredictor(initial_prediction=0.3), values
+        )
+        assert accuracy.mean_absolute_error == 0.0
+        assert accuracy.root_mean_squared_error == 0.0
+
+    def test_evaluate_warm_up_exclusion(self):
+        values = [0.9] + [0.3] * 10
+        with_warmup = evaluate_predictor(
+            NaivePreviousPredictor(initial_prediction=0.0), values, warm_up=2
+        )
+        without = evaluate_predictor(
+            NaivePreviousPredictor(initial_prediction=0.0), values, warm_up=0
+        )
+        assert with_warmup.mean_absolute_error < without.mean_absolute_error
+
+    def test_evaluate_warm_up_validation(self):
+        with pytest.raises(PredictionError):
+            evaluate_predictor(NaivePreviousPredictor(), [0.1, 0.2], warm_up=5)
+
+    def test_compare_predictors_on_daily_trace(self):
+        trace = synthetic_email_store_trace(days=1, seed=4)
+        results = compare_predictors(
+            [NaivePreviousPredictor(), LmsPredictor(), LmsCusumPredictor()],
+            trace,
+            warm_up=30,
+        )
+        assert set(results) == {"NP", "LMS", "LC"}
+        for accuracy in results.values():
+            assert accuracy.mean_absolute_error < 0.15
+
+    def test_step_trace_favours_tracking_predictors(self):
+        trace = step_trace(0.1, 0.8, num_samples=200)
+        results = compare_predictors(
+            [NaivePreviousPredictor(), LmsPredictor(history=10)], trace, warm_up=5
+        )
+        assert (
+            results["NP"].mean_absolute_error <= results["LMS"].mean_absolute_error
+        )

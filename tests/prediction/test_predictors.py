@@ -1,0 +1,191 @@
+"""Tests for the utilisation predictors (naive, moving average, LMS, oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PredictionError
+from repro.prediction.base import UtilizationPredictor, validate_utilization
+from repro.prediction.lms import LmsPredictor
+from repro.prediction.naive import MovingAveragePredictor, NaivePreviousPredictor
+from repro.prediction.oracle import OraclePredictor
+
+
+class TestValidation:
+    def test_valid_range(self):
+        assert validate_utilization(0.0) == 0.0
+        assert validate_utilization(1.0) == 1.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PredictionError):
+            validate_utilization(1.2)
+        with pytest.raises(PredictionError):
+            validate_utilization(-0.1)
+
+    def test_observe_validates(self):
+        predictor = NaivePreviousPredictor()
+        with pytest.raises(PredictionError):
+            predictor.observe(2.0)
+
+
+class TestBaseBehaviour:
+    def test_initial_prediction_before_observations(self):
+        predictor = NaivePreviousPredictor(initial_prediction=0.25)
+        assert predictor.predict() == 0.25
+
+    def test_observation_count(self):
+        predictor = NaivePreviousPredictor()
+        predictor.observe_many([0.1, 0.2, 0.3])
+        assert predictor.observation_count == 3
+
+    def test_reset_restores_initial_state(self):
+        predictor = NaivePreviousPredictor(initial_prediction=0.4)
+        predictor.observe(0.9)
+        predictor.reset()
+        assert predictor.observation_count == 0
+        assert predictor.predict() == 0.4
+
+    def test_predictions_are_clipped(self):
+        class Wild(UtilizationPredictor):
+            name = "wild"
+
+            def _observe(self, utilization):
+                pass
+
+            def _predict(self):
+                return 3.0
+
+        wild = Wild()
+        wild.observe(0.5)
+        assert wild.predict() == 1.0
+
+
+class TestNaivePrevious:
+    def test_predicts_last_observation(self):
+        predictor = NaivePreviousPredictor()
+        predictor.observe_many([0.2, 0.7, 0.4])
+        assert predictor.predict() == 0.4
+
+    def test_tracks_abrupt_changes_immediately(self):
+        predictor = NaivePreviousPredictor()
+        predictor.observe_many([0.1] * 20 + [0.9])
+        assert predictor.predict() == 0.9
+
+    def test_name(self):
+        assert NaivePreviousPredictor().name == "NP"
+
+
+class TestMovingAverage:
+    def test_average_over_window(self):
+        predictor = MovingAveragePredictor(window=3)
+        predictor.observe_many([0.1, 0.2, 0.3, 0.4])
+        assert predictor.predict() == pytest.approx((0.2 + 0.3 + 0.4) / 3)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MovingAveragePredictor(window=0)
+
+    def test_reset(self):
+        predictor = MovingAveragePredictor(window=3, initial_prediction=0.5)
+        predictor.observe_many([0.1, 0.2])
+        predictor.reset()
+        assert predictor.predict() == 0.5
+
+
+class TestLms:
+    def test_converges_to_constant_signal(self):
+        predictor = LmsPredictor(history=5)
+        for _ in range(200):
+            predictor.observe(0.6)
+        assert predictor.predict() == pytest.approx(0.6, abs=0.02)
+
+    def test_smooths_noise_better_than_naive(self):
+        rng = np.random.default_rng(0)
+        signal = np.clip(0.5 + rng.normal(0, 0.1, size=400), 0, 1)
+        lms = LmsPredictor(history=10)
+        naive = NaivePreviousPredictor()
+        lms_errors, naive_errors = [], []
+        for value in signal:
+            lms_errors.append(abs(lms.predict() - value))
+            naive_errors.append(abs(naive.predict() - value))
+            lms.observe(value)
+            naive.observe(value)
+        # Skip the warm-up region before comparing.
+        assert np.mean(lms_errors[50:]) < np.mean(naive_errors[50:])
+
+    def test_lags_behind_step_changes(self):
+        predictor = LmsPredictor(history=10)
+        predictor.observe_many([0.1] * 100)
+        predictor.observe(0.9)
+        # One observation after the jump the smoothed prediction is still low.
+        assert predictor.predict() < 0.5
+
+    def test_shrink_and_grow_depth(self):
+        predictor = LmsPredictor(history=10)
+        predictor.observe_many([0.5] * 20)
+        predictor.shrink_depth()
+        assert predictor.depth == 1
+        predictor.grow_depth()
+        predictor.grow_depth()
+        assert predictor.depth == 3
+        for _ in range(20):
+            predictor.grow_depth()
+        assert predictor.depth == 10
+
+    def test_weights_exposed_as_copy(self):
+        predictor = LmsPredictor(history=4)
+        weights = predictor.weights
+        weights[0] = 99.0
+        assert predictor.weights[0] != 99.0
+
+    def test_parameter_validation(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            LmsPredictor(history=0)
+        with pytest.raises(ConfigurationError):
+            LmsPredictor(step_size=2.5)
+
+    def test_reset(self):
+        predictor = LmsPredictor(history=5)
+        predictor.observe_many([0.9] * 50)
+        predictor.reset()
+        assert predictor.observation_count == 0
+        assert predictor.depth == 5
+
+
+class TestOracle:
+    def test_predicts_true_next_value(self):
+        oracle = OraclePredictor([0.1, 0.5, 0.9])
+        assert oracle.predict() == 0.1
+        oracle.observe(0.1)
+        assert oracle.predict() == 0.5
+        oracle.observe(0.5)
+        assert oracle.predict() == 0.9
+
+    def test_ignores_observed_values(self):
+        oracle = OraclePredictor([0.1, 0.5])
+        oracle.observe(0.99)  # wrong value on purpose
+        assert oracle.predict() == 0.5
+
+    def test_sticks_at_last_value_when_exhausted(self):
+        oracle = OraclePredictor([0.3])
+        oracle.observe(0.3)
+        oracle.observe(0.3)
+        assert oracle.predict() == 0.3
+        assert oracle.remaining == 0
+
+    def test_reset_rewinds(self):
+        oracle = OraclePredictor([0.2, 0.8])
+        oracle.observe(0.2)
+        oracle.reset()
+        assert oracle.predict() == 0.2
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(PredictionError):
+            OraclePredictor([])
+
+    def test_invalid_truth_rejected(self):
+        with pytest.raises(PredictionError):
+            OraclePredictor([0.1, 1.5])

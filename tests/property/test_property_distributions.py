@@ -1,0 +1,105 @@
+"""Property-based tests for the distribution substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    from_mean_cv,
+)
+
+means = st.floats(min_value=1e-4, max_value=1e3, allow_nan=False, allow_infinity=False)
+cvs = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+scales = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False)
+
+
+class TestMomentMatchingProperties:
+    @given(mean=means, cv=cvs)
+    @settings(max_examples=150, deadline=None)
+    def test_from_mean_cv_preserves_mean(self, mean, cv):
+        distribution = from_mean_cv(mean, cv)
+        assert distribution.mean == pytest.approx(mean, rel=1e-6)
+
+    @given(mean=means, cv=st.floats(min_value=1.02, max_value=6.0))
+    @settings(max_examples=100, deadline=None)
+    def test_hyperexponential_matches_cv_exactly(self, mean, cv):
+        distribution = HyperExponential.from_mean_cv(mean, cv)
+        assert distribution.cv == pytest.approx(cv, rel=1e-6)
+
+    @given(mean=means, cv=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_erlang_cv_never_exceeds_target_by_much(self, mean, cv):
+        # Erlang shapes are integers, so the achieved Cv is the closest
+        # achievable value; it must stay within the (1/sqrt(k+1), 1] band.
+        distribution = Erlang.from_mean_cv(mean, cv)
+        assert 0.0 < distribution.cv <= 1.0
+        assert distribution.mean == pytest.approx(mean, rel=1e-9)
+
+    @given(mean=means, cv=cvs, factor=scales)
+    @settings(max_examples=150, deadline=None)
+    def test_scaling_scales_mean_and_preserves_cv(self, mean, cv, factor):
+        distribution = from_mean_cv(mean, cv)
+        scaled = distribution.scaled(factor)
+        assert scaled.mean == pytest.approx(mean * factor, rel=1e-6)
+        assert scaled.cv == pytest.approx(distribution.cv, rel=1e-6, abs=1e-9)
+
+    @given(mean=means, cv=cvs)
+    @settings(max_examples=100, deadline=None)
+    def test_second_moment_consistent_with_variance(self, mean, cv):
+        distribution = from_mean_cv(mean, cv)
+        assert distribution.second_moment == pytest.approx(
+            distribution.variance + distribution.mean**2, rel=1e-9
+        )
+
+
+class TestSamplingProperties:
+    @given(
+        mean=st.floats(min_value=0.01, max_value=10.0),
+        cv=st.floats(min_value=0.0, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_samples_are_non_negative_and_finite(self, mean, cv, seed):
+        distribution = from_mean_cv(mean, cv)
+        rng = np.random.default_rng(seed)
+        samples = distribution.sample(256, rng)
+        assert samples.shape == (256,)
+        assert np.all(samples >= 0.0)
+        assert np.all(np.isfinite(samples))
+
+    @given(
+        mean=st.floats(min_value=0.05, max_value=5.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exponential_sample_mean_close_to_target(self, mean, seed):
+        rng = np.random.default_rng(seed)
+        samples = Exponential(mean).sample(6_000, rng)
+        assert np.mean(samples) == pytest.approx(mean, rel=0.15)
+
+    @given(value=st.floats(min_value=0.0, max_value=100.0), n=st.integers(0, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic_samples_equal_value(self, value, n):
+        rng = np.random.default_rng(0)
+        samples = Deterministic(value).sample(n, rng)
+        assert samples.shape == (n,)
+        assert np.all(samples == value)
+
+    @given(
+        mean=st.floats(min_value=0.01, max_value=10.0),
+        cv=st.floats(min_value=0.1, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lognormal_samples_positive(self, mean, cv, seed):
+        rng = np.random.default_rng(seed)
+        samples = LogNormal(mean, cv).sample(512, rng)
+        assert np.all(samples > 0.0)

@@ -1,0 +1,131 @@
+"""Property-based tests for the queueing engine's invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.platform import xeon_power_model
+from repro.power.states import C0I_S0I, C3_S0I, C6_S0I, C6_S3
+from repro.simulation.engine import simulate_trace
+from repro.simulation.metrics import STATE_SERVING
+from repro.simulation.service_scaling import ServiceScaling
+from repro.workloads.jobs import JobTrace
+
+_XEON = xeon_power_model()
+_STATES = (C0I_S0I, C3_S0I, C6_S0I, C6_S3)
+
+
+@st.composite
+def job_traces(draw) -> JobTrace:
+    """Small random job traces with non-decreasing arrivals."""
+    count = draw(st.integers(min_value=1, max_value=40))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=5.0),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    demands = draw(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=2.0),
+            min_size=count,
+            max_size=count,
+        )
+    )
+    return JobTrace.from_interarrivals(gaps, demands)
+
+
+@st.composite
+def engine_cases(draw):
+    trace = draw(job_traces())
+    frequency = draw(st.floats(min_value=0.1, max_value=1.0))
+    state = draw(st.sampled_from(_STATES))
+    beta = draw(st.sampled_from([0.0, 0.5, 1.0]))
+    return trace, frequency, state, beta
+
+
+class TestEngineInvariants:
+    @given(case=engine_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_response_times_at_least_service_times(self, case):
+        trace, frequency, state, beta = case
+        sleep = _XEON.immediate_sleep_sequence(state, frequency)
+        scaling = ServiceScaling(beta=beta)
+        result = simulate_trace(trace, frequency, sleep, _XEON, scaling=scaling)
+        scaled_demands = trace.service_demands * scaling.time_factor(frequency)
+        assert np.all(result.response_times >= scaled_demands - 1e-9)
+        assert np.all(result.waiting_times >= -1e-12)
+
+    @given(case=engine_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_energy_and_power_are_bounded(self, case):
+        trace, frequency, state, beta = case
+        sleep = _XEON.immediate_sleep_sequence(state, frequency)
+        result = simulate_trace(
+            trace, frequency, sleep, _XEON, scaling=ServiceScaling(beta=beta)
+        )
+        assert result.total_energy >= 0.0
+        # Average power can never exceed the active power at the operating
+        # frequency (everything is charged at or below that level).
+        assert result.average_power <= _XEON.active_power(frequency) + 1e-6
+        assert result.average_power >= _XEON.system_power(C6_S3) - 1e-6 or (
+            result.horizon <= sum(trace.service_demands)
+        )
+
+    @given(case=engine_cases())
+    @settings(max_examples=120, deadline=None)
+    def test_serving_residency_equals_total_scaled_demand(self, case):
+        trace, frequency, state, beta = case
+        sleep = _XEON.immediate_sleep_sequence(state, frequency)
+        scaling = ServiceScaling(beta=beta)
+        result = simulate_trace(trace, frequency, sleep, _XEON, scaling=scaling)
+        expected = float(np.sum(trace.service_demands)) * scaling.time_factor(frequency)
+        assert result.state_residency[STATE_SERVING] == pytest.approx(expected, rel=1e-9)
+
+    @given(case=engine_cases())
+    @settings(max_examples=100, deadline=None)
+    def test_residency_covers_horizon(self, case):
+        trace, frequency, state, beta = case
+        sleep = _XEON.immediate_sleep_sequence(state, frequency)
+        result = simulate_trace(
+            trace, frequency, sleep, _XEON, scaling=ServiceScaling(beta=beta)
+        )
+        total_residency = sum(result.state_residency.values())
+        assert total_residency == pytest.approx(result.horizon, rel=1e-6, abs=1e-6)
+
+    @given(case=engine_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_fifo_order_of_departures(self, case):
+        trace, frequency, state, beta = case
+        sleep = _XEON.immediate_sleep_sequence(state, frequency)
+        result = simulate_trace(
+            trace, frequency, sleep, _XEON, scaling=ServiceScaling(beta=beta)
+        )
+        departures = trace.arrival_times + result.response_times
+        assert np.all(np.diff(departures) >= -1e-9)
+
+    @given(case=engine_cases())
+    @settings(max_examples=80, deadline=None)
+    def test_wake_up_count_bounded_by_jobs(self, case):
+        trace, frequency, state, beta = case
+        sleep = _XEON.immediate_sleep_sequence(state, frequency)
+        result = simulate_trace(
+            trace, frequency, sleep, _XEON, scaling=ServiceScaling(beta=beta)
+        )
+        assert 0 <= result.wake_up_count <= len(trace)
+
+    @given(trace=job_traces(), frequency=st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_deeper_state_never_cheaper_response(self, trace, frequency):
+        """Sleeping deeper can only increase (never decrease) response times."""
+        shallow = simulate_trace(
+            trace, frequency, _XEON.immediate_sleep_sequence(C0I_S0I, frequency), _XEON
+        )
+        deep = simulate_trace(
+            trace, frequency, _XEON.immediate_sleep_sequence(C6_S3, frequency), _XEON
+        )
+        assert deep.mean_response_time >= shallow.mean_response_time - 1e-9

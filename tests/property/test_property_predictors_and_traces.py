@@ -1,0 +1,133 @@
+"""Property-based tests for predictors, traces and the analytic model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.mm1_sleep import (
+    average_power,
+    mean_response_time,
+    response_time_exceedance,
+)
+from repro.power.platform import xeon_power_model
+from repro.power.states import C6_S0I
+from repro.prediction.lms import LmsPredictor
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.prediction.naive import NaivePreviousPredictor
+from repro.workloads.jobs import JobTrace
+from repro.workloads.traces import UtilizationTrace
+
+_XEON = xeon_power_model()
+
+utilization_series = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=120
+)
+
+
+class TestPredictorProperties:
+    @given(values=utilization_series)
+    @settings(max_examples=100, deadline=None)
+    def test_predictions_always_in_unit_interval(self, values):
+        for predictor in (
+            NaivePreviousPredictor(),
+            LmsPredictor(history=5),
+            LmsCusumPredictor(history=5),
+        ):
+            for value in values:
+                prediction = predictor.predict()
+                assert 0.0 <= prediction <= 1.0
+                predictor.observe(value)
+            assert 0.0 <= predictor.predict() <= 1.0
+
+    @given(values=utilization_series)
+    @settings(max_examples=60, deadline=None)
+    def test_reset_restores_initial_behaviour(self, values):
+        predictor = LmsCusumPredictor(history=5, initial_prediction=0.3)
+        baseline = predictor.predict()
+        for value in values:
+            predictor.observe(value)
+        predictor.reset()
+        assert predictor.predict() == baseline
+        assert predictor.observation_count == 0
+
+    @given(
+        level=st.floats(min_value=0.0, max_value=1.0),
+        repeats=st.integers(min_value=30, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_constant_signal_is_learned(self, level, repeats):
+        predictor = LmsPredictor(history=5)
+        predictor.observe_many([level] * repeats)
+        assert predictor.predict() == pytest.approx(level, abs=0.12)
+
+
+class TestTraceProperties:
+    @given(values=utilization_series)
+    @settings(max_examples=80, deadline=None)
+    def test_summary_bounds(self, values):
+        trace = UtilizationTrace(values)
+        summary = trace.summary()
+        tolerance = 1e-12  # np.mean can land one ulp outside [min, max]
+        assert 0.0 <= summary.minimum
+        assert summary.minimum <= summary.mean + tolerance
+        assert summary.mean <= summary.maximum + tolerance
+        assert summary.maximum <= 1.0
+
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=4, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_resampling_preserves_mean(self, values):
+        trace = UtilizationTrace(values)
+        usable = (len(values) // 2) * 2
+        coarse = trace.resampled(trace.interval * 2)
+        assert float(np.mean(coarse.values)) == pytest.approx(
+            float(np.mean(trace.values[:usable])), rel=1e-9, abs=1e-9
+        )
+
+    @given(
+        gaps=st.lists(st.floats(min_value=1e-3, max_value=10.0), min_size=2, max_size=50),
+        demands=st.lists(st.floats(min_value=1e-3, max_value=1.0), min_size=2, max_size=50),
+        target=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_job_trace_rescaling_hits_target_load(self, gaps, demands, target):
+        size = min(len(gaps), len(demands))
+        trace = JobTrace.from_interarrivals(gaps[:size], demands[:size])
+        rescaled = trace.scaled_to_utilization(target)
+        assert rescaled.offered_load == pytest.approx(target, rel=1e-6)
+        assert np.array_equal(rescaled.service_demands, trace.service_demands)
+
+
+class TestAnalyticProperties:
+    rates = st.floats(min_value=0.05, max_value=5.0)
+
+    @given(arrival=rates, margin=st.floats(min_value=1.05, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_power_between_sleep_and_active(self, arrival, margin):
+        service_rate = arrival * margin
+        sleep = _XEON.immediate_sleep_sequence(C6_S0I, 1.0)
+        active = _XEON.active_power(1.0)
+        power = average_power(arrival, service_rate, sleep, active)
+        assert _XEON.system_power(C6_S0I) - 1e-9 <= power <= active + 1e-9
+
+    @given(arrival=rates, margin=st.floats(min_value=1.05, max_value=10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_response_time_exceeds_plain_mm1(self, arrival, margin):
+        service_rate = arrival * margin
+        sleep = _XEON.immediate_sleep_sequence(C6_S0I, 1.0)
+        base = 1.0 / (service_rate - arrival)
+        assert mean_response_time(arrival, service_rate, sleep) >= base - 1e-12
+
+    @given(
+        arrival=rates,
+        margin=st.floats(min_value=1.05, max_value=10.0),
+        wake=st.floats(min_value=0.0, max_value=2.0),
+        deadline=st.floats(min_value=0.0, max_value=50.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_exceedance_is_a_probability(self, arrival, margin, wake, deadline):
+        service_rate = arrival * margin
+        probability = response_time_exceedance(arrival, service_rate, wake, deadline)
+        assert 0.0 <= probability <= 1.0

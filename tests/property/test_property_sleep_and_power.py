@@ -1,0 +1,137 @@
+"""Property-based tests for the power substrate (sleep sequences, DVFS)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power.dvfs import DvfsModel, frequency_grid
+from repro.power.platform import xeon_power_model
+from repro.power.sleep import SleepSequence, SleepStateSpec
+from repro.power.states import C0I_S0I, C1_S0I, C3_S0I, C6_S0I, C6_S3, LOW_POWER_STATES
+
+_XEON = xeon_power_model()
+
+frequencies = st.floats(min_value=0.01, max_value=1.0)
+idle_times = st.floats(min_value=0.0, max_value=1e4)
+
+
+@st.composite
+def sleep_sequences(draw) -> SleepSequence:
+    """Random valid sleep sequences built from the canonical state ladder."""
+    count = draw(st.integers(min_value=1, max_value=5))
+    states = list(LOW_POWER_STATES[:count])
+    delays = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+    )
+    specs = []
+    for state, delay in zip(states, delays):
+        specs.append(
+            SleepStateSpec(
+                state=state,
+                power=_XEON.system_power(state, 1.0),
+                entry_delay=delay,
+                wake_up_latency=_XEON.wake_up_latency(state),
+            )
+        )
+    return SleepSequence(specs)
+
+
+class TestSleepSequenceProperties:
+    @given(sequence=sleep_sequences(), idle=idle_times)
+    @settings(max_examples=150, deadline=None)
+    def test_idle_energy_bounded_by_extreme_powers(self, sequence, idle):
+        pre_sleep_power = _XEON.idle_power(1.0)
+        energy = sequence.idle_energy(idle, pre_sleep_power)
+        lowest = min(spec.power for spec in sequence)
+        highest = max(pre_sleep_power, max(spec.power for spec in sequence))
+        assert lowest * idle - 1e-9 <= energy <= highest * idle + 1e-9
+
+    @given(sequence=sleep_sequences(), idle=idle_times)
+    @settings(max_examples=150, deadline=None)
+    def test_idle_energy_monotone_in_idle_time(self, sequence, idle):
+        pre_sleep_power = _XEON.idle_power(1.0)
+        shorter = sequence.idle_energy(idle * 0.5, pre_sleep_power)
+        longer = sequence.idle_energy(idle, pre_sleep_power)
+        assert longer >= shorter - 1e-9
+
+    @given(sequence=sleep_sequences(), idle=idle_times)
+    @settings(max_examples=150, deadline=None)
+    def test_wake_up_latency_monotone_in_idle_time(self, sequence, idle):
+        assert sequence.wake_up_latency_after_idle(
+            idle
+        ) >= sequence.wake_up_latency_after_idle(idle * 0.5)
+
+    @given(sequence=sleep_sequences(), idle=idle_times)
+    @settings(max_examples=100, deadline=None)
+    def test_state_after_idle_consistent_with_entry_delays(self, sequence, idle):
+        state = sequence.state_after_idle(idle)
+        if state is None:
+            assert idle < sequence.first_entry_delay
+        else:
+            assert idle >= state.entry_delay
+
+
+class TestDvfsProperties:
+    @given(frequency=frequencies)
+    @settings(max_examples=100, deadline=None)
+    def test_dynamic_power_factor_between_zero_and_one(self, frequency):
+        model = DvfsModel()
+        factor = model.dynamic_power_factor(frequency)
+        assert 0.0 <= factor <= 1.0
+        assert factor == pytest.approx(frequency**3)
+
+    @given(low=frequencies, high=frequencies)
+    @settings(max_examples=100, deadline=None)
+    def test_dynamic_power_monotone_in_frequency(self, low, high):
+        low, high = sorted((low, high))
+        model = DvfsModel()
+        assert model.dynamic_power_factor(low) <= model.dynamic_power_factor(high)
+
+    @given(
+        utilization=st.floats(min_value=0.0, max_value=0.95),
+        step=st.floats(min_value=0.005, max_value=0.2),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_frequency_grid_is_sorted_stable_and_ends_at_one(self, utilization, step):
+        grid = frequency_grid(utilization, step=step)
+        assert (grid[1:] >= grid[:-1]).all()
+        assert (grid > utilization).all()
+        assert grid[-1] == pytest.approx(1.0)
+
+
+class TestServerPowerProperties:
+    @given(frequency=frequencies)
+    @settings(max_examples=100, deadline=None)
+    def test_deep_state_power_ordering_holds_at_any_frequency(self, frequency):
+        # The frequency-independent deep states are always ordered.  (The
+        # shallow C0(i)/C1 pair can swap order at low DVFS settings because
+        # the paper models C0(i) as 75*V^2*f but C1 as 47*V^2.)
+        deep_powers = [
+            _XEON.system_power(state, frequency) for state in (C3_S0I, C6_S0I, C6_S3)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(deep_powers, deep_powers[1:]))
+        # And every shallow state draws at least as much as C3S0(i).
+        for shallow in (C0I_S0I, C1_S0I):
+            assert _XEON.system_power(shallow, 1.0) >= deep_powers[0] - 1e-9
+
+    @given(frequency=frequencies)
+    @settings(max_examples=100, deadline=None)
+    def test_active_power_dominates_every_low_power_state(self, frequency):
+        active = _XEON.active_power(frequency)
+        for state in (C0I_S0I, C1_S0I, C3_S0I, C6_S0I, C6_S3):
+            assert active > _XEON.system_power(state, frequency) - 1e-9
+
+    @given(low=frequencies, high=frequencies)
+    @settings(max_examples=100, deadline=None)
+    def test_active_power_monotone_in_frequency(self, low, high):
+        low, high = sorted((low, high))
+        assert _XEON.active_power(low) <= _XEON.active_power(high) + 1e-9

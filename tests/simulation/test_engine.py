@@ -1,0 +1,260 @@
+"""Tests for the queueing engine (Algorithm 1).
+
+The first half of this module checks hand-computed scenarios exactly (tiny
+traces where every departure, idle segment and energy term can be worked out
+by hand); the second half checks statistical agreement with M/M/1 theory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, StabilityError
+from repro.power.states import C0I_S0I, C6_S0I, C6_S3
+from repro.simulation.engine import (
+    ServerConfiguration,
+    check_stability,
+    simulate_trace,
+    simulate_workload,
+    warm_up_truncated,
+)
+from repro.simulation.metrics import STATE_SERVING, STATE_WAKING
+from repro.simulation.service_scaling import cpu_bound, memory_bound
+from repro.workloads.jobs import JobTrace
+
+
+class TestHandComputedDeepSleep:
+    """simple_trace at full frequency with immediate C6S3 (1 s wake-up)."""
+
+    @pytest.fixture()
+    def result(self, simple_trace, xeon):
+        sleep = xeon.immediate_sleep_sequence(C6_S3, 1.0)
+        return simulate_trace(simple_trace, 1.0, sleep, xeon)
+
+    def test_response_times(self, result):
+        # Job 0 wakes the server (1 s) then runs 0.5 s; job 1 queues behind
+        # it; job 2 arrives to a sleeping server again.
+        assert list(result.response_times) == pytest.approx([1.5, 1.0, 2.0])
+
+    def test_waiting_times(self, result):
+        assert list(result.waiting_times) == pytest.approx([1.0, 0.5, 1.0])
+
+    def test_horizon_is_last_departure(self, result):
+        assert result.horizon == pytest.approx(12.0)
+
+    def test_energy_breakdown(self, result):
+        assert result.energy.serving == pytest.approx(2.0 * 250.0)
+        assert result.energy.waking == pytest.approx(2.0 * 250.0)
+        assert result.energy.idle == pytest.approx(8.0 * 28.1)
+
+    def test_average_power(self, result):
+        assert result.average_power == pytest.approx((500.0 + 500.0 + 8 * 28.1) / 12.0)
+
+    def test_wake_up_count(self, result):
+        assert result.wake_up_count == 2
+
+    def test_residency(self, result):
+        assert result.state_residency[STATE_SERVING] == pytest.approx(2.0)
+        assert result.state_residency[STATE_WAKING] == pytest.approx(2.0)
+        assert result.state_residency["C6S3"] == pytest.approx(8.0)
+
+    def test_mean_service_demand_recorded(self, result, simple_trace):
+        assert result.mean_service_demand == pytest.approx(
+            simple_trace.mean_service_demand
+        )
+
+
+class TestHandComputedHalfFrequency:
+    """simple_trace at f = 0.5 with operating-idle sleep (no wake latency)."""
+
+    @pytest.fixture()
+    def result(self, simple_trace, xeon):
+        sleep = xeon.immediate_sleep_sequence(C0I_S0I, 0.5)
+        return simulate_trace(simple_trace, 0.5, sleep, xeon, scaling=cpu_bound())
+
+    def test_service_times_double(self, result):
+        assert list(result.response_times) == pytest.approx([1.0, 1.0, 2.0])
+
+    def test_energy(self, result):
+        active = 130.0 * 0.125 + 120.0
+        idle = 75.0 * 0.125 + 60.5
+        assert result.energy.serving == pytest.approx(4.0 * active)
+        assert result.energy.waking == 0.0
+        assert result.energy.idle == pytest.approx(8.0 * idle)
+
+    def test_no_wake_latency_but_wake_ups_counted(self, result):
+        # Jobs 0, 1 and 2 all found the server in a low-power state (job 1
+        # arrives exactly as job 0 departs), even though C0(i)S0(i) wakes
+        # instantaneously.
+        assert result.wake_up_count == 3
+        assert result.state_residency[STATE_WAKING] == 0.0
+
+
+class TestMemoryBoundScaling:
+    def test_memory_bound_ignores_frequency(self, simple_trace, xeon):
+        sleep = xeon.immediate_sleep_sequence(C0I_S0I, 0.5)
+        result = simulate_trace(
+            simple_trace, 0.5, sleep, xeon, scaling=memory_bound()
+        )
+        assert list(result.response_times) == pytest.approx([0.5, 0.5, 1.0])
+
+
+class TestBusyUntilAndStartTime:
+    def test_busy_until_queues_early_jobs(self, simple_trace, xeon):
+        sleep = xeon.immediate_sleep_sequence(C0I_S0I, 1.0)
+        result = simulate_trace(
+            simple_trace, 1.0, sleep, xeon, start_time=0.0, busy_until=2.0
+        )
+        # Job 0 starts at 2.0, job 1 queues behind it, job 2 is unaffected.
+        assert list(result.response_times) == pytest.approx([2.5, 2.0, 1.0])
+
+    def test_start_time_extends_initial_idle(self, xeon):
+        jobs = JobTrace([10.0], [1.0])
+        sleep = xeon.immediate_sleep_sequence(C6_S3, 1.0)
+        result = simulate_trace(jobs, 1.0, sleep, xeon, start_time=0.0)
+        assert result.energy.idle == pytest.approx(10.0 * 28.1)
+        assert result.horizon == pytest.approx(12.0)
+
+    def test_start_time_after_first_arrival_rejected(self, simple_trace, xeon):
+        sleep = xeon.immediate_sleep_sequence(C6_S3, 1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_trace(simple_trace, 1.0, sleep, xeon, start_time=5.0)
+
+    def test_busy_until_before_start_rejected(self, simple_trace, xeon):
+        sleep = xeon.immediate_sleep_sequence(C6_S3, 1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_trace(
+                simple_trace, 1.0, sleep, xeon, start_time=0.0, busy_until=-1.0
+            )
+
+
+class TestMultiStateSequence:
+    def test_delayed_deep_state_is_reached_only_after_long_idle(self, xeon):
+        # Two idle gaps: 2 s (stays in C0(i)S0(i)) and 20 s (falls to C6S3).
+        jobs = JobTrace([0.0, 3.0, 24.0], [1.0, 1.0, 1.0])
+        sequence = xeon.sleep_sequence([C0I_S0I, C6_S3], [0.0, 10.0], 1.0)
+        result = simulate_trace(jobs, 1.0, sequence, xeon)
+        # First gap: 4.0 -> 3.0? arrival 3 > departure 1.0: idle 2 s, all in
+        # C0(i)S0(i); no wake latency.  Second gap: 24 - 4 = 20 s: 10 s in
+        # C0(i)S0(i) then 10 s in C6S3, and a 1 s wake-up.
+        assert result.state_residency["C0(i)S0(i)"] == pytest.approx(12.0)
+        assert result.state_residency["C6S3"] == pytest.approx(10.0)
+        assert result.response_times[2] == pytest.approx(2.0)
+        assert result.energy.idle == pytest.approx(12.0 * 135.5 + 10.0 * 28.1)
+
+
+class TestInputValidation:
+    def test_invalid_frequency(self, simple_trace, xeon):
+        sleep = xeon.immediate_sleep_sequence(C6_S3, 1.0)
+        with pytest.raises(ConfigurationError):
+            simulate_trace(simple_trace, 0.0, sleep, xeon)
+        with pytest.raises(ConfigurationError):
+            simulate_trace(simple_trace, 1.2, sleep, xeon)
+
+    def test_check_stability_raises_for_overload(self):
+        with pytest.raises(StabilityError):
+            check_stability(0.6, 0.5, cpu_bound())
+
+    def test_check_stability_passes_for_stable_point(self):
+        check_stability(0.4, 0.5, cpu_bound())
+
+    def test_simulate_workload_enforces_stability(self, dns_ideal, xeon):
+        sleep = xeon.immediate_sleep_sequence(C0I_S0I, 0.3)
+        with pytest.raises(StabilityError):
+            simulate_workload(
+                dns_ideal,
+                frequency=0.3,
+                sleep=sleep,
+                power_model=xeon,
+                utilization=0.5,
+                num_jobs=100,
+            )
+
+    def test_server_configuration_defaults_to_cpu_bound(self, xeon):
+        config = ServerConfiguration(power_model=xeon)
+        assert config.scaling.is_cpu_bound
+
+
+class TestStatisticalAgreement:
+    def test_mm1_mean_response_time(self, dns_ideal, xeon):
+        # With no wake-up latency the system is a plain M/M/1 at rate mu*f.
+        sleep = xeon.immediate_sleep_sequence(C0I_S0I, 1.0)
+        result = simulate_workload(
+            dns_ideal,
+            frequency=1.0,
+            sleep=sleep,
+            power_model=xeon,
+            utilization=0.5,
+            num_jobs=40_000,
+            seed=11,
+        )
+        expected = 0.194 / (1.0 - 0.5)
+        assert result.mean_response_time == pytest.approx(expected, rel=0.05)
+
+    def test_busy_fraction_matches_utilization(self, dns_ideal, xeon):
+        sleep = xeon.immediate_sleep_sequence(C0I_S0I, 1.0)
+        result = simulate_workload(
+            dns_ideal,
+            frequency=1.0,
+            sleep=sleep,
+            power_model=xeon,
+            utilization=0.3,
+            num_jobs=40_000,
+            seed=13,
+        )
+        assert result.residency_fraction(STATE_SERVING) == pytest.approx(0.3, rel=0.05)
+
+    def test_lower_frequency_lengthens_response_times(self, dns_ideal, xeon):
+        results = {}
+        for frequency in (0.6, 1.0):
+            sleep = xeon.immediate_sleep_sequence(C0I_S0I, frequency)
+            results[frequency] = simulate_workload(
+                dns_ideal,
+                frequency=frequency,
+                sleep=sleep,
+                power_model=xeon,
+                utilization=0.3,
+                num_jobs=5_000,
+                seed=17,
+            )
+        assert (
+            results[0.6].mean_response_time > results[1.0].mean_response_time
+        )
+
+    def test_deeper_sleep_saves_power_at_low_utilization(self, dns_ideal, xeon):
+        shallow = simulate_workload(
+            dns_ideal,
+            frequency=1.0,
+            sleep=xeon.immediate_sleep_sequence(C0I_S0I, 1.0),
+            power_model=xeon,
+            utilization=0.1,
+            num_jobs=5_000,
+            seed=19,
+        )
+        deep = simulate_workload(
+            dns_ideal,
+            frequency=1.0,
+            sleep=xeon.immediate_sleep_sequence(C6_S0I, 1.0),
+            power_model=xeon,
+            utilization=0.1,
+            num_jobs=5_000,
+            seed=19,
+        )
+        assert deep.average_power < shallow.average_power
+
+    def test_warm_up_truncation(self, dns_ideal, xeon):
+        sleep = xeon.immediate_sleep_sequence(C0I_S0I, 1.0)
+        result = simulate_workload(
+            dns_ideal,
+            frequency=1.0,
+            sleep=sleep,
+            power_model=xeon,
+            utilization=0.3,
+            num_jobs=1_000,
+            seed=23,
+        )
+        truncated = warm_up_truncated(result, fraction=0.1)
+        assert truncated.size == 900
+        with pytest.raises(ConfigurationError):
+            warm_up_truncated(result, fraction=1.0)

@@ -1,0 +1,145 @@
+"""Tests for simulation result metrics and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.simulation.metrics import (
+    STATE_SERVING,
+    EnergyBreakdown,
+    SimulationResult,
+    merge_results,
+)
+
+
+def make_result(
+    response=(1.0, 2.0, 3.0),
+    waiting=(0.0, 0.5, 1.0),
+    serving=100.0,
+    waking=10.0,
+    idle=20.0,
+    horizon=10.0,
+    frequency=0.8,
+    mean_demand=1.0,
+    residency=None,
+    wake_count=1,
+) -> SimulationResult:
+    return SimulationResult(
+        response_times=np.array(response, dtype=float),
+        waiting_times=np.array(waiting, dtype=float),
+        energy=EnergyBreakdown(serving=serving, waking=waking, idle=idle),
+        horizon=horizon,
+        state_residency=residency or {STATE_SERVING: 5.0, "C6S3": 3.0},
+        frequency=frequency,
+        wake_up_count=wake_count,
+        mean_service_demand=mean_demand,
+    )
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        assert EnergyBreakdown(1.0, 2.0, 3.0).total == 6.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            EnergyBreakdown(-1.0, 0.0, 0.0)
+
+
+class TestSimulationResultMetrics:
+    def test_mean_response_time(self):
+        assert make_result().mean_response_time == pytest.approx(2.0)
+
+    def test_mean_waiting_time(self):
+        assert make_result().mean_waiting_time == pytest.approx(0.5)
+
+    def test_normalized_response_time(self):
+        result = make_result(mean_demand=0.5)
+        assert result.normalized_mean_response_time == pytest.approx(4.0)
+
+    def test_normalized_requires_mean_demand(self):
+        result = make_result(mean_demand=0.0)
+        with pytest.raises(ConfigurationError):
+            result.normalized_mean_response_time
+
+    def test_percentile(self):
+        response = tuple(np.arange(1, 101, dtype=float))
+        result = make_result(response=response, waiting=tuple(np.zeros(100)))
+        assert result.response_time_percentile(95.0) == pytest.approx(95.05, rel=0.01)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_result().response_time_percentile(0.0)
+
+    def test_exceedance_probability(self):
+        result = make_result(response=(1.0, 2.0, 3.0, 4.0), waiting=(0, 0, 0, 0))
+        assert result.exceedance_probability(2.5) == pytest.approx(0.5)
+        assert result.exceedance_probability(0.0) == 1.0
+
+    def test_exceedance_rejects_negative_deadline(self):
+        with pytest.raises(ConfigurationError):
+            make_result().exceedance_probability(-1.0)
+
+    def test_average_power(self):
+        assert make_result().average_power == pytest.approx(130.0 / 10.0)
+
+    def test_energy_per_job(self):
+        assert make_result().energy_per_job == pytest.approx(130.0 / 3.0)
+
+    def test_wake_up_fraction(self):
+        assert make_result(wake_count=2).wake_up_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_residency_fraction(self):
+        result = make_result()
+        assert result.residency_fraction(STATE_SERVING) == pytest.approx(0.5)
+        assert result.residency_fraction("C6S3") == pytest.approx(0.3)
+        assert result.residency_fraction("unknown") == 0.0
+
+    def test_summary_contains_headline_metrics(self):
+        summary = make_result().summary()
+        assert "average_power_w" in summary
+        assert "normalized_mean_response_time" in summary
+        assert summary["num_jobs"] == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_result(horizon=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationResult(
+                response_times=np.array([]),
+                waiting_times=np.array([]),
+                energy=EnergyBreakdown(0, 0, 0),
+                horizon=1.0,
+            )
+        with pytest.raises(ConfigurationError):
+            SimulationResult(
+                response_times=np.array([1.0, 2.0]),
+                waiting_times=np.array([0.0]),
+                energy=EnergyBreakdown(0, 0, 0),
+                horizon=1.0,
+            )
+
+
+class TestMergeResults:
+    def test_merge_concatenates_and_sums(self):
+        merged = merge_results([make_result(), make_result(horizon=30.0)])
+        assert merged.num_jobs == 6
+        assert merged.horizon == pytest.approx(40.0)
+        assert merged.total_energy == pytest.approx(260.0)
+        assert merged.state_residency[STATE_SERVING] == pytest.approx(10.0)
+
+    def test_merge_time_weights_frequency(self):
+        a = make_result(horizon=10.0, frequency=0.5)
+        b = make_result(horizon=30.0, frequency=1.0)
+        merged = merge_results([a, b])
+        assert merged.frequency == pytest.approx((0.5 * 10 + 1.0 * 30) / 40)
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_results([])
+
+    def test_merge_single_is_identity_like(self):
+        merged = merge_results([make_result()])
+        assert merged.num_jobs == 3
+        assert merged.average_power == pytest.approx(make_result().average_power)

@@ -1,0 +1,71 @@
+"""Tests for unit conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_microseconds(self):
+        assert units.microseconds(10) == pytest.approx(1e-5)
+
+    def test_milliseconds(self):
+        assert units.milliseconds(194) == pytest.approx(0.194)
+
+    def test_seconds_identity(self):
+        assert units.seconds(2.5) == 2.5
+
+    def test_minutes(self):
+        assert units.minutes(5) == 300.0
+
+    def test_hours(self):
+        assert units.hours(2) == 7200.0
+
+    def test_days(self):
+        assert units.days(1) == 86400.0
+
+    def test_round_trip_minutes(self):
+        assert units.to_minutes(units.minutes(7.5)) == pytest.approx(7.5)
+
+    def test_round_trip_milliseconds(self):
+        assert units.to_milliseconds(units.milliseconds(42)) == pytest.approx(42)
+
+    def test_round_trip_microseconds(self):
+        assert units.to_microseconds(units.microseconds(3)) == pytest.approx(3)
+
+    def test_round_trip_hours(self):
+        assert units.to_hours(units.hours(0.25)) == pytest.approx(0.25)
+
+
+class TestEnergyHelpers:
+    def test_joules(self):
+        assert units.joules(100.0, 60.0) == pytest.approx(6000.0)
+
+    def test_watt_hours(self):
+        assert units.watt_hours(3600.0) == pytest.approx(1.0)
+
+    def test_constants_consistent(self):
+        assert units.SECONDS_PER_HOUR == 60 * units.SECONDS_PER_MINUTE
+        assert units.SECONDS_PER_DAY == 24 * units.SECONDS_PER_HOUR
+
+
+class TestExceptionHierarchy:
+    def test_all_exceptions_derive_from_repro_error(self):
+        from repro import exceptions
+
+        for name in (
+            "ConfigurationError",
+            "StabilityError",
+            "PredictionError",
+            "PolicySelectionError",
+            "TraceError",
+            "ExperimentError",
+        ):
+            assert issubclass(getattr(exceptions, name), exceptions.ReproError)
+
+    def test_repro_error_is_an_exception(self):
+        from repro.exceptions import ReproError
+
+        assert issubclass(ReproError, Exception)

@@ -1,0 +1,249 @@
+"""Tests for the distribution substrate (moment matching, sampling, scaling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.distributions import (
+    Deterministic,
+    Empirical,
+    Erlang,
+    Exponential,
+    HyperExponential,
+    LogNormal,
+    Pareto,
+    Uniform,
+    from_mean_cv,
+)
+
+SAMPLES = 40_000
+
+
+def sampled_mean_cv(distribution, rng, n=SAMPLES):
+    values = distribution.sample(n, rng)
+    mean = float(np.mean(values))
+    return mean, float(np.std(values) / mean)
+
+
+class TestDeterministic:
+    def test_moments(self):
+        d = Deterministic(3.0)
+        assert d.mean == 3.0
+        assert d.cv == 0.0
+        assert d.variance == 0.0
+        assert d.second_moment == 9.0
+
+    def test_samples_are_constant(self, rng):
+        assert np.all(Deterministic(2.0).sample(100, rng) == 2.0)
+
+    def test_scaled(self):
+        assert Deterministic(2.0).scaled(3.0).value == 6.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Deterministic(-1.0)
+
+
+class TestExponential:
+    def test_moments(self):
+        d = Exponential(0.194)
+        assert d.mean == pytest.approx(0.194)
+        assert d.cv == 1.0
+        assert d.rate == pytest.approx(1.0 / 0.194)
+        assert d.second_moment == pytest.approx(2 * 0.194**2)
+
+    def test_sampling_matches_mean(self, rng):
+        mean, cv = sampled_mean_cv(Exponential(2.0), rng)
+        assert mean == pytest.approx(2.0, rel=0.05)
+        assert cv == pytest.approx(1.0, rel=0.05)
+
+    def test_scaled_preserves_cv(self):
+        assert Exponential(1.0).scaled(5.0).mean == 5.0
+        assert Exponential(1.0).scaled(5.0).cv == 1.0
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            Exponential(0.0)
+
+    def test_rejects_negative_sample_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            Exponential(1.0).sample(-1, rng)
+
+
+class TestHyperExponential:
+    def test_moment_matching(self):
+        d = HyperExponential.from_mean_cv(0.092, 3.6)
+        assert d.mean == pytest.approx(0.092, rel=1e-9)
+        assert d.cv == pytest.approx(3.6, rel=1e-9)
+
+    def test_sampling_matches_target(self, rng):
+        d = HyperExponential.from_mean_cv(1.0, 2.0)
+        mean, cv = sampled_mean_cv(d, rng, n=200_000)
+        assert mean == pytest.approx(1.0, rel=0.05)
+        assert cv == pytest.approx(2.0, rel=0.1)
+
+    def test_requires_cv_above_one(self):
+        with pytest.raises(ConfigurationError):
+            HyperExponential.from_mean_cv(1.0, 0.8)
+
+    def test_phase_probabilities_valid(self):
+        d = HyperExponential.from_mean_cv(1.0, 1.5)
+        assert 0.0 < d.p1 < 1.0
+        assert d.p1 + d.p2 == pytest.approx(1.0)
+
+    def test_scaled_preserves_cv(self):
+        d = HyperExponential.from_mean_cv(1.0, 3.0)
+        scaled = d.scaled(10.0)
+        assert scaled.mean == pytest.approx(10.0)
+        assert scaled.cv == pytest.approx(3.0)
+
+    def test_rejects_bad_phase_probability(self):
+        with pytest.raises(ConfigurationError):
+            HyperExponential(p1=1.5, mean1=1.0, mean2=2.0)
+
+
+class TestErlang:
+    def test_moment_matching(self):
+        d = Erlang.from_mean_cv(2.0, 0.5)
+        assert d.mean == 2.0
+        assert d.k == 4
+        assert d.cv == pytest.approx(0.5)
+
+    def test_sampling(self, rng):
+        mean, cv = sampled_mean_cv(Erlang(k=4, mean_value=2.0), rng)
+        assert mean == pytest.approx(2.0, rel=0.05)
+        assert cv == pytest.approx(0.5, rel=0.1)
+
+    def test_requires_cv_at_most_one(self):
+        with pytest.raises(ConfigurationError):
+            Erlang.from_mean_cv(1.0, 1.5)
+
+    def test_rejects_zero_shape(self):
+        with pytest.raises(ConfigurationError):
+            Erlang(k=0, mean_value=1.0)
+
+    def test_scaled(self):
+        d = Erlang(k=3, mean_value=1.0).scaled(2.0)
+        assert d.mean == 2.0
+        assert d.k == 3
+
+
+class TestLogNormal:
+    def test_moments(self):
+        d = LogNormal(5.0, 1.3)
+        assert d.mean == 5.0
+        assert d.cv == 1.3
+
+    def test_sampling(self, rng):
+        mean, cv = sampled_mean_cv(LogNormal(1.0, 0.8), rng, n=200_000)
+        assert mean == pytest.approx(1.0, rel=0.05)
+        assert cv == pytest.approx(0.8, rel=0.1)
+
+    def test_scaled(self):
+        d = LogNormal(1.0, 0.8).scaled(4.0)
+        assert d.mean == 4.0
+        assert d.cv == 0.8
+
+
+class TestPareto:
+    def test_mean_and_cv_formulas(self):
+        d = Pareto(alpha=3.0, mean_value=2.0)
+        assert d.mean == 2.0
+        assert d.cv == pytest.approx(np.sqrt(3.0), rel=1e-9)
+
+    def test_sampling_mean(self, rng):
+        d = Pareto(alpha=4.0, mean_value=1.0)
+        mean, _ = sampled_mean_cv(d, rng, n=200_000)
+        assert mean == pytest.approx(1.0, rel=0.1)
+
+    def test_requires_alpha_above_two(self):
+        with pytest.raises(ConfigurationError):
+            Pareto(alpha=1.5, mean_value=1.0)
+
+    def test_scaled(self):
+        assert Pareto(3.0, 1.0).scaled(2.0).mean == 2.0
+
+
+class TestUniform:
+    def test_moments(self):
+        d = Uniform(1.0, 3.0)
+        assert d.mean == 2.0
+        assert d.cv == pytest.approx((2.0 / np.sqrt(12.0)) / 2.0)
+
+    def test_samples_within_bounds(self, rng):
+        values = Uniform(0.5, 1.5).sample(1000, rng)
+        assert np.all(values >= 0.5)
+        assert np.all(values <= 1.5)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Uniform(2.0, 1.0)
+
+    def test_scaled(self):
+        d = Uniform(1.0, 3.0).scaled(2.0)
+        assert d.low == 2.0
+        assert d.high == 6.0
+
+
+class TestEmpirical:
+    def test_moments_match_data(self):
+        d = Empirical([1.0, 2.0, 3.0, 4.0])
+        assert d.mean == pytest.approx(2.5)
+        assert d.cv == pytest.approx(np.std([1, 2, 3, 4]) / 2.5)
+
+    def test_samples_come_from_data(self, rng):
+        data = [1.0, 5.0, 9.0]
+        values = Empirical(data).sample(500, rng)
+        assert set(np.unique(values)).issubset(set(data))
+
+    def test_scaled(self):
+        d = Empirical([1.0, 2.0]).scaled(3.0)
+        assert d.mean == pytest.approx(4.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([])
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ConfigurationError):
+            Empirical([1.0, -2.0])
+
+    def test_equality(self):
+        assert Empirical([1.0, 2.0]) == Empirical([1.0, 2.0])
+        assert Empirical([1.0, 2.0]) != Empirical([1.0, 3.0])
+
+    def test_values_are_read_only(self):
+        d = Empirical([1.0, 2.0])
+        with pytest.raises(ValueError):
+            d.values[0] = 5.0
+
+
+class TestFromMeanCv:
+    def test_zero_cv_gives_deterministic(self):
+        assert isinstance(from_mean_cv(1.0, 0.0), Deterministic)
+
+    def test_cv_below_one_gives_erlang(self):
+        assert isinstance(from_mean_cv(1.0, 0.5), Erlang)
+
+    def test_cv_of_one_gives_exponential(self):
+        assert isinstance(from_mean_cv(1.0, 1.0), Exponential)
+
+    def test_cv_near_one_gives_exponential(self):
+        assert isinstance(from_mean_cv(1.0, 1.01), Exponential)
+
+    def test_cv_above_one_gives_hyperexponential(self):
+        assert isinstance(from_mean_cv(1.0, 3.6), HyperExponential)
+
+    def test_mean_always_preserved(self):
+        for cv in (0.0, 0.3, 1.0, 2.5):
+            assert from_mean_cv(0.194, cv).mean == pytest.approx(0.194, rel=1e-6)
+
+    def test_rejects_negative_cv(self):
+        with pytest.raises(ConfigurationError):
+            from_mean_cv(1.0, -0.5)
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ConfigurationError):
+            from_mean_cv(0.0, 1.0)

@@ -1,0 +1,118 @@
+"""Tests for job-stream generation (stationary and trace-driven)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.units import minutes
+from repro.workloads.generator import (
+    empirical_utilization,
+    generate_jobs,
+    generate_trace_driven_jobs,
+    make_rng,
+)
+from repro.workloads.jobs import JobTrace
+from repro.workloads.spec import dns_workload
+from repro.workloads.traces import constant_trace, step_trace
+
+
+class TestGenerateJobs:
+    def test_job_count(self, dns_ideal):
+        jobs = generate_jobs(dns_ideal, num_jobs=500, seed=1)
+        assert len(jobs) == 500
+
+    def test_seed_reproducibility(self, dns_ideal):
+        a = generate_jobs(dns_ideal, num_jobs=200, utilization=0.3, seed=5)
+        b = generate_jobs(dns_ideal, num_jobs=200, utilization=0.3, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self, dns_ideal):
+        a = generate_jobs(dns_ideal, num_jobs=200, seed=1)
+        b = generate_jobs(dns_ideal, num_jobs=200, seed=2)
+        assert a != b
+
+    def test_targets_requested_utilization(self, dns_ideal):
+        jobs = generate_jobs(dns_ideal, num_jobs=20_000, utilization=0.4, seed=3)
+        assert jobs.offered_load == pytest.approx(0.4, rel=0.05)
+
+    def test_service_demands_match_spec_mean(self, dns_ideal):
+        jobs = generate_jobs(dns_ideal, num_jobs=20_000, utilization=0.4, seed=3)
+        assert jobs.mean_service_demand == pytest.approx(0.194, rel=0.05)
+
+    def test_shared_rng_advances(self, dns_ideal):
+        rng = make_rng(0)
+        a = generate_jobs(dns_ideal, num_jobs=100, rng=rng)
+        b = generate_jobs(dns_ideal, num_jobs=100, rng=rng)
+        assert a != b
+
+    def test_rejects_zero_jobs(self, dns_ideal):
+        with pytest.raises(ConfigurationError):
+            generate_jobs(dns_ideal, num_jobs=0)
+
+
+class TestTraceDrivenGeneration:
+    def test_flat_trace_matches_target_load(self, dns_ideal):
+        trace = constant_trace(0.4, num_samples=30)
+        workload = generate_trace_driven_jobs(dns_ideal, trace, seed=1)
+        assert workload.jobs.offered_load == pytest.approx(0.4, rel=0.15)
+
+    def test_step_trace_produces_more_jobs_in_busy_half(self, dns_ideal):
+        trace = step_trace(0.1, 0.6, num_samples=60)
+        workload = generate_trace_driven_jobs(dns_ideal, trace, seed=2)
+        halfway = trace.duration / 2
+        first = np.sum(workload.jobs.arrival_times < halfway)
+        second = np.sum(workload.jobs.arrival_times >= halfway)
+        assert second > 2 * first
+
+    def test_arrivals_are_sorted_and_within_trace(self, dns_ideal):
+        trace = constant_trace(0.3, num_samples=20)
+        jobs = generate_trace_driven_jobs(dns_ideal, trace, seed=3).jobs
+        assert np.all(np.diff(jobs.arrival_times) >= 0)
+        assert jobs.end_time <= trace.duration
+
+    def test_utilization_clamping(self, dns_ideal):
+        trace = constant_trace(0.0, num_samples=20)
+        workload = generate_trace_driven_jobs(
+            dns_ideal, trace, seed=4, min_utilization=0.05
+        )
+        assert len(workload.jobs) > 0
+
+    def test_invalid_clamp_rejected(self, dns_ideal):
+        trace = constant_trace(0.3, num_samples=10)
+        with pytest.raises(ConfigurationError):
+            generate_trace_driven_jobs(
+                dns_ideal, trace, min_utilization=0.5, max_utilization=0.2
+            )
+
+    def test_result_carries_inputs(self, dns_ideal):
+        trace = constant_trace(0.3, num_samples=10)
+        workload = generate_trace_driven_jobs(dns_ideal, trace, seed=5)
+        assert workload.spec is dns_ideal
+        assert workload.utilization is trace
+
+    def test_reproducible_with_seed(self, dns_ideal):
+        trace = constant_trace(0.3, num_samples=10)
+        a = generate_trace_driven_jobs(dns_ideal, trace, seed=9).jobs
+        b = generate_trace_driven_jobs(dns_ideal, trace, seed=9).jobs
+        assert a == b
+
+
+class TestEmpiricalUtilization:
+    def test_flat_trace_measures_flat_utilization(self, dns_ideal):
+        trace = constant_trace(0.5, num_samples=30)
+        jobs = generate_trace_driven_jobs(dns_ideal, trace, seed=6).jobs
+        measured = empirical_utilization(jobs, minutes(1), horizon=trace.duration)
+        assert measured.size == 30
+        assert float(np.mean(measured)) == pytest.approx(0.5, rel=0.15)
+
+    def test_hand_built_trace(self):
+        jobs = JobTrace([10.0, 70.0], [30.0, 6.0])
+        measured = empirical_utilization(jobs, 60.0, horizon=120.0)
+        assert measured[0] == pytest.approx(0.5)
+        assert measured[1] == pytest.approx(0.1)
+
+    def test_rejects_bad_interval(self, small_dns_trace):
+        with pytest.raises(ConfigurationError):
+            empirical_utilization(small_dns_trace, 0.0)

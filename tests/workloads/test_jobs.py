@@ -1,0 +1,191 @@
+"""Tests for Job and JobTrace containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.workloads.jobs import Job, JobTrace
+
+
+class TestJob:
+    def test_valid_job(self):
+        job = Job(0, 1.0, 0.2)
+        assert job.arrival_time == 1.0
+        assert job.service_demand == 0.2
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(TraceError):
+            Job(0, -1.0, 0.2)
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(TraceError):
+            Job(0, 1.0, -0.2)
+
+
+class TestJobTraceConstruction:
+    def test_basic_construction(self, simple_trace):
+        assert len(simple_trace) == 3
+        assert simple_trace.start_time == 0.0
+        assert simple_trace.end_time == 10.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            JobTrace([], [])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(TraceError):
+            JobTrace([0.0, 1.0], [0.5])
+
+    def test_rejects_decreasing_arrivals(self):
+        with pytest.raises(TraceError):
+            JobTrace([1.0, 0.5], [0.1, 0.1])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(TraceError):
+            JobTrace([-1.0, 0.0], [0.1, 0.1])
+        with pytest.raises(TraceError):
+            JobTrace([0.0, 1.0], [0.1, -0.1])
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(TraceError):
+            JobTrace([0.0, np.inf], [0.1, 0.1])
+
+    def test_from_interarrivals(self):
+        trace = JobTrace.from_interarrivals([1.0, 2.0, 3.0], [0.1, 0.2, 0.3])
+        assert list(trace.arrival_times) == [1.0, 3.0, 6.0]
+
+    def test_from_interarrivals_with_start_time(self):
+        trace = JobTrace.from_interarrivals([1.0], [0.1], start_time=5.0)
+        assert trace.arrival_times[0] == 6.0
+
+    def test_from_jobs(self):
+        jobs = [Job(0, 0.0, 0.5), Job(1, 1.0, 0.5)]
+        trace = JobTrace.from_jobs(jobs)
+        assert len(trace) == 2
+
+    def test_from_jobs_rejects_empty(self):
+        with pytest.raises(TraceError):
+            JobTrace.from_jobs([])
+
+
+class TestJobTraceAccessors:
+    def test_iteration_yields_jobs(self, simple_trace):
+        jobs = list(simple_trace)
+        assert [j.index for j in jobs] == [0, 1, 2]
+        assert jobs[2].arrival_time == 10.0
+
+    def test_indexing(self, simple_trace):
+        assert simple_trace[1].arrival_time == 1.0
+        assert simple_trace[-1].arrival_time == 10.0
+
+    def test_index_out_of_range(self, simple_trace):
+        with pytest.raises(IndexError):
+            simple_trace[3]
+
+    def test_interarrival_times(self, simple_trace):
+        assert list(simple_trace.interarrival_times) == [0.0, 1.0, 9.0]
+
+    def test_mean_statistics(self, simple_trace):
+        assert simple_trace.mean_service_demand == pytest.approx(2.0 / 3.0)
+        assert simple_trace.mean_interarrival_time == pytest.approx(5.0)
+
+    def test_offered_load(self, simple_trace):
+        # Total demand 2.0 over a 10-second span.
+        assert simple_trace.offered_load == pytest.approx(0.2)
+
+    def test_arrays_are_read_only(self, simple_trace):
+        with pytest.raises(ValueError):
+            simple_trace.arrival_times[0] = 99.0
+
+    def test_equality(self):
+        a = JobTrace([0.0, 1.0], [0.1, 0.2])
+        b = JobTrace([0.0, 1.0], [0.1, 0.2])
+        c = JobTrace([0.0, 2.0], [0.1, 0.2])
+        assert a == b
+        assert a != c
+
+
+class TestJobTraceTransformations:
+    def test_shifted(self, simple_trace):
+        shifted = simple_trace.shifted(5.0)
+        assert shifted.start_time == 5.0
+        assert shifted.mean_service_demand == simple_trace.mean_service_demand
+
+    def test_shift_cannot_go_negative(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.shifted(-1.0)
+
+    def test_scaled_interarrivals_changes_load(self, simple_trace):
+        stretched = simple_trace.scaled_interarrivals(2.0)
+        assert stretched.offered_load == pytest.approx(simple_trace.offered_load / 2.0)
+
+    def test_scaled_to_utilization(self, simple_trace):
+        target = 0.5
+        rescaled = simple_trace.scaled_to_utilization(target)
+        assert rescaled.offered_load == pytest.approx(target, rel=1e-6)
+
+    def test_scaled_to_utilization_rejects_out_of_range(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.scaled_to_utilization(1.5)
+
+    def test_scaled_interarrivals_rejects_non_positive(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.scaled_interarrivals(0.0)
+
+    def test_slice_by_time(self, simple_trace):
+        window = simple_trace.slice_by_time(0.5, 5.0)
+        assert window is not None
+        assert len(window) == 1
+        assert window.arrival_times[0] == pytest.approx(0.5)  # re-based
+
+    def test_slice_by_time_empty_returns_none(self, simple_trace):
+        assert simple_trace.slice_by_time(2.0, 3.0) is None
+
+    def test_slice_by_time_rejects_bad_window(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.slice_by_time(5.0, 5.0)
+
+    def test_head(self, simple_trace):
+        head = simple_trace.head(2)
+        assert len(head) == 2
+        assert head.end_time == 1.0
+
+    def test_head_longer_than_trace(self, simple_trace):
+        assert len(simple_trace.head(100)) == 3
+
+    def test_head_rejects_zero(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.head(0)
+
+    def test_concatenated(self, simple_trace):
+        combined = simple_trace.concatenated(simple_trace, gap=5.0)
+        assert len(combined) == 6
+        assert combined.arrival_times[3] == pytest.approx(15.0)
+
+    def test_concatenated_rejects_negative_gap(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.concatenated(simple_trace, gap=-1.0)
+
+
+class TestJobTraceCsv:
+    def test_round_trip(self, simple_trace, tmp_path):
+        path = tmp_path / "jobs.csv"
+        simple_trace.to_csv(path)
+        loaded = JobTrace.from_csv(path)
+        assert len(loaded) == len(simple_trace)
+        assert np.allclose(loaded.arrival_times, simple_trace.arrival_times)
+        assert np.allclose(loaded.service_demands, simple_trace.service_demands)
+
+    def test_from_csv_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("arrival_s,service_demand_s\n")
+        with pytest.raises(TraceError):
+            JobTrace.from_csv(path)
+
+    def test_round_trip_preserves_offered_load(self, small_dns_trace, tmp_path):
+        path = tmp_path / "dns.csv"
+        small_dns_trace.to_csv(path)
+        loaded = JobTrace.from_csv(path)
+        assert loaded.offered_load == pytest.approx(small_dns_trace.offered_load, rel=1e-6)

@@ -1,0 +1,121 @@
+"""Tests for workload specifications (Table 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.distributions import Exponential, HyperExponential
+from repro.workloads.spec import (
+    TABLE5_STATISTICS,
+    WorkloadSpec,
+    dns_workload,
+    google_workload,
+    mail_workload,
+    table5,
+    workload_by_name,
+)
+
+
+class TestTable5Presets:
+    def test_dns_statistics(self):
+        spec = dns_workload()
+        assert spec.mean_service_time == pytest.approx(0.194)
+        assert spec.interarrival.mean == pytest.approx(1.1)
+        assert spec.service.cv == pytest.approx(1.0, abs=0.02)
+
+    def test_google_statistics(self):
+        spec = google_workload()
+        assert spec.mean_service_time == pytest.approx(4.2e-3)
+        assert spec.interarrival.mean == pytest.approx(319e-6)
+        assert spec.interarrival.cv == pytest.approx(1.2, rel=1e-6)
+
+    def test_mail_statistics_heavy_tail(self):
+        spec = mail_workload()
+        assert spec.mean_service_time == pytest.approx(0.092)
+        assert spec.service.cv == pytest.approx(3.6, rel=1e-6)
+        assert isinstance(spec.service, HyperExponential)
+
+    def test_idealized_variant_uses_exponentials(self):
+        spec = dns_workload(empirical=False)
+        assert isinstance(spec.interarrival, Exponential)
+        assert isinstance(spec.service, Exponential)
+
+    def test_workload_by_name_case_insensitive(self):
+        assert workload_by_name("DNS").name == "dns"
+        assert workload_by_name("Google").name == "google"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workload_by_name("bitcoin")
+
+    def test_table5_contains_all_workloads(self):
+        table = table5()
+        assert set(table) == set(TABLE5_STATISTICS)
+        for summary in table.values():
+            assert set(summary) >= {
+                "interarrival_mean_s",
+                "interarrival_cv",
+                "service_mean_s",
+                "service_cv",
+            }
+
+    def test_google_is_most_heavily_loaded(self):
+        # Google's implied utilisation (4.2 ms jobs every 319 us) exceeds 1,
+        # which is why its arrival process is always re-targeted before use.
+        assert google_workload().utilization > 1.0
+        assert dns_workload().utilization < 0.2
+
+
+class TestWorkloadSpecOperations:
+    def test_rates(self):
+        spec = dns_workload()
+        assert spec.service_rate == pytest.approx(1.0 / 0.194)
+        assert spec.arrival_rate == pytest.approx(1.0 / 1.1)
+        assert spec.utilization == pytest.approx(0.194 / 1.1)
+
+    def test_at_utilization_changes_only_arrivals(self):
+        spec = dns_workload().at_utilization(0.5)
+        assert spec.utilization == pytest.approx(0.5)
+        assert spec.mean_service_time == pytest.approx(0.194)
+
+    def test_at_utilization_preserves_interarrival_cv(self):
+        original = google_workload()
+        rescaled = original.at_utilization(0.3)
+        assert rescaled.interarrival.cv == pytest.approx(original.interarrival.cv)
+
+    def test_at_utilization_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            dns_workload().at_utilization(0.0)
+        with pytest.raises(ConfigurationError):
+            dns_workload().at_utilization(1.0)
+
+    def test_with_cpu_boundedness(self):
+        spec = dns_workload().with_cpu_boundedness(0.5)
+        assert spec.cpu_boundedness == 0.5
+
+    def test_invalid_cpu_boundedness(self):
+        with pytest.raises(ConfigurationError):
+            dns_workload().with_cpu_boundedness(1.5)
+
+    def test_idealized_keeps_means(self):
+        spec = mail_workload()
+        ideal = spec.idealized()
+        assert ideal.service.mean == pytest.approx(spec.service.mean)
+        assert ideal.interarrival.mean == pytest.approx(spec.interarrival.mean)
+        assert ideal.service.cv == 1.0
+        assert ideal.name.endswith("idealized")
+
+    def test_summary_round_trip(self):
+        summary = dns_workload().summary()
+        assert summary["service_mean_s"] == pytest.approx(0.194)
+        assert summary["interarrival_cv"] == pytest.approx(1.1, rel=1e-6)
+
+    def test_custom_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(
+                name="bad",
+                interarrival=Exponential(1.0),
+                service=Exponential(0.1),
+                cpu_boundedness=-0.1,
+            )
