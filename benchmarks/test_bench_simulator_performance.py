@@ -7,6 +7,10 @@ against a minutes-long update interval.  These benchmarks measure the same
 primitive for this implementation: one Algorithm 1 evaluation, a whole
 policy-space characterisation, and the analytic (closed-form) evaluation that
 could replace simulation for the idealised model.
+
+Both simulation backends are benchmarked — the vectorized kernel (the
+default everywhere) and the per-job reference loop it replaced — so the
+speedup and any future regression are visible in one report.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from repro.policies.space import full_space
 from repro.power.platform import xeon_power_model
 from repro.power.states import C6_S0I
 from repro.simulation.engine import simulate_trace
+from repro.simulation.kernel import TraceKernel
 from repro.workloads.generator import generate_jobs
 from repro.workloads.spec import dns_workload
 
@@ -34,6 +39,17 @@ def job_stream():
     return generate_jobs(dns_workload(empirical=False), num_jobs=10_000, utilization=0.3, seed=0)
 
 
+def make_manager(power_model, backend):
+    return PolicyManager(
+        power_model=power_model,
+        policy_space=full_space(power_model, frequency_step=0.1),
+        qos=MeanResponseTimeConstraint(5.0),
+        characterization_jobs=1_000,
+        seed=0,
+        backend=backend,
+    )
+
+
 @pytest.mark.benchmark(group="simulator")
 def test_bench_single_policy_evaluation(benchmark, power_model, job_stream):
     """One Algorithm 1 run: 10,000 jobs under one (frequency, state) policy."""
@@ -45,15 +61,44 @@ def test_bench_single_policy_evaluation(benchmark, power_model, job_stream):
 
 
 @pytest.mark.benchmark(group="simulator")
+def test_bench_single_policy_evaluation_reference(benchmark, power_model, job_stream):
+    """The same single-policy run through the per-job reference loop."""
+    sleep = power_model.immediate_sleep_sequence(C6_S0I, 0.7)
+    result = benchmark(
+        simulate_trace, job_stream, 0.7, sleep, power_model, backend="reference"
+    )
+    assert result.num_jobs == 10_000
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_bench_warm_kernel_evaluation(benchmark, power_model, job_stream):
+    """One policy evaluation with the trace kernel's per-frequency cache warm.
+
+    This is the amortised per-candidate cost inside a batched policy-space
+    characterisation, where many sleep states share each frequency.
+    """
+    sleep = power_model.immediate_sleep_sequence(C6_S0I, 0.7)
+    kernel = TraceKernel(job_stream, power_model)
+    kernel.evaluate(0.7, sleep)
+    result = benchmark(kernel.evaluate, 0.7, sleep)
+    assert result.num_jobs == 10_000
+
+
+@pytest.mark.benchmark(group="simulator")
 def test_bench_policy_space_characterization(benchmark, power_model):
     """A full per-epoch policy search over the default SleepScale space."""
-    manager = PolicyManager(
-        power_model=power_model,
-        policy_space=full_space(power_model, frequency_step=0.1),
-        qos=MeanResponseTimeConstraint(5.0),
-        characterization_jobs=1_000,
-        seed=0,
-    )
+    manager = make_manager(power_model, "vectorized")
+    spec = dns_workload(empirical=False)
+    jobs = generate_jobs(spec, num_jobs=1_000, utilization=0.3, seed=1)
+
+    selection = benchmark(manager.select, jobs, 0.3)
+    assert selection.feasible
+
+
+@pytest.mark.benchmark(group="simulator")
+def test_bench_policy_space_characterization_reference(benchmark, power_model):
+    """The same policy search forced through the per-job reference loop."""
+    manager = make_manager(power_model, "reference")
     spec = dns_workload(empirical=False)
     jobs = generate_jobs(spec, num_jobs=1_000, utilization=0.3, seed=1)
 

@@ -23,6 +23,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.cluster.dispatch import JobDispatcher, RoundRobinDispatcher
+from repro.concurrency import fan_out
 from repro.core.epoch import RuntimeResult
 from repro.core.runtime import RuntimeConfig, SleepScaleRuntime
 from repro.core.strategies import PowerManagementStrategy
@@ -164,6 +165,14 @@ class ClusterRuntime:
         Runtime configuration shared by all servers.
     dispatcher:
         How arriving jobs are split across servers (round-robin by default).
+    max_workers:
+        When > 1, run the per-server epoch loops on a thread pool of this
+        size.  The factories must return a *fresh* strategy/predictor per
+        server index (validated at run time for the threaded path) so no
+        mutable state is shared across threads; the result is then identical
+        to the serial run regardless of scheduling, and the farm-level
+        policy-search overhead scales with ``num_servers / max_workers``
+        instead of ``num_servers``.
     """
 
     num_servers: int
@@ -173,11 +182,16 @@ class ClusterRuntime:
     predictor_factory: PredictorFactory
     config: RuntimeConfig = field(default_factory=RuntimeConfig)
     dispatcher: JobDispatcher = field(default_factory=RoundRobinDispatcher)
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
             raise ConfigurationError(
                 f"a farm needs at least one server, got {self.num_servers}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be at least 1, got {self.max_workers}"
             )
 
     def run(self, jobs: JobTrace) -> FarmResult:
@@ -185,22 +199,46 @@ class ClusterRuntime:
         streams: Sequence[JobTrace | None] = self.dispatcher.dispatch(
             jobs, self.num_servers
         )
-        per_server: list[RuntimeResult | None] = []
-        budget = None
-        for server_index, stream in enumerate(streams):
-            if stream is None:
-                per_server.append(None)
-                continue
-            runtime = SleepScaleRuntime(
+        per_server: list[RuntimeResult | None] = [None] * len(streams)
+        active = [
+            (index, stream)
+            for index, stream in enumerate(streams)
+            if stream is not None
+        ]
+        # Call the factories up front (in the caller's thread) so the
+        # threaded path can check they actually hand out per-server state
+        # instead of silently racing on a shared object.
+        strategies = [self.strategy_factory(index) for index, _ in active]
+        predictors = [self.predictor_factory(index) for index, _ in active]
+        if self.max_workers is not None and self.max_workers > 1:
+            for label, instances in (("strategy", strategies), ("predictor", predictors)):
+                if len({id(instance) for instance in instances}) != len(instances):
+                    raise ConfigurationError(
+                        f"the {label} factory must return a fresh object per "
+                        "server when max_workers > 1; a shared instance "
+                        "would race across server threads"
+                    )
+        runtimes = [
+            SleepScaleRuntime(
                 power_model=self.power_model,
                 spec=self.spec,
-                strategy=self.strategy_factory(server_index),
-                predictor=self.predictor_factory(server_index),
+                strategy=strategy,
+                predictor=predictor,
                 config=self.config,
             )
-            result = runtime.run(stream)
-            budget = result.response_time_budget
-            per_server.append(result)
+            for strategy, predictor in zip(strategies, predictors)
+        ]
+        results = fan_out(
+            list(zip(runtimes, (stream for _, stream in active))),
+            lambda pair: pair[0].run(pair[1]),
+            self.max_workers,
+        )
+        for (index, _), result in zip(active, results):
+            per_server[index] = result
+        budget = None
+        for result in per_server:
+            if result is not None:
+                budget = result.response_time_budget
         if budget is None:
             raise ConfigurationError("no server received any job")
         return FarmResult(

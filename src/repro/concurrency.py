@@ -1,0 +1,35 @@
+"""Shared thread fan-out helper.
+
+The farm, the state sweeps and the experiment runner all offer the same
+optional parallelism: independent work items, results in item order,
+serial execution unless a pool is explicitly requested.  This helper is that
+shape, once, so the three call sites cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def fan_out(
+    items: Sequence[ItemT],
+    fn: Callable[[ItemT], ResultT],
+    max_workers: int | None,
+) -> list[ResultT]:
+    """Apply *fn* to every item, on a thread pool when ``max_workers > 1``.
+
+    Results come back in item order.  With ``max_workers`` of ``None``/``<= 1``
+    or fewer than two items the calls run serially in the caller's thread.
+    Exceptions propagate either way (first in item order for the pooled
+    path).  Items must be independent — *fn* must not rely on earlier calls'
+    side effects.
+    """
+    if max_workers is not None and max_workers > 1 and len(items) > 1:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+    return [fn(item) for item in items]

@@ -16,6 +16,13 @@ Two levels of API are provided:
   return only the winning policy, falling back to the least-infeasible
   candidate when nothing meets the budget (the realistic behaviour of an
   overloaded server: do the best you can).
+
+Characterisation is *batched* by default: all candidates are evaluated
+through one shared :class:`~repro.simulation.kernel.TraceKernel`, which
+reuses the trace's arrival/demand arrays and the per-frequency busy-period
+structure across every sleep state at that frequency
+(:meth:`PolicyManager.characterize_batch`).  Construct the manager with
+``backend="reference"`` to fall back to the per-job simulation loop.
 """
 
 from __future__ import annotations
@@ -29,6 +36,11 @@ from repro.policies.policy import Policy
 from repro.policies.space import PolicySpace
 from repro.power.platform import ServerPowerModel
 from repro.simulation.engine import simulate_trace
+from repro.simulation.kernel import (
+    BACKEND_VECTORIZED,
+    TraceKernel,
+    validate_backend,
+)
 from repro.simulation.metrics import SimulationResult
 from repro.simulation.service_scaling import ServiceScaling, cpu_bound
 from repro.workloads.generator import generate_jobs, make_rng
@@ -106,6 +118,10 @@ class PolicyManager:
     seed:
         Seed for the job-stream generator used by
         :meth:`select_for_spec`/:meth:`characterize_spec`.
+    backend:
+        Simulation backend used for characterisation: ``"vectorized"``
+        (default, batched through a shared :class:`TraceKernel`) or
+        ``"reference"`` (the per-job loop).
     """
 
     def __init__(
@@ -116,6 +132,7 @@ class PolicyManager:
         scaling: ServiceScaling | None = None,
         characterization_jobs: int = 5_000,
         seed: int | None = 0,
+        backend: str = BACKEND_VECTORIZED,
     ):
         self._power_model = power_model
         self._space = policy_space
@@ -123,6 +140,7 @@ class PolicyManager:
         self._scaling = scaling or cpu_bound()
         self._characterization_jobs = int(characterization_jobs)
         self._rng = make_rng(seed)
+        self._backend = validate_backend(backend)
 
     # -- accessors -----------------------------------------------------------------
 
@@ -138,14 +156,9 @@ class PolicyManager:
 
     # -- characterisation -------------------------------------------------------------
 
-    def _evaluate(self, policy: Policy, jobs: JobTrace) -> PolicyEvaluation:
-        result: SimulationResult = simulate_trace(
-            jobs=jobs,
-            frequency=policy.frequency,
-            sleep=policy.sleep,
-            power_model=self._power_model,
-            scaling=self._scaling,
-        )
+    def _evaluation_from_result(
+        self, policy: Policy, result: SimulationResult
+    ) -> PolicyEvaluation:
         return PolicyEvaluation(
             policy=policy,
             average_power=result.average_power,
@@ -156,6 +169,17 @@ class PolicyManager:
             qos_slack=self._qos.slack(result),
         )
 
+    def _evaluate(self, policy: Policy, jobs: JobTrace) -> PolicyEvaluation:
+        result = simulate_trace(
+            jobs=jobs,
+            frequency=policy.frequency,
+            sleep=policy.sleep,
+            power_model=self._power_model,
+            scaling=self._scaling,
+            backend=self._backend,
+        )
+        return self._evaluation_from_result(policy, result)
+
     def characterize(
         self, jobs: JobTrace, utilization: float
     ) -> tuple[PolicyEvaluation, ...]:
@@ -163,10 +187,33 @@ class PolicyManager:
 
         *utilization* is the (predicted) offered load used to prune unstable
         frequency settings from the candidate space; the evaluation itself
-        replays *jobs* under each surviving policy.
+        replays *jobs* under each surviving policy.  With the default
+        vectorized backend this delegates to :meth:`characterize_batch`.
         """
+        if self._backend == BACKEND_VECTORIZED:
+            return self.characterize_batch(jobs, utilization)
         candidates = self._space.candidate_policies(utilization)
         return tuple(self._evaluate(policy, jobs) for policy in candidates)
+
+    def characterize_batch(
+        self, jobs: JobTrace, utilization: float
+    ) -> tuple[PolicyEvaluation, ...]:
+        """Evaluate every candidate policy through one shared trace kernel.
+
+        The kernel is constructed once for *jobs*: the candidate space is a
+        (frequency × sleep-state) grid, so the no-wake busy-period structure
+        computed for the first sleep state at a given frequency is reused by
+        every other state at that frequency.  This is the per-epoch fast path
+        of the policy search.
+        """
+        candidates = self._space.candidate_policies(utilization)
+        kernel = TraceKernel(jobs, self._power_model, scaling=self._scaling)
+        return tuple(
+            self._evaluation_from_result(
+                policy, kernel.evaluate(policy.frequency, policy.sleep)
+            )
+            for policy in candidates
+        )
 
     def characterize_spec(
         self,
@@ -202,6 +249,10 @@ class PolicyManager:
         best_slack = max(e.qos_slack for e in evaluations)
         tolerance = 0.02 * abs(best_slack)
         near_best = [e for e in evaluations if e.qos_slack >= best_slack - tolerance]
+        if not near_best:
+            # All slacks are nan (e.g. a zero-job characterisation, where the
+            # per-job statistics are undefined): fall back to cheapest power.
+            near_best = list(evaluations)
         best = min(near_best, key=lambda e: e.average_power)
         return PolicySelection(
             best=best, evaluations=tuple(evaluations), feasible=False

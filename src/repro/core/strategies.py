@@ -34,6 +34,7 @@ from repro.policies.space import (
 )
 from repro.power.platform import ServerPowerModel
 from repro.power.states import C3_S0I, C6_S0I, SystemState
+from repro.simulation.kernel import BACKEND_VECTORIZED
 from repro.simulation.service_scaling import ServiceScaling, cpu_bound
 from repro.workloads.generator import generate_jobs, make_rng
 from repro.workloads.jobs import JobTrace
@@ -95,6 +96,7 @@ class PolicySearchStrategy(PowerManagementStrategy):
         max_logged_jobs: int = 5_000,
         min_utilization: float = 0.02,
         seed: int | None = 0,
+        backend: str = BACKEND_VECTORIZED,
     ):
         self.name = name
         self._manager = PolicyManager(
@@ -104,6 +106,7 @@ class PolicySearchStrategy(PowerManagementStrategy):
             scaling=scaling or cpu_bound(),
             characterization_jobs=characterization_jobs,
             seed=seed,
+            backend=backend,
         )
         self._max_logged_jobs = int(max_logged_jobs)
         self._min_utilization = float(min_utilization)

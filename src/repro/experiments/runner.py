@@ -1,9 +1,12 @@
 """Experiment registry and command-line entry point.
 
-``python -m repro.experiments <name> [--full] [--seed N]`` runs one experiment
-and prints its result table; ``--list`` shows every registered experiment.
-The same registry is what the benchmark harness iterates over, so the CLI and
-the benchmarks can never diverge on what an experiment means.
+``python -m repro.experiments <name> [<name> ...] [--full] [--seed N]`` runs
+one or more experiments and prints their result tables; ``--list`` shows
+every registered experiment, and ``--parallel N`` fans independent
+experiments out over a thread pool (each experiment owns its seeds, so
+results are identical to the serial run).  The same registry is what the
+benchmark harness iterates over, so the CLI and the benchmarks can never
+diverge on what an experiment means.
 """
 
 from __future__ import annotations
@@ -11,8 +14,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
+from repro.concurrency import fan_out
 from repro.exceptions import ExperimentError
 from repro.experiments import (
     ablations,
@@ -74,6 +78,31 @@ def run_experiment(
     return runner(config or ExperimentConfig())
 
 
+def run_experiments(
+    names: Sequence[str],
+    config: ExperimentConfig | None = None,
+    max_workers: int | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run several registered experiments, optionally on a thread pool.
+
+    Each experiment derives its random streams from the config's base seed
+    independently of the others, so the fan-out (``max_workers > 1``)
+    produces the same results as running them one after another.  Unknown
+    names raise before anything is started.
+    """
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise ExperimentError(
+                f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
+            )
+    # Deduplicate (order-preserving): experiments are deterministic per
+    # config, so a repeated name would just burn wall-clock for the same row.
+    names = list(dict.fromkeys(names))
+    config = config or ExperimentConfig()
+    results = fan_out(names, lambda name: run_experiment(name, config), max_workers)
+    return dict(zip(names, results))
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (``python -m repro.experiments``)."""
     parser = argparse.ArgumentParser(
@@ -81,9 +110,9 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate a table or figure of the SleepScale paper.",
     )
     parser.add_argument(
-        "experiment",
-        nargs="?",
-        help="experiment name (e.g. figure1, table5); omit with --list",
+        "experiments",
+        nargs="*",
+        help="experiment names (e.g. figure1 table5); omit with --list",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -94,19 +123,32 @@ def main(argv: list[str] | None = None) -> int:
         help="run at full fidelity (paper-sized job counts and trace windows)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run multiple experiments on a thread pool of N workers",
+    )
     arguments = parser.parse_args(argv)
+    if arguments.parallel < 1:
+        parser.error(f"--parallel must be at least 1, got {arguments.parallel}")
 
-    if arguments.list or not arguments.experiment:
+    if arguments.list or not arguments.experiments:
         for name in available_experiments():
             print(name)
         return 0
 
     config = ExperimentConfig(fast=not arguments.full, seed=arguments.seed)
     started = time.perf_counter()
-    result = run_experiment(arguments.experiment, config)
+    results = run_experiments(
+        arguments.experiments, config, max_workers=arguments.parallel
+    )
     elapsed = time.perf_counter() - started
-    print(format_result(result))
-    print(f"\ncompleted in {elapsed:.1f} s (fast={config.fast})")
+    for name in dict.fromkeys(arguments.experiments):
+        print(format_result(results[name]))
+        print()
+    print(f"completed in {elapsed:.1f} s (fast={config.fast})")
     return 0
 
 

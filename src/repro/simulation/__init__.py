@@ -1,11 +1,27 @@
-"""Queueing simulation substrate: Algorithm 1, metrics and trade-off sweeps."""
+"""Queueing simulation substrate: Algorithm 1, metrics and trade-off sweeps.
+
+Two interchangeable simulation backends are provided: the readable per-job
+reference loop in :mod:`repro.simulation.engine` and the vectorized
+busy-period kernel in :mod:`repro.simulation.kernel` (the default).  Pass
+``backend="reference"``/``backend="vectorized"`` to ``simulate_trace`` and
+``simulate_workload`` to choose explicitly, or use :class:`TraceKernel`
+directly to evaluate many policies against one trace.
+"""
 
 from repro.simulation.engine import (
+    MAX_STABLE_UTILIZATION,
     ServerConfiguration,
     check_stability,
+    is_stable,
     simulate_trace,
     simulate_workload,
     warm_up_truncated,
+)
+from repro.simulation.kernel import (
+    BACKEND_REFERENCE,
+    BACKEND_VECTORIZED,
+    TraceKernel,
+    zero_job_result,
 )
 from repro.simulation.metrics import (
     STATE_PRE_SLEEP,
@@ -30,11 +46,15 @@ from repro.simulation.sweep import (
 )
 
 __all__ = [
+    "BACKEND_REFERENCE",
+    "BACKEND_VECTORIZED",
     "EnergyBreakdown",
+    "MAX_STABLE_UTILIZATION",
     "STATE_PRE_SLEEP",
     "STATE_SERVING",
     "STATE_WAKING",
     "ServerConfiguration",
+    "TraceKernel",
     "ServiceScaling",
     "SimulationResult",
     "TradeoffCurve",
@@ -42,6 +62,7 @@ __all__ = [
     "best_policy_across_states",
     "check_stability",
     "cpu_bound",
+    "is_stable",
     "memory_bound",
     "merge_results",
     "partially_bound",
@@ -50,4 +71,5 @@ __all__ = [
     "sweep_frequencies",
     "sweep_states",
     "warm_up_truncated",
+    "zero_job_result",
 ]

@@ -19,6 +19,13 @@ Two entry points are provided:
   :class:`~repro.workloads.spec.WorkloadSpec` at a target utilisation and run
   one policy against it (Algorithm 1 as written, used by all Section 4
   figures).
+
+Both accept a ``backend`` argument selecting the implementation:
+
+* ``"vectorized"`` (the default) — the NumPy busy-period kernel in
+  :mod:`repro.simulation.kernel`, orders of magnitude faster on long traces;
+* ``"reference"`` — the original per-job Python loop below, kept as the
+  readable oracle the equivalence suite pins the kernel against.
 """
 
 from __future__ import annotations
@@ -31,6 +38,14 @@ import numpy as np
 from repro.exceptions import ConfigurationError, StabilityError
 from repro.power.platform import ServerPowerModel
 from repro.power.sleep import SleepSequence
+from repro.simulation.kernel import (
+    BACKEND_REFERENCE,
+    BACKEND_VECTORIZED,
+    TraceKernel,
+    validate_backend,
+    validate_frequency,
+    zero_job_result,
+)
 from repro.simulation.metrics import (
     STATE_PRE_SLEEP,
     STATE_SERVING,
@@ -43,29 +58,42 @@ from repro.workloads.generator import generate_jobs
 from repro.workloads.jobs import JobTrace
 from repro.workloads.spec import WorkloadSpec
 
+#: Effective-load cutoff shared by every stability decision in the package.
+#: Operating points at or above this load are treated as unstable: the queue
+#: would be so close to saturation that finite-trace simulation results stop
+#: meaning anything (the paper restricts its sweeps to frequencies strictly
+#: above ``rho`` for the same reason).  ``sweep_frequencies`` skips such
+#: points and :func:`check_stability` rejects them — both through this one
+#: constant, so they can never disagree again.
+MAX_STABLE_UTILIZATION = 0.999
+
 
 @dataclass(frozen=True)
 class ServerConfiguration:
     """Static description of the simulated server.
 
     Bundles the power model with the service-time scaling rule so experiment
-    code can pass a single object around.
+    code can pass a single object around.  ``scaling`` may be omitted (or
+    passed as ``None``) and defaults to CPU-bound.
     """
 
     power_model: ServerPowerModel
-    scaling: ServiceScaling = None  # type: ignore[assignment]
+    scaling: ServiceScaling | None = None
 
     def __post_init__(self) -> None:
         if self.scaling is None:
             object.__setattr__(self, "scaling", cpu_bound())
 
 
-def _validate_frequency(frequency: float) -> float:
-    if not 0.0 < frequency <= 1.0:
-        raise ConfigurationError(
-            f"operating frequency must lie in (0, 1], got {frequency}"
-        )
-    return float(frequency)
+def is_stable(
+    utilization: float, frequency: float, scaling: ServiceScaling
+) -> bool:
+    """Whether the operating point keeps the queue (meaningfully) stable.
+
+    The effective utilisation at scaling factor ``f`` is ``rho / f**beta``;
+    the point is accepted only below :data:`MAX_STABLE_UTILIZATION`.
+    """
+    return utilization * scaling.time_factor(frequency) < MAX_STABLE_UTILIZATION
 
 
 def check_stability(
@@ -73,14 +101,14 @@ def check_stability(
 ) -> None:
     """Raise :class:`StabilityError` if the operating point is unstable.
 
-    The effective utilisation at scaling factor ``f`` is
-    ``rho / f**beta``; the queue is stable only when this is below 1.
+    Uses the same :data:`MAX_STABLE_UTILIZATION` cutoff as the sweep helpers.
     """
-    effective = utilization * scaling.time_factor(frequency)
-    if effective >= 1.0:
+    if not is_stable(utilization, frequency, scaling):
+        effective = utilization * scaling.time_factor(frequency)
         raise StabilityError(
             f"utilization {utilization:.3f} at frequency {frequency:.3f} gives "
-            f"effective load {effective:.3f} >= 1; the queue is unstable"
+            f"effective load {effective:.3f} >= {MAX_STABLE_UTILIZATION}; "
+            "the queue is unstable"
         )
 
 
@@ -92,6 +120,7 @@ def simulate_trace(
     scaling: ServiceScaling | None = None,
     start_time: float | None = None,
     busy_until: float | None = None,
+    backend: str = BACKEND_VECTORIZED,
 ) -> SimulationResult:
     """Simulate one policy (``frequency`` + ``sleep``) against a job trace.
 
@@ -99,7 +128,9 @@ def simulate_trace(
     ----------
     jobs:
         The arrival/service-demand stream.  Service demands are *nominal*
-        (full-frequency) and are stretched by the service-scaling rule.
+        (full-frequency) and are stretched by the service-scaling rule.  A
+        zero-job trace (see :meth:`~repro.workloads.jobs.JobTrace.empty`)
+        yields a well-defined zero-job result instead of an error.
     frequency:
         DVFS scaling factor held for the whole trace.
     sleep:
@@ -117,9 +148,33 @@ def simulate_trace(
         absolute time; jobs arriving before it queue behind that backlog.
         Used by the runtime controller so delays can propagate from one
         epoch into the next, as the paper describes.
+    backend:
+        ``"vectorized"`` (default) for the NumPy busy-period kernel,
+        ``"reference"`` for the per-job Python loop.  Both produce
+        numerically matching results.
     """
-    frequency = _validate_frequency(frequency)
+    validate_backend(backend)
+    frequency = validate_frequency(frequency)
     scaling = scaling or cpu_bound()
+
+    if len(jobs) == 0:
+        clock_start = 0.0 if start_time is None else float(start_time)
+        if busy_until is not None and busy_until < clock_start:
+            raise ConfigurationError(
+                "busy_until must not be earlier than the observation start"
+            )
+        return zero_job_result(frequency, sleep, clock_start, busy_until)
+
+    if backend == BACKEND_VECTORIZED:
+        kernel = TraceKernel(
+            jobs,
+            power_model,
+            scaling=scaling,
+            start_time=start_time,
+            busy_until=busy_until,
+        )
+        return kernel.evaluate(frequency, sleep)
+
     time_factor = scaling.time_factor(frequency)
 
     active_power = power_model.active_power(frequency)
@@ -240,6 +295,7 @@ def simulate_workload(
     rng: np.random.Generator | None = None,
     scaling: ServiceScaling | None = None,
     enforce_stability: bool = True,
+    backend: str = BACKEND_VECTORIZED,
 ) -> SimulationResult:
     """Algorithm 1: generate a stationary job stream and simulate one policy.
 
@@ -248,7 +304,8 @@ def simulate_workload(
     given *sleep* sequence.  ``enforce_stability`` raises
     :class:`~repro.exceptions.StabilityError` for operating points where the
     queue would grow without bound, matching the paper's restriction to
-    frequencies above ``rho``.
+    frequencies above ``rho``.  ``backend`` selects the simulation
+    implementation as in :func:`simulate_trace`.
     """
     scaling = scaling or ServiceScaling(beta=spec.cpu_boundedness)
     rho = utilization if utilization is not None else spec.utilization
@@ -263,6 +320,7 @@ def simulate_workload(
         sleep=sleep,
         power_model=power_model,
         scaling=scaling,
+        backend=backend,
     )
 
 

@@ -14,12 +14,44 @@ response time, average power ``E[P]`` and energy per job.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Mapping
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+
+
+def linear_percentile(values: np.ndarray, percentile: float) -> float:
+    """The linear-interpolation percentile, identical to :func:`np.percentile`.
+
+    Implemented with :func:`np.partition` (selection, O(n)) instead of a full
+    sort, and replicating NumPy's lerp branch exactly so results are
+    bit-for-bit the same as ``np.percentile(values, percentile)`` with the
+    default linear interpolation.  NaN inputs propagate to ``nan`` just as
+    ``np.percentile`` propagates them.  ``values`` must be non-empty and is
+    not modified.
+    """
+    values = np.asarray(values)
+    if np.isnan(values).any():
+        return math.nan
+    size = values.size
+    if size == 1:
+        return float(values[0])
+    rank = (size - 1) * (percentile / 100.0)
+    lower = int(rank)
+    if lower >= size - 1:
+        return float(np.max(values))
+    gamma = rank - lower
+    part = np.partition(values, (lower, lower + 1))
+    low_value = part[lower]
+    high_value = part[lower + 1]
+    diff = high_value - low_value
+    if gamma >= 0.5:
+        return float(high_value - diff * (1.0 - gamma))
+    return float(low_value + diff * gamma)
 
 #: Residency key for time spent actively serving jobs.
 STATE_SERVING = "serving"
@@ -93,38 +125,51 @@ class SimulationResult:
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {self.horizon}")
-        if len(self.response_times) == 0:
-            raise ConfigurationError("a simulation result needs at least one job")
         if len(self.response_times) != len(self.waiting_times):
             raise ConfigurationError(
                 "response_times and waiting_times must have the same length"
             )
 
     # -- response-time metrics --------------------------------------------------
+    #
+    # A result may legitimately contain zero jobs (an epoch with no arrivals,
+    # an empty trace slice); per-job statistics are then ``nan`` rather than
+    # raising, so aggregation code can filter on ``num_jobs``.
 
     @property
     def num_jobs(self) -> int:
         """Number of jobs that completed during the simulation."""
         return int(len(self.response_times))
 
-    @property
+    @cached_property
     def mean_response_time(self) -> float:
-        """``E[R]`` in seconds."""
+        """``E[R]`` in seconds (``nan`` for a zero-job result).
+
+        Cached: the policy manager reads it several times per evaluation
+        (normalisation, QoS check, slack), and the result is immutable.
+        """
+        if self.num_jobs == 0:
+            return math.nan
         return float(np.mean(self.response_times))
 
     @property
     def mean_waiting_time(self) -> float:
         """Mean time between arrival and start of service, seconds."""
+        if self.num_jobs == 0:
+            return math.nan
         return float(np.mean(self.waiting_times))
 
     @property
     def normalized_mean_response_time(self) -> float:
         """``mu * E[R]`` — response time in units of the mean job size.
 
-        Requires ``mean_service_demand`` to have been recorded; raises
-        otherwise because silently returning the un-normalised value would be
-        misleading.
+        ``nan`` for a zero-job result (like the other per-job statistics).
+        Otherwise requires ``mean_service_demand`` to have been recorded;
+        raises when it wasn't because silently returning the un-normalised
+        value would be misleading.
         """
+        if self.num_jobs == 0:
+            return math.nan
         if self.mean_service_demand <= 0:
             raise ConfigurationError(
                 "mean_service_demand was not recorded; cannot normalise"
@@ -132,17 +177,32 @@ class SimulationResult:
         return self.mean_response_time / self.mean_service_demand
 
     def response_time_percentile(self, percentile: float = 95.0) -> float:
-        """The *percentile*-th percentile of the response-time distribution."""
+        """The *percentile*-th percentile of the response-time distribution.
+
+        Computed by selection (:func:`linear_percentile`) and memoised per
+        percentile; values are identical to ``np.percentile``.
+        """
         if not 0.0 < percentile <= 100.0:
             raise ConfigurationError(
                 f"percentile must lie in (0, 100], got {percentile}"
             )
-        return float(np.percentile(self.response_times, percentile))
+        if self.num_jobs == 0:
+            return math.nan
+        cache: dict[float, float] = self.__dict__.setdefault(
+            "_percentile_cache", {}
+        )
+        value = cache.get(percentile)
+        if value is None:
+            value = linear_percentile(self.response_times, percentile)
+            cache[percentile] = value
+        return value
 
     def exceedance_probability(self, deadline: float) -> float:
         """Empirical ``Pr(R >= d)`` for the given *deadline* in seconds."""
         if deadline < 0:
             raise ConfigurationError(f"deadline must be non-negative, got {deadline}")
+        if self.num_jobs == 0:
+            return math.nan
         return float(np.mean(self.response_times >= deadline))
 
     # -- power metrics -------------------------------------------------------------
@@ -159,12 +219,20 @@ class SimulationResult:
 
     @property
     def energy_per_job(self) -> float:
-        """Average energy per completed job, joules."""
+        """Average energy per completed job, joules (``nan`` for zero jobs)."""
+        if self.num_jobs == 0:
+            return math.nan
         return self.total_energy / self.num_jobs
 
     @property
     def wake_up_fraction(self) -> float:
-        """Fraction of jobs that arrived to a sleeping server."""
+        """Fraction of jobs that arrived to a sleeping server (``nan`` for zero jobs).
+
+        ``nan`` rather than 0 so per-epoch aggregation that filters undefined
+        statistics treats this fraction like the other per-job metrics.
+        """
+        if self.num_jobs == 0:
+            return math.nan
         return self.wake_up_count / self.num_jobs
 
     def residency_fraction(self, state: str) -> float:

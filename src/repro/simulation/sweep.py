@@ -15,12 +15,14 @@ from typing import Callable, Mapping, Sequence, Union
 
 import numpy as np
 
+from repro.concurrency import fan_out
 from repro.exceptions import ConfigurationError
 from repro.power.dvfs import frequency_grid
 from repro.power.platform import ServerPowerModel
 from repro.power.sleep import SleepSequence
 from repro.power.states import SystemState
-from repro.simulation.engine import simulate_trace, simulate_workload
+from repro.simulation.engine import is_stable, simulate_trace, simulate_workload
+from repro.simulation.kernel import BACKEND_VECTORIZED, TraceKernel, validate_backend
 from repro.simulation.service_scaling import ServiceScaling
 from repro.workloads.generator import generate_jobs, make_rng
 from repro.workloads.jobs import JobTrace
@@ -161,6 +163,7 @@ def sweep_frequencies(
     scaling: ServiceScaling | None = None,
     frequency_step: float = 0.01,
     reuse_jobs: bool = True,
+    backend: str = BACKEND_VECTORIZED,
 ) -> TradeoffCurve:
     """Sweep the DVFS frequency for one sleep behaviour at one utilisation.
 
@@ -173,8 +176,15 @@ def sweep_frequencies(
     1 in steps of 0.01) and the *same* generated job stream is re-evaluated
     at every frequency (``reuse_jobs=True``), which removes sampling noise
     between adjacent frequencies and matches how the policy manager replays
-    one logged epoch under every candidate policy.
+    one logged epoch under every candidate policy.  With the default
+    vectorized ``backend`` the shared stream is evaluated through one
+    :class:`~repro.simulation.kernel.TraceKernel`, so the per-trace set-up
+    work is paid once for the whole sweep.
+
+    Swept points whose effective load reaches the shared stability cutoff
+    (:data:`~repro.simulation.engine.MAX_STABLE_UTILIZATION`) are skipped.
     """
+    validate_backend(backend)
     if frequencies is None:
         frequencies = frequency_grid(utilization, step=frequency_step)
     frequencies = np.sort(np.asarray(frequencies, dtype=float))
@@ -185,27 +195,32 @@ def sweep_frequencies(
     scaling = scaling or ServiceScaling(beta=spec.cpu_boundedness)
     rng = make_rng(seed)
     shared_jobs: JobTrace | None = None
+    kernel: TraceKernel | None = None
     if reuse_jobs:
         shared_jobs = generate_jobs(
             spec, num_jobs=num_jobs, utilization=utilization, rng=rng
         )
+        if backend == BACKEND_VECTORIZED:
+            kernel = TraceKernel(shared_jobs, power_model, scaling=scaling)
 
     points: list[TradeoffPoint] = []
     label: str | None = None
     for frequency in frequencies:
         frequency = float(frequency)
-        effective_load = utilization * scaling.time_factor(frequency)
-        if effective_load >= 0.999:
+        if not is_stable(utilization, frequency, scaling):
             continue
         sequence = sleep_factory(frequency)
         label = sequence.name if label is None else label
-        if shared_jobs is not None:
+        if kernel is not None:
+            result = kernel.evaluate(frequency, sequence)
+        elif shared_jobs is not None:
             result = simulate_trace(
                 jobs=shared_jobs,
                 frequency=frequency,
                 sleep=sequence,
                 power_model=power_model,
                 scaling=scaling,
+                backend=backend,
             )
         else:
             result = simulate_workload(
@@ -217,6 +232,7 @@ def sweep_frequencies(
                 num_jobs=num_jobs,
                 rng=rng,
                 scaling=scaling,
+                backend=backend,
             )
         points.append(_point_from_result(result, sequence.name))
     if not points:
@@ -235,6 +251,7 @@ def sweep_states(
     sleeps: Mapping[str, SleepLike] | Sequence[SleepLike],
     power_model: ServerPowerModel,
     utilization: float,
+    max_workers: int | None = None,
     **kwargs,
 ) -> dict[str, TradeoffCurve]:
     """Sweep frequencies for several sleep behaviours (one curve each).
@@ -243,6 +260,10 @@ def sweep_states(
     sequence of specifications (system states and sleep sequences are
     labelled by their own names).  Remaining keyword arguments are passed
     through to :func:`sweep_frequencies`.
+
+    ``max_workers`` > 1 fans the per-state curves out over a thread pool;
+    each curve draws its job stream from an independent generator seeded the
+    same way as the serial path, so results are identical either way.
     """
     if isinstance(sleeps, Mapping):
         labelled = dict(sleeps)
@@ -258,12 +279,14 @@ def sweep_states(
                 )
     if not labelled:
         raise ConfigurationError("sweep_states needs at least one sleep sequence")
-    return {
-        label: sweep_frequencies(
+    curves = fan_out(
+        list(labelled.values()),
+        lambda sleep: sweep_frequencies(
             spec, sleep, power_model, utilization, **kwargs
-        )
-        for label, sleep in labelled.items()
-    }
+        ),
+        max_workers,
+    )
+    return dict(zip(labelled.keys(), curves))
 
 
 def best_policy_across_states(

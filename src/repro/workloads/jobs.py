@@ -15,6 +15,7 @@ SleepScale's policy manager — cheap.
 from __future__ import annotations
 
 import csv
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -50,19 +51,23 @@ class JobTrace:
 
     * arrival times are non-decreasing,
     * all arrival times and service demands are finite and non-negative,
-    * the trace is non-empty.
+    * the trace is non-empty — except for the explicit zero-job trace built
+      by :meth:`empty`, whose supported surface is deliberately narrow (see
+      that constructor's docstring).
     """
 
     def __init__(
         self,
         arrival_times: Sequence[float] | np.ndarray,
         service_demands: Sequence[float] | np.ndarray,
+        *,
+        _allow_empty: bool = False,
     ):
         arrivals = np.asarray(arrival_times, dtype=float)
         demands = np.asarray(service_demands, dtype=float)
         if arrivals.ndim != 1 or demands.ndim != 1:
             raise TraceError("arrival times and service demands must be 1-D")
-        if arrivals.size == 0:
+        if arrivals.size == 0 and not _allow_empty:
             raise TraceError("a job trace must contain at least one job")
         if arrivals.size != demands.size:
             raise TraceError(
@@ -78,6 +83,26 @@ class JobTrace:
         self._demands = demands
 
     # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "JobTrace":
+        """A trace containing no jobs at all.
+
+        The normal constructor rejects empty inputs because most of the
+        statistics a trace answers (mean demand, offered load, time span) are
+        undefined without jobs.  A zero-job trace is still a legitimate
+        simulation input — an epoch in which nothing arrived — so this
+        explicit constructor builds one; :func:`repro.simulation.engine.simulate_trace`
+        maps it to a well-defined zero-job result.
+
+        Supported surface of the empty trace: ``len``, iteration, equality,
+        ``repr``, the array views, ``mean_service_demand`` and
+        ``mean_interarrival_time`` (both ``nan``), and simulation via
+        ``simulate_trace``.  Time-span accessors (``start_time``,
+        ``end_time``, ``duration``) and the transformation helpers are
+        undefined without jobs and raise :class:`TraceError`.
+        """
+        return cls(np.empty(0), np.empty(0), _allow_empty=True)
 
     @classmethod
     def from_interarrivals(
@@ -128,6 +153,8 @@ class JobTrace:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if len(self) == 0:
+            return "JobTrace(empty)"
         return (
             f"JobTrace(n={len(self)}, span={self.duration:.4g}s, "
             f"mean_demand={self.mean_service_demand:.4g}s)"
@@ -157,11 +184,15 @@ class JobTrace:
     @property
     def start_time(self) -> float:
         """Arrival time of the first job."""
+        if len(self) == 0:
+            raise TraceError("an empty trace has no start time")
         return float(self._arrivals[0])
 
     @property
     def end_time(self) -> float:
         """Arrival time of the last job."""
+        if len(self) == 0:
+            raise TraceError("an empty trace has no end time")
         return float(self._arrivals[-1])
 
     @property
@@ -171,14 +202,18 @@ class JobTrace:
 
     @property
     def mean_interarrival_time(self) -> float:
-        """Average gap between consecutive arrivals."""
+        """Average gap between consecutive arrivals (``nan`` for an empty trace)."""
+        if len(self) == 0:
+            return math.nan
         if len(self) == 1:
             return float(self._arrivals[0])
         return float(np.mean(np.diff(self._arrivals)))
 
     @property
     def mean_service_demand(self) -> float:
-        """Average nominal service demand."""
+        """Average nominal service demand (``nan`` for an empty trace)."""
+        if len(self) == 0:
+            return math.nan
         return float(np.mean(self._demands))
 
     @property
@@ -229,8 +264,9 @@ class JobTrace:
     def slice_by_time(self, start: float, end: float) -> "JobTrace | None":
         """Jobs arriving in ``[start, end)``, re-based so the slice starts at 0.
 
-        Returns ``None`` when no job arrives in the window (an empty
-        :class:`JobTrace` is not representable by design).
+        Returns ``None`` when no job arrives in the window, preserving the
+        historical contract (predating :meth:`empty`) so callers keep a
+        cheap, explicit is-there-anything check.
         """
         if end <= start:
             raise TraceError(f"invalid time window [{start}, {end})")

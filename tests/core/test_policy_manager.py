@@ -145,3 +145,84 @@ class TestPercentileSelection:
         mean_selection = mean_manager.select_for_spec(dns_ideal, 0.3)
         tail_selection = tail_manager.select_for_spec(dns_ideal, 0.3)
         assert tail_selection.policy.frequency >= mean_selection.policy.frequency
+
+
+class TestBatchedCharacterization:
+    """The batched (shared-kernel) path must match per-policy simulation."""
+
+    def make_manager(self, xeon, backend):
+        space = PolicySpace(
+            power_model=xeon,
+            states=(C0I_S0I, C6_S0I, C6_S3),
+            frequency_step=0.1,
+        )
+        return PolicyManager(
+            power_model=xeon,
+            policy_space=space,
+            qos=MeanResponseTimeConstraint(5.0),
+            characterization_jobs=1_500,
+            seed=3,
+            backend=backend,
+        )
+
+    def test_batch_matches_reference_backend(self, xeon, small_dns_trace):
+        batched = self.make_manager(xeon, "vectorized").characterize(
+            small_dns_trace, 0.3
+        )
+        reference = self.make_manager(xeon, "reference").characterize(
+            small_dns_trace, 0.3
+        )
+        assert len(batched) == len(reference)
+        for fast, slow in zip(batched, reference):
+            assert fast.policy == slow.policy
+            assert fast.average_power == pytest.approx(
+                slow.average_power, rel=1e-9
+            )
+            assert fast.mean_response_time == pytest.approx(
+                slow.mean_response_time, rel=1e-9
+            )
+            assert fast.p95_response_time == pytest.approx(
+                slow.p95_response_time, rel=1e-9
+            )
+            assert fast.meets_qos == slow.meets_qos
+
+    def test_characterize_batch_is_explicit_entry_point(
+        self, manager, small_dns_trace
+    ):
+        batched = manager.characterize_batch(small_dns_trace, 0.3)
+        default = manager.characterize(small_dns_trace, 0.3)
+        assert len(batched) == len(default)
+        for explicit, implicit in zip(batched, default):
+            assert explicit.average_power == implicit.average_power
+
+    def test_selection_identical_across_backends(self, xeon, small_dns_trace):
+        fast = self.make_manager(xeon, "vectorized").select(small_dns_trace, 0.3)
+        slow = self.make_manager(xeon, "reference").select(small_dns_trace, 0.3)
+        assert fast.policy == slow.policy
+        assert fast.feasible == slow.feasible
+
+    def test_unknown_backend_rejected(self, xeon):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            self.make_manager(xeon, "turbo")
+
+
+class TestZeroJobCharacterization:
+    """Characterising an empty trace is degenerate but must not crash."""
+
+    def test_characterize_and_select_on_empty_trace(self, manager):
+        import math
+
+        from repro.workloads.jobs import JobTrace
+
+        evaluations = manager.characterize(JobTrace.empty(), 0.3)
+        assert evaluations
+        for evaluation in evaluations:
+            assert evaluation.average_power == 0.0
+            assert math.isnan(evaluation.mean_response_time)
+            assert math.isnan(evaluation.normalized_mean_response_time)
+            assert not evaluation.meets_qos
+        selection = manager.select(JobTrace.empty(), 0.3)
+        assert not selection.feasible
+        assert selection.best.average_power == 0.0

@@ -164,3 +164,41 @@ class TestFigure7Experiment:
         afternoon = next(r for r in email_rows if r["hour_of_day"] == 14)
         night = next(r for r in email_rows if r["hour_of_day"] == 4)
         assert afternoon["mean_utilization"] > night["mean_utilization"]
+
+
+class TestRunExperiments:
+    def test_multiple_experiments_serial(self):
+        from repro.experiments.base import ExperimentConfig
+        from repro.experiments.runner import run_experiments
+
+        results = run_experiments(
+            ["table2", "table5"], ExperimentConfig(fast=True, seed=1)
+        )
+        assert set(results) == {"table2", "table5"}
+        assert results["table2"].rows
+
+    def test_parallel_matches_serial(self):
+        from repro.experiments.base import ExperimentConfig
+        from repro.experiments.runner import run_experiments
+
+        config = ExperimentConfig(fast=True, seed=1)
+        serial = run_experiments(["table2", "table5"], config)
+        threaded = run_experiments(["table2", "table5"], config, max_workers=2)
+        for name in serial:
+            assert serial[name].rows == threaded[name].rows
+
+    def test_unknown_name_rejected_before_running(self):
+        import pytest as _pytest
+
+        from repro.exceptions import ExperimentError
+        from repro.experiments.runner import run_experiments
+
+        with _pytest.raises(ExperimentError):
+            run_experiments(["table2", "figure99"])
+
+    def test_cli_accepts_multiple_experiments(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table2", "table5", "--parallel", "2", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "table2" in output and "table5" in output

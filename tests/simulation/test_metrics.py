@@ -107,18 +107,44 @@ class TestSimulationResultMetrics:
             make_result(horizon=0.0)
         with pytest.raises(ConfigurationError):
             SimulationResult(
-                response_times=np.array([]),
-                waiting_times=np.array([]),
-                energy=EnergyBreakdown(0, 0, 0),
-                horizon=1.0,
-            )
-        with pytest.raises(ConfigurationError):
-            SimulationResult(
                 response_times=np.array([1.0, 2.0]),
                 waiting_times=np.array([0.0]),
                 energy=EnergyBreakdown(0, 0, 0),
                 horizon=1.0,
             )
+
+
+class TestZeroJobResult:
+    """A result may contain zero jobs (an epoch with no arrivals)."""
+
+    @pytest.fixture()
+    def empty_result(self) -> SimulationResult:
+        return SimulationResult(
+            response_times=np.empty(0),
+            waiting_times=np.empty(0),
+            energy=EnergyBreakdown(0.0, 0.0, 0.0),
+            horizon=1.0,
+        )
+
+    def test_zero_jobs_allowed(self, empty_result):
+        assert empty_result.num_jobs == 0
+
+    def test_per_job_statistics_are_nan(self, empty_result):
+        assert np.isnan(empty_result.mean_response_time)
+        assert np.isnan(empty_result.mean_waiting_time)
+        assert np.isnan(empty_result.response_time_percentile(95.0))
+        assert np.isnan(empty_result.exceedance_probability(1.0))
+        assert np.isnan(empty_result.energy_per_job)
+        assert np.isnan(empty_result.wake_up_fraction)
+
+    def test_rates_are_well_defined(self, empty_result):
+        assert empty_result.average_power == 0.0
+        assert empty_result.residency_fraction("C6S3") == 0.0
+
+    def test_merge_with_empty_is_identity(self, empty_result):
+        merged = merge_results([make_result(), empty_result])
+        assert merged.num_jobs == 3
+        assert merged.horizon == pytest.approx(11.0)
 
 
 class TestMergeResults:
@@ -143,3 +169,25 @@ class TestMergeResults:
         merged = merge_results([make_result()])
         assert merged.num_jobs == 3
         assert merged.average_power == pytest.approx(make_result().average_power)
+
+
+class TestLinearPercentile:
+    """The selection-based percentile must match np.percentile bit-for-bit."""
+
+    def test_matches_numpy_exactly(self):
+        from repro.simulation.metrics import linear_percentile
+
+        rng = np.random.default_rng(99)
+        for size in (1, 2, 3, 10, 999, 1000):
+            values = rng.exponential(1.0, size=size)
+            for percentile in (0.5, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0):
+                assert linear_percentile(values, percentile) == float(
+                    np.percentile(values, percentile)
+                )
+
+    def test_result_percentile_is_memoised(self):
+        result = make_result(response=tuple(np.arange(1, 101, dtype=float)),
+                             waiting=tuple(np.zeros(100)))
+        first = result.response_time_percentile(95.0)
+        second = result.response_time_percentile(95.0)
+        assert first == second == float(np.percentile(result.response_times, 95.0))

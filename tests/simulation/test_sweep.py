@@ -253,3 +253,81 @@ class TestSweepStates:
         assert deep.mean_response_time >= shallow.mean_response_time
         assert deep.mean_response_time - shallow.mean_response_time < 2e-3
         assert np.isclose(deep.frequency, shallow.frequency)
+
+
+class TestSweepBackends:
+    """Backend selection and the unified stability cutoff."""
+
+    def test_backends_produce_identical_curves(self, dns_ideal, xeon):
+        kwargs = dict(
+            utilization=0.3,
+            num_jobs=500,
+            frequency_step=0.1,
+            seed=0,
+        )
+        fast = sweep_frequencies(dns_ideal, C6_S0I, xeon, backend="vectorized", **kwargs)
+        slow = sweep_frequencies(dns_ideal, C6_S0I, xeon, backend="reference", **kwargs)
+        assert list(fast.frequencies) == list(slow.frequencies)
+        np.testing.assert_allclose(fast.powers, slow.powers, rtol=1e-9)
+        np.testing.assert_allclose(
+            fast.normalized_response_times, slow.normalized_response_times, rtol=1e-9
+        )
+
+    def test_unknown_backend_rejected(self, dns_ideal, xeon):
+        with pytest.raises(ConfigurationError):
+            sweep_frequencies(
+                dns_ideal,
+                C6_S0I,
+                xeon,
+                utilization=0.3,
+                num_jobs=100,
+                backend="turbo",
+            )
+
+    def test_stability_cutoff_matches_check_stability(self, dns_ideal, xeon):
+        # The sweep and check_stability share MAX_STABLE_UTILIZATION: a point
+        # the sweep skips is exactly a point check_stability rejects.
+        from repro.exceptions import StabilityError
+        from repro.simulation.engine import (
+            MAX_STABLE_UTILIZATION,
+            check_stability,
+            is_stable,
+        )
+        from repro.simulation.service_scaling import cpu_bound
+
+        utilization = 0.5
+        # Effective load lands between the old check_stability cutoff (1.0)
+        # and the sweep cutoff: both must now treat it as unstable.
+        borderline = utilization / (MAX_STABLE_UTILIZATION + 5e-4)
+        assert not is_stable(utilization, borderline, cpu_bound())
+        with pytest.raises(StabilityError):
+            check_stability(utilization, borderline, cpu_bound())
+        curve = sweep_frequencies(
+            dns_ideal,
+            C6_S0I,
+            xeon,
+            utilization=utilization,
+            frequencies=[borderline, 0.8],
+            num_jobs=200,
+            seed=0,
+        )
+        assert list(curve.frequencies) == [0.8]
+
+    def test_sweep_states_parallel_matches_serial(self, dns_ideal, xeon):
+        kwargs = dict(
+            utilization=0.2,
+            num_jobs=300,
+            frequency_step=0.2,
+            seed=0,
+        )
+        sleeps = {"C6S0(i)": C6_S0I, "C6S3": C6_S3}
+        serial = sweep_states(dns_ideal, sleeps, xeon, **kwargs)
+        parallel = sweep_states(dns_ideal, sleeps, xeon, max_workers=2, **kwargs)
+        assert serial.keys() == parallel.keys()
+        for label in serial:
+            np.testing.assert_array_equal(
+                serial[label].powers, parallel[label].powers
+            )
+            np.testing.assert_array_equal(
+                serial[label].frequencies, parallel[label].frequencies
+            )

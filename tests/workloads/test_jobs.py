@@ -189,3 +189,39 @@ class TestJobTraceCsv:
         small_dns_trace.to_csv(path)
         loaded = JobTrace.from_csv(path)
         assert loaded.offered_load == pytest.approx(small_dns_trace.offered_load, rel=1e-6)
+
+
+class TestEmptyTrace:
+    def test_empty_constructor(self):
+        trace = JobTrace.empty()
+        assert len(trace) == 0
+        assert list(trace) == []
+        assert trace.arrival_times.size == 0
+        assert trace.service_demands.size == 0
+
+    def test_plain_constructor_still_rejects_empty(self):
+        with pytest.raises(TraceError):
+            JobTrace([], [])
+
+    def test_repr_does_not_crash(self):
+        assert "empty" in repr(JobTrace.empty())
+
+
+class TestEmptyTraceContract:
+    def test_time_span_accessors_raise_trace_error(self):
+        trace = JobTrace.empty()
+        with pytest.raises(TraceError):
+            trace.start_time
+        with pytest.raises(TraceError):
+            trace.end_time
+        with pytest.raises(TraceError):
+            trace.duration
+
+    def test_means_are_quiet_nan(self):
+        import warnings
+
+        trace = JobTrace.empty()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert np.isnan(trace.mean_service_demand)
+            assert np.isnan(trace.mean_interarrival_time)
