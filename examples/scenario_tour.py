@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Tour the scenario library: run every registered scenario and compare.
+
+Each scenario in ``repro.scenarios`` bundles a workload, a concrete job
+stream and a server farm; this example runs all of them at a reduced
+duration and prints one comparison row per scenario — the quickest way to
+see how workload shape changes what SleepScale selects.
+
+The ``heterogeneous-farm`` row is the interesting one: a mixed Xeon + Atom
+fleet behind a power-aware dispatcher draws roughly half the power of the
+all-Xeon farms at comparable load, because the dispatcher packs the base
+load onto the low-power platform and lets the Xeon sleep.
+
+Usage::
+
+    python examples/scenario_tour.py                 # every scenario, 10 minutes each
+    python examples/scenario_tour.py --minutes 30 --seed 1
+    python examples/scenario_tour.py --scenario heterogeneous-farm --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.experiments.base import format_rows
+from repro.experiments.scenario_runner import run_scenario
+from repro.scenarios import available_scenarios
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--minutes", type=int, default=10,
+                        help="duration override applied to every scenario")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenario", action="append", default=None,
+                        help="run only this scenario (repeatable)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON report of each run")
+    return parser.parse_args()
+
+
+def main() -> None:
+    arguments = parse_args()
+    names = arguments.scenario or available_scenarios()
+    rows = []
+    for name in names:
+        report = run_scenario(
+            name,
+            seed=arguments.seed,
+            overrides={"duration_minutes": arguments.minutes},
+        )
+        if arguments.json:
+            print(json.dumps(report, indent=2))
+        dominant_state = max(
+            report["state_selection_fractions"].items(), key=lambda item: item[1]
+        )[0]
+        rows.append(
+            {
+                "scenario": name,
+                "platforms": "+".join(report["farm"]["platforms"]),
+                "dispatcher": report["farm"]["dispatcher"].removesuffix("Dispatcher"),
+                "jobs": report["workload"]["num_jobs"],
+                "power (W)": report["energy"]["average_power_w"],
+                "norm E[R]": report["response_time"]["normalized_mean"],
+                "meets budget": report["response_time"]["meets_budget"],
+                "top state": dominant_state,
+            }
+        )
+    print(f"\nScenario tour ({arguments.minutes} minutes each, seed {arguments.seed}):\n")
+    print(format_rows(rows))
+    print(
+        "\nRun any row yourself:\n"
+        "  python -m repro.experiments run-scenario <scenario> "
+        f"--set duration_minutes={arguments.minutes}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,8 +16,12 @@ The library is organised bottom-up:
   LMS, LMS+CUSUM, offline oracle);
 * :mod:`repro.core` — SleepScale itself: QoS constraints, the policy
   manager, the comparison strategies and the epoch-by-epoch runtime;
+* :mod:`repro.cluster` — multi-server farms (homogeneous and heterogeneous)
+  behind pluggable dispatchers;
+* :mod:`repro.scenarios` — the registry of named, parameterised evaluation
+  scenarios (``python -m repro.experiments run-scenario <name>``);
 * :mod:`repro.experiments` — one module per table/figure of the paper's
-  evaluation, used by the benchmark harness.
+  evaluation, used by the benchmark harness, plus the scenario runner.
 
 Quickstart::
 
@@ -42,8 +46,12 @@ Quickstart::
 from repro.cluster import (
     ClusterRuntime,
     FarmResult,
+    LeastLoadedDispatcher,
+    PowerAwareDispatcher,
     RandomDispatcher,
     RoundRobinDispatcher,
+    ServerFarm,
+    ServerSpec,
 )
 from repro.core import (
     AnalyticPolicyManager,
@@ -102,6 +110,15 @@ from repro.simulation import (
     sweep_frequencies,
     sweep_states,
 )
+from repro.scenarios import (
+    BuiltScenario,
+    Scenario,
+    ScenarioParameter,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_catalog,
+)
 from repro.workloads import (
     JobTrace,
     UtilizationTrace,
@@ -119,6 +136,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalyticPolicyManager",
+    "BuiltScenario",
     "C0I_S0I",
     "C1_S0I",
     "C3_S0I",
@@ -131,6 +149,7 @@ __all__ = [
     "EpochRecord",
     "JobTrace",
     "LOW_POWER_STATES",
+    "LeastLoadedDispatcher",
     "LmsCusumPredictor",
     "LmsPredictor",
     "MeanResponseTimeConstraint",
@@ -142,12 +161,17 @@ __all__ = [
     "PolicyManager",
     "PolicySelection",
     "PolicySpace",
+    "PowerAwareDispatcher",
     "QosConstraint",
     "RandomDispatcher",
     "RoundRobinDispatcher",
     "RuntimeConfig",
     "RuntimeResult",
+    "Scenario",
+    "ScenarioParameter",
+    "ServerFarm",
     "ServerPowerModel",
+    "ServerSpec",
     "ServiceScaling",
     "SimulationResult",
     "SleepScaleRuntime",
@@ -159,6 +183,7 @@ __all__ = [
     "WorkloadSpec",
     "analytic_sleepscale_strategy",
     "atom_power_model",
+    "available_scenarios",
     "baseline_normalized_mean_budget",
     "cpu_bound",
     "dns_workload",
@@ -167,6 +192,7 @@ __all__ = [
     "full_space",
     "generate_jobs",
     "generate_trace_driven_jobs",
+    "get_scenario",
     "google_workload",
     "mail_workload",
     "mean_qos_from_baseline",
@@ -175,6 +201,8 @@ __all__ = [
     "race_to_halt_c3",
     "race_to_halt_c6",
     "race_to_halt_policy",
+    "register_scenario",
+    "scenario_catalog",
     "simulate_trace",
     "simulate_workload",
     "sleepscale_single_state_strategy",

@@ -1,18 +1,30 @@
-"""Multi-server scale-out substrate (the paper's future-work direction)."""
+"""Multi-server scale-out substrate (the paper's future-work direction).
+
+Homogeneous farms run through :class:`ClusterRuntime`; heterogeneous farms
+(mixed platforms, per-server policy managers) through :class:`ServerFarm`
+with one :class:`ServerSpec` per server.  Dispatchers decide which server
+each arriving job lands on; see :mod:`repro.cluster.dispatch`.
+"""
 
 from repro.cluster.dispatch import (
     JobDispatcher,
+    LeastLoadedDispatcher,
+    PowerAwareDispatcher,
     RandomDispatcher,
     RoundRobinDispatcher,
     merge_streams,
 )
-from repro.cluster.farm import ClusterRuntime, FarmResult
+from repro.cluster.farm import ClusterRuntime, FarmResult, ServerFarm, ServerSpec
 
 __all__ = [
     "ClusterRuntime",
     "FarmResult",
     "JobDispatcher",
+    "LeastLoadedDispatcher",
+    "PowerAwareDispatcher",
     "RandomDispatcher",
     "RoundRobinDispatcher",
+    "ServerFarm",
+    "ServerSpec",
     "merge_streams",
 ]

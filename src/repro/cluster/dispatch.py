@@ -6,28 +6,45 @@ core or server independently."  The substrate needed for that study is a way
 to split one arrival stream across ``n`` servers; each server then runs its
 own independent SleepScale instance.
 
-Two stateless dispatchers are provided:
+Two *stateless* dispatchers model classic front-end load balancers:
 
-* :class:`RoundRobinDispatcher` — deterministic 1-in-``n`` splitting, the
-  classic front-end load balancer;
+* :class:`RoundRobinDispatcher` — deterministic 1-in-``n`` splitting;
 * :class:`RandomDispatcher` — independent uniform (or weighted) random
   assignment, which preserves Poisson arrival statistics per server and is
   therefore the natural match for the idealised analysis.
 
-Both return per-server :class:`~repro.workloads.jobs.JobTrace` objects with
-absolute arrival times preserved, so the per-server runtimes stay aligned on
-a common clock.
+Two *work-tracking* dispatchers model smarter front ends.  Both estimate each
+server's outstanding backlog from the nominal service demands of the jobs
+already routed to it (the front end cannot observe the servers' DVFS settings
+or sleep states, so the estimate assumes full-frequency service — consistent
+across servers and sufficient for ranking):
+
+* :class:`LeastLoadedDispatcher` — join-the-least-work queue: each arriving
+  job goes to the server with the smallest estimated backlog, which means an
+  idle server is *always* preferred over a busy one (no idle-server
+  starvation);
+* :class:`PowerAwareDispatcher` — packing for energy proportionality: servers
+  are ranked by power-efficiency and each job goes to the most efficient
+  server whose backlog is below a threshold, so inefficient servers only wake
+  up under pressure and can otherwise sit in deep sleep.
+
+All dispatchers return per-server :class:`~repro.workloads.jobs.JobTrace`
+objects with absolute arrival times preserved, so the per-server runtimes
+stay aligned on a common clock.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, TraceError
 from repro.workloads.jobs import JobTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (farm imports dispatch)
+    from repro.power.platform import ServerPowerModel
 
 
 class JobDispatcher(abc.ABC):
@@ -100,6 +117,114 @@ class RandomDispatcher(JobDispatcher):
                 )
             probabilities = self._weights / self._weights.sum()
         return rng.choice(num_servers, size=len(jobs), p=probabilities)
+
+
+class LeastLoadedDispatcher(JobDispatcher):
+    """Assign each job to the server with the least estimated outstanding work.
+
+    The dispatcher replays the arrival stream once, tracking for every server
+    the time it would finish its assigned work at full frequency.  Each job
+    goes to the server with the smallest backlog at its arrival instant; idle
+    servers have negative backlog (they finished some time ago), so when any
+    server is idle the job *always* lands on an idle one — the longest-idle
+    first, which also breaks ties deterministically.
+    """
+
+    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
+        # Scalar Python state: per-job ndarray construction would dominate
+        # the loop (server counts are tiny, job counts reach the 100k range).
+        arrivals = jobs.arrival_times.tolist()
+        demands = jobs.service_demands.tolist()
+        busy_until = [0.0] * num_servers
+        assignment = np.empty(len(arrivals), dtype=np.int64)
+        for index, (arrival, demand) in enumerate(zip(arrivals, demands)):
+            server = busy_until.index(min(busy_until))
+            assignment[index] = server
+            busy_until[server] = max(busy_until[server], arrival) + demand
+        return assignment
+
+
+class PowerAwareDispatcher(JobDispatcher):
+    """Pack jobs onto the most power-efficient servers first.
+
+    Servers are ranked by *idle_powers* — the power each platform burns just
+    for being awake, the natural cost of keeping a server out of deep sleep.
+    Each arriving job goes to the most efficient server whose estimated
+    backlog (full-frequency work already routed to it and not yet finished)
+    is below *max_backlog* seconds; when every efficient server is saturated
+    the job falls back to the globally least-loaded server.  The effect on a
+    heterogeneous farm is energy proportionality at the farm level: the
+    low-power platforms absorb the base load and the power-hungry ones only
+    wake under pressure.
+
+    Parameters
+    ----------
+    idle_powers:
+        One idle power (watts) per server, in server-index order.  Lower is
+        preferred.  Build from power models with :meth:`from_power_models`.
+    max_backlog:
+        Backlog threshold in seconds of work.  ``None`` (default) derives
+        ``4 x`` the dispatched trace's mean service demand at dispatch time,
+        which adapts the packing pressure to the workload's job size.
+    """
+
+    def __init__(
+        self,
+        idle_powers: Sequence[float],
+        max_backlog: float | None = None,
+    ):
+        self._idle_powers = np.asarray(idle_powers, dtype=float)
+        if self._idle_powers.ndim != 1 or self._idle_powers.size == 0:
+            raise ConfigurationError("idle_powers must be a non-empty 1-D sequence")
+        if np.any(self._idle_powers < 0) or not np.all(np.isfinite(self._idle_powers)):
+            raise ConfigurationError("idle powers must be finite and non-negative")
+        if max_backlog is not None and max_backlog <= 0:
+            raise ConfigurationError(
+                f"max_backlog must be positive, got {max_backlog}"
+            )
+        self._max_backlog = max_backlog
+        # Stable sort: equally efficient servers keep index order.
+        self._ranking = np.argsort(self._idle_powers, kind="stable")
+
+    @classmethod
+    def from_power_models(
+        cls,
+        power_models: Sequence["ServerPowerModel"],
+        max_backlog: float | None = None,
+    ) -> "PowerAwareDispatcher":
+        """Rank servers by their operating-idle power ``C0(i)S0(i)``."""
+        return cls(
+            [model.idle_power(1.0) for model in power_models],
+            max_backlog=max_backlog,
+        )
+
+    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
+        if self._idle_powers.size != num_servers:
+            raise ConfigurationError(
+                f"got {self._idle_powers.size} idle powers for {num_servers} servers"
+            )
+        arrivals = jobs.arrival_times.tolist()
+        demands = jobs.service_demands.tolist()
+        threshold = self._max_backlog
+        if threshold is None:
+            mean_demand = jobs.mean_service_demand
+            threshold = 4.0 * mean_demand if mean_demand > 0 else 1.0
+        ranking = self._ranking.tolist()
+        # Scalar Python state (see LeastLoadedDispatcher.assign): backlog for
+        # a candidate is max(busy_until - arrival, 0), evaluated lazily.
+        busy_until = [0.0] * num_servers
+        assignment = np.empty(len(arrivals), dtype=np.int64)
+        for index, (arrival, demand) in enumerate(zip(arrivals, demands)):
+            cutoff = arrival + threshold
+            for candidate in ranking:
+                if busy_until[candidate] <= cutoff:
+                    server = candidate
+                    break
+            else:
+                server = busy_until.index(min(busy_until))
+            assignment[index] = server
+            busy_until[server] = max(busy_until[server], arrival) + demand
+        return assignment
 
 
 def merge_streams(streams: Sequence[JobTrace | None]) -> JobTrace:

@@ -1,17 +1,39 @@
-"""Multi-server farm: independent SleepScale instances behind a dispatcher.
+"""Multi-server farms: independent SleepScale instances behind a dispatcher.
 
 This implements the scale-out sketch from the paper's conclusion: a front-end
-dispatcher splits the arrival stream across ``n`` identical servers and every
-server runs its own power-management strategy, predictor and epoch loop,
-exactly as the single-server :class:`~repro.core.runtime.SleepScaleRuntime`
-does.  The farm result aggregates the per-server outcomes into farm-level
-power and latency metrics.
+dispatcher splits the arrival stream across ``n`` servers and every server
+runs its own power-management strategy, predictor and epoch loop, exactly as
+the single-server :class:`~repro.core.runtime.SleepScaleRuntime` does.  The
+farm result aggregates the per-server outcomes into farm-level power and
+latency metrics.
 
+Two runtimes share this machinery:
+
+* :class:`ClusterRuntime` — the original *homogeneous* farm: one power model,
+  one runtime config, and per-index strategy/predictor factories, replicated
+  across ``num_servers`` identical servers;
+* :class:`ServerFarm` — the *heterogeneous* generalisation: an explicit list
+  of :class:`ServerSpec` entries, each carrying its own platform power model,
+  policy-management strategy (and therefore its own
+  :class:`~repro.core.policy_manager.PolicyManager`), predictor, runtime
+  config and service-scaling rule.  Mixing e.g. Xeon- and Atom-class servers
+  behind a :class:`~repro.cluster.dispatch.PowerAwareDispatcher` is the
+  substrate for the energy-proportionality scenarios in
+  :mod:`repro.scenarios`.
+
+Execution model: the dispatcher assigns every job to a server *first* (from
+arrival times and nominal service demands only — the front end cannot see
+DVFS or sleep decisions), then each server's epoch loop runs independently
+over its sub-stream, optionally fanned out over threads (``max_workers``).
 Because each server is managed independently (no coordination), the per-epoch
 policy-search overhead scales linearly with the number of servers — the
 "controlling the overall queuing simulation overhead" concern the paper
 raises — which the ablation benchmark quantifies through the recorded
 wall-clock cost per run.
+
+Farm-level QoS: each server derives its response-time budget from its own
+``rho_b``; the farm reports against the *strictest* (smallest) per-server
+budget, which collapses to the shared budget in the homogeneous case.
 """
 
 from __future__ import annotations
@@ -30,6 +52,7 @@ from repro.core.strategies import PowerManagementStrategy
 from repro.exceptions import ConfigurationError
 from repro.power.platform import ServerPowerModel
 from repro.prediction.base import UtilizationPredictor
+from repro.simulation.service_scaling import ServiceScaling
 from repro.workloads.jobs import JobTrace
 from repro.workloads.spec import WorkloadSpec
 
@@ -41,17 +64,40 @@ PredictorFactory = Callable[[int], UtilizationPredictor]
 
 @dataclass(frozen=True)
 class FarmResult:
-    """Aggregate outcome of one multi-server run."""
+    """Aggregate outcome of one multi-server run.
+
+    ``server_names`` (optional) labels each server slot — for heterogeneous
+    farms this is how reports attribute per-server results to platforms.
+    ``idle_energies`` (optional, aligned with ``per_server``, zero at active
+    slots) charges servers that received no jobs for walking their sleep
+    sequences over the observation span, so farm power totals do not drop
+    discontinuously when a dispatcher parks a server entirely.
+    """
 
     per_server: tuple[RuntimeResult | None, ...]
     mean_service_time: float
     response_time_budget: float
+    server_names: tuple[str, ...] | None = None
+    idle_energies: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.per_server:
             raise ConfigurationError("a farm result needs at least one server slot")
         if all(result is None for result in self.per_server):
             raise ConfigurationError("a farm result needs at least one active server")
+        for label, values in (
+            ("server names", self.server_names),
+            ("idle energies", self.idle_energies),
+        ):
+            if values is not None and len(values) != len(self.per_server):
+                raise ConfigurationError(
+                    f"got {len(values)} {label} for "
+                    f"{len(self.per_server)} server slots"
+                )
+        if self.idle_energies is not None and any(
+            energy < 0 for energy in self.idle_energies
+        ):
+            raise ConfigurationError("idle energies must be non-negative")
 
     # -- structure ----------------------------------------------------------------
 
@@ -105,8 +151,9 @@ class FarmResult:
 
     @property
     def total_energy(self) -> float:
-        """Total energy drawn by all active servers, joules."""
-        return sum(result.total_energy for result in self.active_servers)
+        """Total energy drawn by the farm, joules (idle servers included)."""
+        active = sum(result.total_energy for result in self.active_servers)
+        return active + sum(self.idle_energies or ())
 
     @property
     def duration(self) -> float:
@@ -120,8 +167,20 @@ class FarmResult:
 
     @property
     def average_power_per_server(self) -> float:
-        """Mean of the active servers' average powers, watts."""
-        return float(np.mean([r.average_power for r in self.active_servers]))
+        """Mean per-server power, watts.
+
+        Parked servers contribute their sleep-walk power when idle energy
+        was accounted (``idle_energies``), so this stays continuous in the
+        per-server job count; without idle accounting it falls back to the
+        mean over active servers only.
+        """
+        powers = []
+        for index, result in enumerate(self.per_server):
+            if result is not None:
+                powers.append(result.average_power)
+            elif self.idle_energies is not None:
+                powers.append(self.idle_energies[index] / self.duration)
+        return float(np.mean(powers))
 
     # -- reporting -----------------------------------------------------------------------------
 
@@ -146,6 +205,225 @@ class FarmResult:
             "total_average_power_w": self.total_average_power,
             "average_power_per_server_w": self.average_power_per_server,
         }
+
+    def per_server_rows(self) -> list[dict[str, float | str]]:
+        """One row per server slot: name, jobs, latency and power.
+
+        Idle servers (slots whose stream was empty) report zero jobs, NaN
+        latency, and their sleep-walk power when idle energy was accounted,
+        keeping the row count equal to the farm size.
+        """
+        rows: list[dict[str, float | str]] = []
+        for index, result in enumerate(self.per_server):
+            name = (
+                self.server_names[index]
+                if self.server_names is not None
+                else f"server-{index}"
+            )
+            if result is None:
+                idle_power = (
+                    self.idle_energies[index] / self.duration
+                    if self.idle_energies is not None
+                    else math.nan
+                )
+                rows.append(
+                    {
+                        "server": name,
+                        "num_jobs": 0.0,
+                        "mean_response_time_s": math.nan,
+                        "average_power_w": idle_power,
+                    }
+                )
+                continue
+            rows.append(
+                {
+                    "server": name,
+                    "num_jobs": float(result.num_jobs),
+                    "mean_response_time_s": result.mean_response_time,
+                    "average_power_w": result.average_power,
+                }
+            )
+        return rows
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Full description of one server in a (possibly heterogeneous) farm.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports, e.g. ``"xeon-0"`` or ``"atom-2"``.
+    power_model:
+        This server's platform power model (Xeon-class, Atom-class, ...).
+    strategy_factory, predictor_factory:
+        Zero-argument callables producing this server's strategy and
+        predictor.  Called once per :meth:`ServerFarm.run`; each call must
+        return a *fresh* object so per-server state (policy-manager RNGs, LMS
+        weights) is never shared across servers or threads.
+    config:
+        This server's runtime configuration (epoch length, ``rho_b``,
+        over-provisioning guard band).
+    scaling:
+        Service-time/frequency dependence of this server's jobs; ``None``
+        selects the CPU-bound default.
+    """
+
+    name: str
+    power_model: ServerPowerModel
+    strategy_factory: Callable[[], PowerManagementStrategy]
+    predictor_factory: Callable[[], UtilizationPredictor]
+    config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    scaling: ServiceScaling | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a server spec needs a non-empty name")
+
+
+@dataclass
+class ServerFarm:
+    """A heterogeneous farm: one explicit :class:`ServerSpec` per server.
+
+    Each server runs its own :class:`~repro.core.runtime.SleepScaleRuntime`
+    over the sub-stream the dispatcher assigns to it, with its own platform
+    power model, strategy (hence policy manager), predictor and config.
+
+    Parameters
+    ----------
+    servers:
+        One spec per server.  Order defines the server indices the dispatcher
+        assigns to.
+    spec:
+        Statistical description of the *offered* workload, shared farm-wide:
+        it normalises response times and feeds synthetic characterisation
+        streams when a server has no job log yet.
+    dispatcher:
+        How arriving jobs are split across servers (round-robin by default;
+        see :mod:`repro.cluster.dispatch` for least-loaded and power-aware).
+    max_workers:
+        When > 1, run the per-server epoch loops on a thread pool of this
+        size; results are identical to the serial run because no state is
+        shared between servers.
+    """
+
+    servers: Sequence[ServerSpec]
+    spec: WorkloadSpec
+    dispatcher: JobDispatcher = field(default_factory=RoundRobinDispatcher)
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ConfigurationError("a farm needs at least one server")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be at least 1, got {self.max_workers}"
+            )
+        names = [server.name for server in self.servers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"server names must be unique, got {names}"
+            )
+
+    @property
+    def num_servers(self) -> int:
+        """Number of servers in the farm."""
+        return len(self.servers)
+
+    @property
+    def platform_names(self) -> tuple[str, ...]:
+        """The distinct power-model names present in the farm, in order."""
+        return tuple(dict.fromkeys(s.power_model.name for s in self.servers))
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether the farm mixes at least two distinct platforms."""
+        return len(self.platform_names) > 1
+
+    def run(self, jobs: JobTrace) -> FarmResult:
+        """Dispatch *jobs* across the farm and run every server's epoch loop."""
+        streams: Sequence[JobTrace | None] = self.dispatcher.dispatch(
+            jobs, self.num_servers
+        )
+        per_server: list[RuntimeResult | None] = [None] * len(streams)
+        active = [
+            (index, stream)
+            for index, stream in enumerate(streams)
+            if stream is not None
+        ]
+        if not active:
+            raise ConfigurationError("no server received any job")
+        # Call the factories up front (in the caller's thread) so the
+        # threaded path can check they actually hand out per-server state
+        # instead of silently racing on a shared object.
+        strategies = [self.servers[index].strategy_factory() for index, _ in active]
+        predictors = [self.servers[index].predictor_factory() for index, _ in active]
+        if self.max_workers is not None and self.max_workers > 1:
+            for label, instances in (("strategy", strategies), ("predictor", predictors)):
+                if len({id(instance) for instance in instances}) != len(instances):
+                    raise ConfigurationError(
+                        f"the {label} factory must return a fresh object per "
+                        "server when max_workers > 1; a shared instance "
+                        "would race across server threads"
+                    )
+        runtimes = [
+            SleepScaleRuntime(
+                power_model=self.servers[index].power_model,
+                spec=self.spec,
+                strategy=strategy,
+                predictor=predictor,
+                config=self.servers[index].config,
+                scaling=self.servers[index].scaling,
+            )
+            for (index, _), strategy, predictor in zip(active, strategies, predictors)
+        ]
+        results = fan_out(
+            list(zip(runtimes, (stream for _, stream in active))),
+            lambda pair: pair[0].run(pair[1]),
+            self.max_workers,
+        )
+        for (index, _), result in zip(active, results):
+            per_server[index] = result
+        # Heterogeneous configs may imply different per-server budgets; the
+        # farm answers to the strictest one (identical in the homogeneous case).
+        budget = min(
+            result.response_time_budget
+            for result in per_server
+            if result is not None
+        )
+        # Servers the dispatcher parked entirely still burn power walking
+        # their sleep sequences; run their epoch loops over an empty stream
+        # for the same span so farm totals stay continuous in the job count.
+        horizon = max(
+            result.total_duration for result in per_server if result is not None
+        )
+        idle_energies = [0.0] * len(streams)
+        for index, stream in enumerate(streams):
+            if stream is not None:
+                continue
+            server = self.servers[index]
+            runtime = SleepScaleRuntime(
+                power_model=server.power_model,
+                spec=self.spec,
+                strategy=server.strategy_factory(),
+                predictor=server.predictor_factory(),
+                config=server.config,
+                scaling=server.scaling,
+            )
+            idle_run = runtime.run(JobTrace.empty(), horizon=horizon)
+            # The idle run's span is quantized up to this server's own epoch
+            # length; charge its average power over the farm's span instead
+            # so differing epoch configs cannot overcount parked servers.
+            idle_energies[index] = (
+                idle_run.total_energy / idle_run.total_duration * horizon
+            )
+        return FarmResult(
+            per_server=tuple(per_server),
+            mean_service_time=self.spec.mean_service_time,
+            response_time_budget=budget,
+            server_names=tuple(server.name for server in self.servers),
+            idle_energies=tuple(idle_energies),
+        )
 
 
 @dataclass
@@ -194,55 +472,34 @@ class ClusterRuntime:
                 f"max_workers must be at least 1, got {self.max_workers}"
             )
 
-    def run(self, jobs: JobTrace) -> FarmResult:
-        """Dispatch *jobs* across the farm and run every server's epoch loop."""
-        streams: Sequence[JobTrace | None] = self.dispatcher.dispatch(
-            jobs, self.num_servers
-        )
-        per_server: list[RuntimeResult | None] = [None] * len(streams)
-        active = [
-            (index, stream)
-            for index, stream in enumerate(streams)
-            if stream is not None
-        ]
-        # Call the factories up front (in the caller's thread) so the
-        # threaded path can check they actually hand out per-server state
-        # instead of silently racing on a shared object.
-        strategies = [self.strategy_factory(index) for index, _ in active]
-        predictors = [self.predictor_factory(index) for index, _ in active]
-        if self.max_workers is not None and self.max_workers > 1:
-            for label, instances in (("strategy", strategies), ("predictor", predictors)):
-                if len({id(instance) for instance in instances}) != len(instances):
-                    raise ConfigurationError(
-                        f"the {label} factory must return a fresh object per "
-                        "server when max_workers > 1; a shared instance "
-                        "would race across server threads"
-                    )
-        runtimes = [
-            SleepScaleRuntime(
+    def as_server_farm(self) -> ServerFarm:
+        """The equivalent heterogeneous farm: ``num_servers`` identical specs.
+
+        The per-index factories are frozen into zero-argument factories per
+        server slot, so running the returned :class:`ServerFarm` is identical
+        to running this cluster directly.
+        """
+        servers = tuple(
+            ServerSpec(
+                name=f"server-{index}",
                 power_model=self.power_model,
-                spec=self.spec,
-                strategy=strategy,
-                predictor=predictor,
+                strategy_factory=(
+                    lambda index=index: self.strategy_factory(index)
+                ),
+                predictor_factory=(
+                    lambda index=index: self.predictor_factory(index)
+                ),
                 config=self.config,
             )
-            for strategy, predictor in zip(strategies, predictors)
-        ]
-        results = fan_out(
-            list(zip(runtimes, (stream for _, stream in active))),
-            lambda pair: pair[0].run(pair[1]),
-            self.max_workers,
+            for index in range(self.num_servers)
         )
-        for (index, _), result in zip(active, results):
-            per_server[index] = result
-        budget = None
-        for result in per_server:
-            if result is not None:
-                budget = result.response_time_budget
-        if budget is None:
-            raise ConfigurationError("no server received any job")
-        return FarmResult(
-            per_server=tuple(per_server),
-            mean_service_time=self.spec.mean_service_time,
-            response_time_budget=budget,
+        return ServerFarm(
+            servers=servers,
+            spec=self.spec,
+            dispatcher=self.dispatcher,
+            max_workers=self.max_workers,
         )
+
+    def run(self, jobs: JobTrace) -> FarmResult:
+        """Dispatch *jobs* across the farm and run every server's epoch loop."""
+        return self.as_server_farm().run(jobs)

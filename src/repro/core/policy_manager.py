@@ -23,6 +23,23 @@ reuses the trace's arrival/demand arrays and the per-frequency busy-period
 structure across every sleep state at that frequency
 (:meth:`PolicyManager.characterize_batch`).  Construct the manager with
 ``backend="reference"`` to fall back to the per-job simulation loop.
+
+Why batching is cheap (the Lindley/busy-period sketch, in full in
+:mod:`repro.simulation.kernel` and ``docs/ARCHITECTURE.md``): at a fixed
+frequency, ignoring wake-up latencies, job departures obey the Lindley
+recursion ``D0[i] = C[i] + max accumulate(A[j] - C[j-1])`` — one cumulative
+sum plus one running maximum over the whole trace.  Wake-up latencies only
+perturb departures around the *idle gaps* of that no-wake solution, so the
+expensive per-job structure depends only on ``(trace, frequency)`` and is
+shared across every sleep sequence at that frequency; each candidate policy
+then costs only the (short) gap-resolution and energy-accounting passes.
+The candidate space is a (frequency x sleep-state) grid, which is exactly
+the reuse pattern the kernel memoises.
+
+In a farm, every server owns its own manager (constructed by its strategy),
+so heterogeneous fleets — different platforms, QoS budgets or candidate
+spaces per server — need no coordination; see
+:class:`repro.cluster.farm.ServerFarm`.
 """
 
 from __future__ import annotations

@@ -173,15 +173,24 @@ class SleepScaleRuntime:
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self, jobs: JobTrace) -> RuntimeResult:
+    def run(self, jobs: JobTrace, horizon: float | None = None) -> RuntimeResult:
         """Run the strategy over the whole job stream and aggregate the results.
 
         *jobs* must use absolute arrival times starting near zero (as
         produced by :func:`repro.workloads.generator.generate_trace_driven_jobs`).
+
+        *horizon* extends the observation window beyond the last arrival (at
+        least one epoch is always run).  It also makes a zero-job stream
+        (:meth:`JobTrace.empty`) a valid input: the controller then walks its
+        selected policies' sleep sequences for the whole window — how a farm
+        accounts for a server that received no traffic but still burns power.
         """
         config = self._config
         epoch_seconds = config.epoch_seconds
-        num_epochs = max(1, int(math.ceil(jobs.end_time / epoch_seconds)))
+        end_time = jobs.end_time if len(jobs) > 0 else 0.0
+        if horizon is not None:
+            end_time = max(end_time, horizon)
+        num_epochs = max(1, int(math.ceil(end_time / epoch_seconds)))
         horizon = num_epochs * epoch_seconds
 
         observations = self._observed_utilizations(jobs, horizon)

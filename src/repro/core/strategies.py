@@ -189,6 +189,7 @@ def sleepscale_strategy(
     characterization_jobs: int = 2_000,
     max_logged_jobs: int = 5_000,
     seed: int | None = 0,
+    backend: str = BACKEND_VECTORIZED,
 ) -> PolicySearchStrategy:
     """The full SleepScale strategy (SS): all low-power states, joint search."""
     space = full_space(power_model, frequency_step=frequency_step, scaling=scaling or cpu_bound())
@@ -201,6 +202,7 @@ def sleepscale_strategy(
         characterization_jobs=characterization_jobs,
         max_logged_jobs=max_logged_jobs,
         seed=seed,
+        backend=backend,
     )
 
 
@@ -213,6 +215,7 @@ def sleepscale_single_state_strategy(
     characterization_jobs: int = 2_000,
     max_logged_jobs: int = 5_000,
     seed: int | None = 0,
+    backend: str = BACKEND_VECTORIZED,
 ) -> PolicySearchStrategy:
     """SleepScale restricted to a single low-power state — SS(C3) in the paper."""
     space = single_state_space(
@@ -227,6 +230,7 @@ def sleepscale_single_state_strategy(
         characterization_jobs=characterization_jobs,
         max_logged_jobs=max_logged_jobs,
         seed=seed,
+        backend=backend,
     )
 
 
@@ -238,6 +242,7 @@ def dvfs_only_strategy(
     characterization_jobs: int = 2_000,
     max_logged_jobs: int = 5_000,
     seed: int | None = 0,
+    backend: str = BACKEND_VECTORIZED,
 ) -> PolicySearchStrategy:
     """The DVFS-only baseline: frequency search but no low-power state at all."""
     space = dvfs_only_space(
@@ -252,6 +257,7 @@ def dvfs_only_strategy(
         characterization_jobs=characterization_jobs,
         max_logged_jobs=max_logged_jobs,
         seed=seed,
+        backend=backend,
     )
 
 

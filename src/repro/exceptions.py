@@ -60,3 +60,12 @@ class TraceError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown or invalid target."""
+
+
+class ScenarioError(ReproError):
+    """A scenario was requested or parameterised incorrectly.
+
+    Examples: an unknown scenario name, an override for a parameter the
+    scenario does not declare, or a registration that would shadow an
+    existing scenario.
+    """

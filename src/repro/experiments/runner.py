@@ -7,6 +7,15 @@ experiments out over a thread pool (each experiment owns its seeds, so
 results are identical to the serial run).  The same registry is what the
 benchmark harness iterates over, so the CLI and the benchmarks can never
 diverge on what an experiment means.
+
+Two subcommands expose the scenario library
+(:mod:`repro.experiments.scenario_runner`):
+
+* ``python -m repro.experiments list-scenarios`` — every registered scenario
+  with its one-line description;
+* ``python -m repro.experiments run-scenario <name> [--seed N] [--backend B]
+  [--set key=value ...]`` — run one scenario end-to-end and print its JSON
+  report.
 """
 
 from __future__ import annotations
@@ -105,9 +114,31 @@ def run_experiments(
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (``python -m repro.experiments``)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Scenario subcommands dispatch before the experiment parser so the two
+    # grammars (experiment lists vs. one scenario + overrides) stay separate.
+    if argv and argv[0] == "run-scenario":
+        from repro.experiments import scenario_runner
+
+        return scenario_runner.main(argv[1:])
+    if argv and argv[0] == "list-scenarios":
+        from repro.experiments import scenario_runner
+
+        if len(argv) > 1:
+            print(
+                f"list-scenarios takes no arguments, got {argv[1:]}",
+                file=sys.stderr,
+            )
+            return 2
+        return scenario_runner.list_scenarios_main()
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Regenerate a table or figure of the SleepScale paper.",
+        epilog=(
+            "subcommands: 'run-scenario <name> [options]' runs a registered "
+            "scenario and prints its JSON report (see 'run-scenario --help'); "
+            "'list-scenarios' lists every registered scenario."
+        ),
     )
     parser.add_argument(
         "experiments",

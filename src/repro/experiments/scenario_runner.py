@@ -1,0 +1,440 @@
+"""Run registered scenarios end-to-end and emit a comparable JSON report.
+
+``python -m repro.experiments run-scenario <name>`` builds the named scenario
+(:mod:`repro.scenarios`), runs its job stream through its server farm, and
+prints one JSON document whose schema is identical across scenarios, so
+energy and latency numbers can be compared between e.g. ``diurnal`` and
+``flash-crowd`` runs without any per-scenario glue.
+
+Report schema (``repro.scenario-report/v1``)::
+
+    {
+      "schema": "repro.scenario-report/v1",
+      "scenario": str,            # registered scenario name
+      "description": str,
+      "seed": int,
+      "backend": "vectorized" | "reference",
+      "parameters": {name: value, ...},        # resolved builder parameters
+      "workload": {
+        "name": str,                           # WorkloadSpec name
+        "mean_service_time_s": float,
+        "num_jobs": int,
+        "duration_s": float                    # first to last arrival
+      },
+      "farm": {
+        "servers": [{"name": str, "platform": str}, ...],
+        "platforms": [str, ...],               # distinct, in server order
+        "heterogeneous": bool,
+        "dispatcher": str                      # dispatcher class name
+      },
+      "energy": {
+        "total_joules": float,          # parked servers' sleep-walk energy included
+        "average_power_w": float,
+        "average_power_per_server_w": float   # parked servers contribute idle power
+      },
+      "response_time": {
+        "mean_s": float, "p50_s": float, "p95_s": float, "p99_s": float,
+        "normalized_mean": float,              # mu * E[R]
+        "budget": float,                       # normalised budget in force
+        "meets_budget": bool
+      },
+      "state_selection_fractions": {state: fraction, ...},   # sums to 1
+      "per_server": [
+        {"server": str, "num_jobs": int,
+         "mean_response_time_s": float | null, "average_power_w": float | null},
+        ...
+      ]
+    }
+
+NaN is not valid JSON, so metrics that are undefined for a slot (an idle
+server's latency) are serialised as ``null``.  :func:`validate_report` checks
+a report against this schema and is what the scenario round-trip tests and
+the CI smoke matrix call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import math
+import sys
+from typing import Any, Mapping
+
+from repro.cluster.farm import FarmResult
+from repro.exceptions import ExperimentError
+from repro.scenarios import (
+    BuiltScenario,
+    available_scenarios,
+    get_scenario,
+    scenario_catalog,
+)
+from repro.simulation.kernel import BACKENDS, BACKEND_VECTORIZED
+
+#: Version tag stamped into (and required from) every scenario report.
+REPORT_SCHEMA = "repro.scenario-report/v1"
+
+
+def _finite_or_none(value: float) -> float | None:
+    """JSON has no NaN/inf; undefined metrics become ``null``."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def report_from_result(built: BuiltScenario, result: FarmResult) -> dict[str, Any]:
+    """Assemble the schema-versioned report for one scenario run.
+
+    Works for any :class:`BuiltScenario` — registered or hand-constructed —
+    because everything the report needs is carried on the built object.
+    """
+    per_server = []
+    for row in result.per_server_rows():
+        per_server.append(
+            {
+                "server": row["server"],
+                "num_jobs": int(row["num_jobs"]),
+                "mean_response_time_s": _finite_or_none(row["mean_response_time_s"]),
+                "average_power_w": _finite_or_none(row["average_power_w"]),
+            }
+        )
+    servers = [
+        {"name": spec.name, "platform": spec.power_model.name}
+        for spec in built.farm.servers
+    ]
+    return {
+        "schema": REPORT_SCHEMA,
+        "scenario": built.name,
+        "description": built.description,
+        "seed": built.seed,
+        "backend": built.backend,
+        "parameters": dict(built.parameters),
+        "workload": {
+            "name": built.spec.name,
+            "mean_service_time_s": built.spec.mean_service_time,
+            "num_jobs": built.num_jobs,
+            "duration_s": built.duration,
+        },
+        "farm": {
+            "servers": servers,
+            "platforms": list(built.farm.platform_names),
+            "heterogeneous": built.farm.is_heterogeneous,
+            "dispatcher": type(built.farm.dispatcher).__name__,
+        },
+        "energy": {
+            "total_joules": result.total_energy,
+            "average_power_w": result.total_average_power,
+            "average_power_per_server_w": result.average_power_per_server,
+        },
+        "response_time": {
+            "mean_s": result.mean_response_time,
+            "p50_s": result.response_time_percentile(50.0),
+            "p95_s": result.response_time_percentile(95.0),
+            "p99_s": result.response_time_percentile(99.0),
+            "normalized_mean": result.normalized_mean_response_time,
+            "budget": result.response_time_budget,
+            "meets_budget": bool(result.meets_budget),
+        },
+        "state_selection_fractions": result.state_selection_fractions(),
+        "per_server": per_server,
+    }
+
+
+def run_scenario(
+    name: str,
+    *,
+    seed: int = 0,
+    backend: str = BACKEND_VECTORIZED,
+    max_workers: int | None = None,
+    overrides: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build, run and report one registered scenario.
+
+    *overrides* maps declared parameter names to values (unknown names are
+    rejected by the scenario).  The returned report is already validated
+    against :data:`REPORT_SCHEMA`.
+    """
+    overrides = dict(overrides or {})
+    # 'seed'/'backend' are build() keywords, not scenario parameters; caught
+    # here they produce a pointer to the right flag instead of a TypeError
+    # from the keyword splat below.
+    reserved = sorted(set(overrides) & {"seed", "backend"})
+    if reserved:
+        raise ExperimentError(
+            f"{', '.join(reserved)} cannot be set via overrides; use the "
+            "dedicated seed/backend arguments (CLI: --seed / --backend)"
+        )
+    built = get_scenario(name).build(seed=seed, backend=backend, **overrides)
+    farm = built.farm
+    if max_workers is not None:
+        # dataclasses.replace re-runs ServerFarm.__post_init__, so an invalid
+        # worker count is rejected rather than silently running serially.
+        farm = dataclasses.replace(farm, max_workers=max_workers)
+    result = farm.run(built.jobs)
+    report = report_from_result(built, result)
+    validate_report(report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+_NUMBER = (int, float)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ExperimentError(f"invalid scenario report: {message}")
+
+
+def _require_keys(mapping: Any, keys: set[str], where: str) -> None:
+    _require(isinstance(mapping, dict), f"{where} must be an object")
+    _require(
+        set(mapping) == keys,
+        f"{where} must have exactly the keys {sorted(keys)}, got {sorted(mapping)}",
+    )
+
+
+def _require_finite_number(value: Any, where: str) -> None:
+    _require(
+        isinstance(value, _NUMBER) and not isinstance(value, bool),
+        f"{where} must be a number",
+    )
+    _require(math.isfinite(value), f"{where} must be finite")
+
+
+def validate_report(report: Any) -> None:
+    """Check *report* against the ``repro.scenario-report/v1`` schema.
+
+    Raises :class:`~repro.exceptions.ExperimentError` on the first violation;
+    returns ``None`` on success.  The check is structural (keys, types,
+    finiteness, fractions summing to one) — it does not re-run the scenario.
+    """
+    _require_keys(
+        report,
+        {
+            "schema",
+            "scenario",
+            "description",
+            "seed",
+            "backend",
+            "parameters",
+            "workload",
+            "farm",
+            "energy",
+            "response_time",
+            "state_selection_fractions",
+            "per_server",
+        },
+        "report",
+    )
+    _require(report["schema"] == REPORT_SCHEMA, f"schema must be {REPORT_SCHEMA!r}")
+    for key in ("scenario", "description"):
+        _require(
+            isinstance(report[key], str) and report[key],
+            f"{key} must be a non-empty string",
+        )
+    _require(
+        isinstance(report["seed"], int) and not isinstance(report["seed"], bool),
+        "seed must be an integer",
+    )
+    _require(report["backend"] in BACKENDS, f"backend must be one of {BACKENDS}")
+    _require(isinstance(report["parameters"], dict), "parameters must be an object")
+
+    workload = report["workload"]
+    _require_keys(
+        workload,
+        {"name", "mean_service_time_s", "num_jobs", "duration_s"},
+        "workload",
+    )
+    _require(isinstance(workload["name"], str), "workload.name must be a string")
+    _require_finite_number(workload["mean_service_time_s"], "workload.mean_service_time_s")
+    _require(workload["mean_service_time_s"] > 0, "workload.mean_service_time_s must be positive")
+    _require(
+        isinstance(workload["num_jobs"], int) and workload["num_jobs"] > 0,
+        "workload.num_jobs must be a positive integer",
+    )
+    _require_finite_number(workload["duration_s"], "workload.duration_s")
+
+    farm = report["farm"]
+    _require_keys(
+        farm, {"servers", "platforms", "heterogeneous", "dispatcher"}, "farm"
+    )
+    _require(
+        isinstance(farm["servers"], list) and farm["servers"],
+        "farm.servers must be a non-empty list",
+    )
+    for entry in farm["servers"]:
+        _require_keys(entry, {"name", "platform"}, "farm.servers[*]")
+        _require(
+            isinstance(entry["name"], str) and isinstance(entry["platform"], str),
+            "farm.servers[*] fields must be strings",
+        )
+    _require(
+        isinstance(farm["platforms"], list) and farm["platforms"],
+        "farm.platforms must be a non-empty list",
+    )
+    _require(isinstance(farm["heterogeneous"], bool), "farm.heterogeneous must be a bool")
+    _require(
+        farm["heterogeneous"] == (len(farm["platforms"]) > 1),
+        "farm.heterogeneous must match the distinct platform count",
+    )
+    _require(isinstance(farm["dispatcher"], str), "farm.dispatcher must be a string")
+
+    energy = report["energy"]
+    _require_keys(
+        energy,
+        {"total_joules", "average_power_w", "average_power_per_server_w"},
+        "energy",
+    )
+    for key, value in energy.items():
+        _require_finite_number(value, f"energy.{key}")
+        _require(value >= 0, f"energy.{key} must be non-negative")
+
+    response = report["response_time"]
+    _require_keys(
+        response,
+        {"mean_s", "p50_s", "p95_s", "p99_s", "normalized_mean", "budget", "meets_budget"},
+        "response_time",
+    )
+    _require(isinstance(response["meets_budget"], bool), "response_time.meets_budget must be a bool")
+    for key in ("mean_s", "p50_s", "p95_s", "p99_s", "normalized_mean", "budget"):
+        _require_finite_number(response[key], f"response_time.{key}")
+        _require(response[key] >= 0, f"response_time.{key} must be non-negative")
+    _require(
+        response["p50_s"] <= response["p95_s"] <= response["p99_s"],
+        "response-time percentiles must be non-decreasing",
+    )
+
+    fractions = report["state_selection_fractions"]
+    _require(
+        isinstance(fractions, dict) and fractions,
+        "state_selection_fractions must be a non-empty object",
+    )
+    for state, fraction in fractions.items():
+        _require(isinstance(state, str), "state names must be strings")
+        _require_finite_number(fraction, f"state_selection_fractions[{state!r}]")
+        _require(
+            0.0 <= fraction <= 1.0,
+            f"state_selection_fractions[{state!r}] must lie in [0, 1]",
+        )
+    _require(
+        abs(sum(fractions.values()) - 1.0) < 1e-9,
+        "state_selection_fractions must sum to 1",
+    )
+
+    per_server = report["per_server"]
+    _require(
+        isinstance(per_server, list) and len(per_server) == len(farm["servers"]),
+        "per_server must list one entry per farm server",
+    )
+    total_jobs = 0
+    for entry in per_server:
+        _require_keys(
+            entry,
+            {"server", "num_jobs", "mean_response_time_s", "average_power_w"},
+            "per_server[*]",
+        )
+        _require(
+            isinstance(entry["num_jobs"], int) and entry["num_jobs"] >= 0,
+            "per_server[*].num_jobs must be a non-negative integer",
+        )
+        total_jobs += entry["num_jobs"]
+        for key in ("mean_response_time_s", "average_power_w"):
+            if entry[key] is not None:
+                _require_finite_number(entry[key], f"per_server[*].{key}")
+    _require(
+        total_jobs == workload["num_jobs"],
+        "per-server job counts must sum to workload.num_jobs (job conservation)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _parse_override(text: str) -> tuple[str, Any]:
+    """Parse a ``--set key=value`` flag; values use Python literal syntax."""
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise ExperimentError(
+            f"override {text!r} must have the form key=value"
+        )
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw  # plain strings may be given unquoted
+    return key, value
+
+
+def list_scenarios_main() -> int:
+    """CLI for ``python -m repro.experiments list-scenarios``."""
+    catalog = scenario_catalog()
+    for name in available_scenarios():
+        print(f"{name}: {catalog[name]['description']}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI for ``python -m repro.experiments run-scenario``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments run-scenario",
+        description="Run a registered scenario and print its JSON report.",
+    )
+    parser.add_argument(
+        "scenario",
+        help="scenario name (see `python -m repro.experiments list-scenarios`)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=BACKEND_VECTORIZED,
+        help="simulation backend for the per-epoch policy search",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan per-server epoch loops out over a thread pool of N workers",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a declared scenario parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE",
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.workers is not None and arguments.workers < 1:
+        parser.error(f"--workers must be at least 1, got {arguments.workers}")
+
+    overrides = dict(_parse_override(item) for item in arguments.overrides)
+    report = run_scenario(
+        arguments.scenario,
+        seed=arguments.seed,
+        backend=arguments.backend,
+        max_workers=arguments.workers,
+        overrides=overrides,
+    )
+    text = json.dumps(report, indent=2, sort_keys=False)
+    print(text)
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

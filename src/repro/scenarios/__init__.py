@@ -1,0 +1,34 @@
+"""Scenario library: named, parameterised workload + farm configurations.
+
+Importing this package registers the built-in scenarios (see
+:mod:`repro.scenarios.builders`); use :func:`available_scenarios` /
+:func:`get_scenario` to enumerate and build them, or the CLI::
+
+    python -m repro.experiments list-scenarios
+    python -m repro.experiments run-scenario diurnal
+"""
+
+from repro.scenarios.base import (
+    BuiltScenario,
+    Scenario,
+    ScenarioParameter,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario,
+    scenario_catalog,
+)
+
+# Importing the builders module registers the built-in scenario library.
+from repro.scenarios import builders as _builders  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "BuiltScenario",
+    "Scenario",
+    "ScenarioParameter",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenario",
+    "scenario_catalog",
+]

@@ -1,0 +1,251 @@
+"""Scenario registry: named, parameterised workload + farm configurations.
+
+A *scenario* bundles everything one experiment run needs — a workload
+specification, a concrete job stream, and a (possibly heterogeneous) server
+farm — behind a name and a declared parameter list.  Scenarios are the unit
+of evaluation breadth: the paper sweeps a handful of workload shapes; this
+registry is where the reproduction accumulates every shape it can imagine
+(diurnal cycles, flash crowds, heavy tails, correlated arrivals, mixed
+traffic, trace replay, mixed-platform farms, ...).
+
+The contract:
+
+* a builder function produces a :class:`BuiltScenario` from ``seed``,
+  ``backend`` and its declared parameters;
+* :func:`register_scenario` (usually via the :func:`scenario` decorator)
+  publishes it under a unique kebab-case name;
+* :func:`get_scenario` / :func:`available_scenarios` /
+  :func:`scenario_catalog` are the lookup surface the CLI, the docs and the
+  tests share, so a scenario that builds also appears in ``list-scenarios``
+  and in the smoke matrix automatically.
+
+Builders must be deterministic given ``seed`` and honour ``backend`` by
+passing it down to every policy-search strategy they create, so any scenario
+can be replayed on the ``"reference"`` simulation backend for validation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.cluster.farm import ServerFarm
+from repro.exceptions import ScenarioError
+from repro.simulation.kernel import BACKEND_VECTORIZED, validate_backend
+from repro.workloads.jobs import JobTrace
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ScenarioParameter:
+    """One declared knob of a scenario: name, default value, documentation."""
+
+    name: str
+    default: Any
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ScenarioError(
+                f"parameter name must be a valid identifier, got {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class BuiltScenario:
+    """A fully materialised scenario, ready to run.
+
+    ``jobs`` is the concrete arrival stream (absolute arrival times starting
+    near zero), ``spec`` the :class:`~repro.workloads.spec.WorkloadSpec`
+    describing its statistics (used for normalisation and synthetic
+    characterisation), and ``farm`` the server fleet that will serve it.
+    """
+
+    name: str
+    spec: WorkloadSpec
+    jobs: JobTrace
+    farm: ServerFarm
+    parameters: Mapping[str, Any] = field(default_factory=dict)
+    backend: str = BACKEND_VECTORIZED
+    seed: int = 0
+    #: Filled in by :meth:`Scenario.build` from the scenario's description
+    #: when the builder leaves it empty, so reports never need the registry.
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.jobs) == 0:
+            raise ScenarioError(
+                f"scenario {self.name!r} built an empty job stream"
+            )
+        validate_backend(self.backend)
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in the built stream."""
+        return len(self.jobs)
+
+    @property
+    def duration(self) -> float:
+        """Time span of the built stream (first to last arrival), seconds."""
+        return self.jobs.duration
+
+    def run(self):
+        """Run the farm over the built job stream (returns a ``FarmResult``)."""
+        return self.farm.run(self.jobs)
+
+
+#: Signature every scenario builder implements.  Declared parameters arrive
+#: as keyword arguments with their defaults already resolved.
+ScenarioBuilder = Callable[..., BuiltScenario]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered scenario: builder plus declared parameters."""
+
+    name: str
+    description: str
+    builder: ScenarioBuilder
+    parameters: tuple[ScenarioParameter, ...] = ()
+
+    #: Builder keywords owned by :meth:`build` itself; a declared parameter
+    #: (or an override splatted into ``build``) must never collide with them.
+    RESERVED_NAMES = frozenset({"seed", "backend"})
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("a scenario needs a non-empty name")
+        names = [parameter.name for parameter in self.parameters]
+        if len(set(names)) != len(names):
+            raise ScenarioError(
+                f"scenario {self.name!r} declares duplicate parameters: {names}"
+            )
+        reserved = sorted(self.RESERVED_NAMES.intersection(names))
+        if reserved:
+            raise ScenarioError(
+                f"scenario {self.name!r} declares reserved parameter name(s) "
+                f"{reserved}; 'seed' and 'backend' are passed to every builder "
+                "automatically"
+            )
+
+    def parameter_defaults(self) -> dict[str, Any]:
+        """Declared parameters and their default values."""
+        return {parameter.name: parameter.default for parameter in self.parameters}
+
+    def build(
+        self,
+        *,
+        seed: int = 0,
+        backend: str = BACKEND_VECTORIZED,
+        **overrides: Any,
+    ) -> BuiltScenario:
+        """Materialise the scenario with *overrides* applied over the defaults.
+
+        Unknown override names are rejected rather than silently ignored, so
+        a typo in a CLI ``--set`` flag fails loudly.
+        """
+        validate_backend(backend)
+        declared = {parameter.name for parameter in self.parameters}
+        unknown = sorted(set(overrides) - declared)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {self.name!r} has no parameter(s) {unknown}; "
+                f"declared: {sorted(declared)}"
+            )
+        values = self.parameter_defaults()
+        for key, value in overrides.items():
+            # Type-check against the declared default so a mistyped CLI value
+            # ("--set duration_minutes=abc") fails here with a clear message
+            # instead of a TypeError somewhere inside the builder.
+            default = values[key]
+            if isinstance(default, bool) != isinstance(value, bool):
+                expected, got = type(default).__name__, value
+            elif isinstance(default, (int, float)) and not isinstance(
+                value, (int, float)
+            ):
+                expected, got = "number", value
+            elif isinstance(default, str) and not isinstance(value, str):
+                expected, got = "string", value
+            else:
+                values[key] = value
+                continue
+            raise ScenarioError(
+                f"parameter {key!r} of scenario {self.name!r} expects a "
+                f"{expected} (default {default!r}), got {got!r}"
+            )
+        built = self.builder(seed=seed, backend=backend, **values)
+        if not built.description:
+            built = dataclasses.replace(built, description=self.description)
+        return built
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario_obj: Scenario) -> Scenario:
+    """Publish *scenario_obj* in the global registry (names must be unique)."""
+    if scenario_obj.name in _REGISTRY:
+        raise ScenarioError(
+            f"a scenario named {scenario_obj.name!r} is already registered"
+        )
+    _REGISTRY[scenario_obj.name] = scenario_obj
+    return scenario_obj
+
+
+def scenario(
+    name: str,
+    description: str,
+    parameters: tuple[ScenarioParameter, ...] = (),
+) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Decorator form of :func:`register_scenario` for builder functions."""
+
+    def decorate(builder: ScenarioBuilder) -> ScenarioBuilder:
+        register_scenario(
+            Scenario(
+                name=name,
+                description=description,
+                builder=builder,
+                parameters=parameters,
+            )
+        )
+        return builder
+
+    return decorate
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name, with a helpful error for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as error:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {', '.join(available_scenarios())}"
+        ) from error
+
+
+def available_scenarios() -> list[str]:
+    """Names of every registered scenario, sorted alphabetically."""
+    return sorted(_REGISTRY)
+
+
+def scenario_catalog() -> dict[str, dict[str, Any]]:
+    """Full catalogue: description and parameter table per scenario.
+
+    This is the machine-readable form of the README scenario cookbook; the
+    docs job checks the two never drift apart.
+    """
+    catalog: dict[str, dict[str, Any]] = {}
+    for name in available_scenarios():
+        entry = _REGISTRY[name]
+        catalog[name] = {
+            "description": entry.description,
+            "parameters": {
+                parameter.name: {
+                    "default": parameter.default,
+                    "description": parameter.description,
+                }
+                for parameter in entry.parameters
+            },
+        }
+    return catalog

@@ -1,0 +1,697 @@
+"""The built-in scenario library.
+
+Seven scenarios ship with the reproduction, each stressing a different axis
+of the joint speed-scaling + sleep-state problem:
+
+========================  ====================================================
+``diurnal``               smooth day/night utilisation cycle (the Figure 7
+                          regime) on a small homogeneous farm
+``flash-crowd``           long quiet baseline interrupted by a sudden burst —
+                          the predictor/over-provisioning stress test
+``heavy-tail``            Pareto-distributed service times at constant load —
+                          the tail-sensitive regime of the Cv discussion
+``correlated-arrivals``   two-state Markov-modulated load (sticky bursty/quiet
+                          phases), producing autocorrelated arrivals
+``multiclass``            DNS-like and Google-like job classes merged into one
+                          stream served by a shared farm
+``trace-replay``          replay of a stored utilisation trace (the synthetic
+                          Figure 7 traces, or any CSV in the same format)
+``heterogeneous-farm``    mixed Xeon + Atom fleet behind a power-aware
+                          dispatcher — farm-level energy proportionality
+========================  ====================================================
+
+Every builder is deterministic given ``seed``, sizes itself from
+``duration_minutes`` so tests can shrink it to seconds, and passes
+``backend`` into each server's policy-search strategy so the whole scenario
+can be replayed on the reference simulator.
+
+Utilisation convention: trace utilisations are offered load relative to one
+full-frequency server, so a farm of ``n`` servers behind a balanced
+dispatcher sees roughly ``utilization / n`` per server.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.dispatch import (
+    JobDispatcher,
+    LeastLoadedDispatcher,
+    PowerAwareDispatcher,
+    RoundRobinDispatcher,
+    merge_streams,
+)
+from repro.cluster.farm import ServerFarm, ServerSpec
+from repro.core.qos import mean_qos_from_baseline
+from repro.core.runtime import RuntimeConfig
+from repro.core.strategies import sleepscale_strategy
+from repro.exceptions import ScenarioError
+from repro.power.platform import ServerPowerModel, atom_power_model, xeon_power_model
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.scenarios.base import (
+    BuiltScenario,
+    ScenarioParameter,
+    scenario,
+)
+from repro.units import minutes
+from repro.workloads.distributions import Exponential, Pareto, from_mean_cv
+from repro.workloads.generator import generate_trace_driven_jobs
+from repro.workloads.spec import (
+    WorkloadSpec,
+    dns_workload,
+    google_workload,
+    workload_by_name,
+)
+from repro.workloads.traces import (
+    UtilizationTrace,
+    synthetic_email_store_trace,
+    synthetic_file_server_trace,
+)
+
+#: Peak design utilisation shared by all scenario servers (the paper's 0.8).
+_RHO_B = 0.8
+#: Per-epoch policy-search sample size; small enough that a scenario runs in
+#: seconds, large enough that selections are stable.
+_CHARACTERIZATION_JOBS = 600
+
+
+def _sleepscale_server(
+    name: str,
+    power_model: ServerPowerModel,
+    *,
+    seed: int,
+    backend: str,
+    epoch_minutes: float = 5.0,
+) -> ServerSpec:
+    """A server running full SleepScale with an LMS+CUSUM predictor."""
+    qos = mean_qos_from_baseline(_RHO_B)
+    config = RuntimeConfig(
+        epoch_minutes=epoch_minutes, rho_b=_RHO_B, over_provisioning=0.35
+    )
+    return ServerSpec(
+        name=name,
+        power_model=power_model,
+        strategy_factory=lambda: sleepscale_strategy(
+            power_model,
+            qos,
+            characterization_jobs=_CHARACTERIZATION_JOBS,
+            seed=seed,
+            backend=backend,
+        ),
+        predictor_factory=lambda: LmsCusumPredictor(history=10),
+        config=config,
+    )
+
+
+def _xeon_farm(
+    num_servers: int,
+    spec: WorkloadSpec,
+    *,
+    seed: int,
+    backend: str,
+    dispatcher: JobDispatcher | None = None,
+    epoch_minutes: float = 5.0,
+) -> ServerFarm:
+    """A homogeneous Xeon farm of SleepScale servers."""
+    power_model = xeon_power_model()
+    servers = tuple(
+        _sleepscale_server(
+            f"xeon-{index}",
+            power_model,
+            seed=seed + index,
+            backend=backend,
+            epoch_minutes=epoch_minutes,
+        )
+        for index in range(num_servers)
+    )
+    return ServerFarm(
+        servers=servers,
+        spec=spec,
+        dispatcher=dispatcher or RoundRobinDispatcher(),
+    )
+
+
+def _check_duration(duration_minutes: float) -> int:
+    if duration_minutes < 1:
+        raise ScenarioError(
+            f"duration_minutes must be at least 1, got {duration_minutes}"
+        )
+    return int(round(duration_minutes))
+
+
+def _diurnal_values(
+    num_samples: int, trough_utilization: float, peak_utilization: float
+) -> np.ndarray:
+    """One raised-cosine day/night cycle spanning *num_samples* minutes."""
+    if not 0.0 < trough_utilization <= peak_utilization <= 0.95:
+        raise ScenarioError(
+            "need 0 < trough_utilization <= peak_utilization <= 0.95, got "
+            f"[{trough_utilization}, {peak_utilization}]"
+        )
+    phase = 2.0 * math.pi * np.arange(num_samples) / num_samples
+    return trough_utilization + (peak_utilization - trough_utilization) * 0.5 * (
+        1.0 - np.cos(phase)
+    )
+
+
+def _check_servers(num_servers: int) -> int:
+    if num_servers != int(num_servers):
+        raise ScenarioError(
+            f"servers must be a whole number, got {num_servers}"
+        )
+    if num_servers < 1:
+        raise ScenarioError(f"servers must be at least 1, got {num_servers}")
+    return int(num_servers)
+
+
+# ---------------------------------------------------------------------------
+# diurnal
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="diurnal",
+    description=(
+        "Smooth day/night utilisation cycle (one full day compressed into the "
+        "run) served by a small homogeneous Xeon farm."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 40, "length of the run; one full day/night cycle is compressed into it"),
+        ScenarioParameter("trough_utilization", 0.08, "night-time offered load (relative to one server)"),
+        ScenarioParameter("peak_utilization", 0.85, "mid-day offered load (relative to one server)"),
+        ScenarioParameter("servers", 2, "number of identical Xeon servers"),
+        ScenarioParameter("workload", "dns", "Table 5 workload class: dns, google or mail"),
+    ),
+)
+def build_diurnal(
+    *,
+    seed: int,
+    backend: str,
+    duration_minutes: float,
+    trough_utilization: float,
+    peak_utilization: float,
+    servers: int,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    spec = workload_by_name(workload)
+    values = _diurnal_values(num_samples, trough_utilization, peak_utilization)
+    trace = UtilizationTrace(values, interval=minutes(1), name="diurnal")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    return BuiltScenario(
+        name="diurnal",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "trough_utilization": trough_utilization,
+            "peak_utilization": peak_utilization,
+            "servers": servers,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# flash-crowd
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="flash-crowd",
+    description=(
+        "Quiet baseline load interrupted by a sudden sustained burst — the "
+        "predictor and over-provisioning stress test, served behind a "
+        "least-loaded dispatcher."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 30, "length of the run"),
+        ScenarioParameter("base_utilization", 0.1, "offered load outside the crowd window"),
+        ScenarioParameter("crowd_utilization", 0.9, "offered load during the crowd window"),
+        ScenarioParameter("crowd_start_minute", 12, "minute at which the crowd arrives"),
+        ScenarioParameter("crowd_minutes", 6, "how long the crowd persists"),
+        ScenarioParameter("servers", 3, "number of identical Xeon servers"),
+        ScenarioParameter("workload", "google", "Table 5 workload class: dns, google or mail"),
+    ),
+)
+def build_flash_crowd(
+    *,
+    seed: int,
+    backend: str,
+    duration_minutes: float,
+    base_utilization: float,
+    crowd_utilization: float,
+    crowd_start_minute: float,
+    crowd_minutes: float,
+    servers: int,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    if not 0.0 < base_utilization <= crowd_utilization <= 0.95:
+        raise ScenarioError(
+            "need 0 < base_utilization <= crowd_utilization <= 0.95, got "
+            f"[{base_utilization}, {crowd_utilization}]"
+        )
+    start = int(round(crowd_start_minute))
+    length = int(round(crowd_minutes))
+    if start < 0 or length < 1:
+        raise ScenarioError(
+            f"crowd window [{start}, {start + length}) is invalid"
+        )
+    # Clip the window to the run so shrunken smoke runs keep their burst.
+    start = min(start, max(0, num_samples - length))
+    spec = workload_by_name(workload)
+    values = np.full(num_samples, base_utilization)
+    values[start : min(start + length, num_samples)] = crowd_utilization
+    trace = UtilizationTrace(values, interval=minutes(1), name="flash-crowd")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
+    farm = _xeon_farm(
+        servers, spec, seed=seed, backend=backend, dispatcher=LeastLoadedDispatcher()
+    )
+    return BuiltScenario(
+        name="flash-crowd",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "base_utilization": base_utilization,
+            "crowd_utilization": crowd_utilization,
+            "crowd_start_minute": start,
+            "crowd_minutes": length,
+            "servers": servers,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# heavy-tail
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="heavy-tail",
+    description=(
+        "Pareto (Lomax) service times at constant offered load — the regime "
+        "where rare huge jobs dominate the response-time tail and deep sleep "
+        "states are risky."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 25, "length of the run"),
+        ScenarioParameter("utilization", 0.5, "constant offered load (relative to one server)"),
+        ScenarioParameter("pareto_alpha", 2.5, "Pareto tail index (must exceed 2 for finite variance)"),
+        ScenarioParameter("mean_service_ms", 92.0, "mean job size in milliseconds (the Mail workload's)"),
+        ScenarioParameter("servers", 2, "number of identical Xeon servers"),
+    ),
+)
+def build_heavy_tail(
+    *,
+    seed: int,
+    backend: str,
+    duration_minutes: float,
+    utilization: float,
+    pareto_alpha: float,
+    mean_service_ms: float,
+    servers: int,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    if not 0.0 < utilization <= 0.95:
+        raise ScenarioError(
+            f"utilization must lie in (0, 0.95], got {utilization}"
+        )
+    if pareto_alpha <= 2.0:
+        raise ScenarioError(
+            f"pareto_alpha must exceed 2 (finite variance), got {pareto_alpha}"
+        )
+    if mean_service_ms <= 0:
+        raise ScenarioError(
+            f"mean_service_ms must be positive, got {mean_service_ms}"
+        )
+    mean_service = mean_service_ms / 1000.0
+    service = Pareto(alpha=pareto_alpha, mean_value=mean_service)
+    spec = WorkloadSpec(
+        name="heavy-tail",
+        interarrival=Exponential(mean_service / utilization),
+        service=service,
+    )
+    values = np.full(num_samples, utilization)
+    trace = UtilizationTrace(values, interval=minutes(1), name="heavy-tail")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    return BuiltScenario(
+        name="heavy-tail",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "utilization": utilization,
+            "pareto_alpha": pareto_alpha,
+            "mean_service_ms": mean_service_ms,
+            "servers": servers,
+        },
+        backend=backend,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# correlated-arrivals
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="correlated-arrivals",
+    description=(
+        "Two-state Markov-modulated load: sticky quiet/bursty phases produce "
+        "minute-scale autocorrelation in the arrival process (an MMPP-style "
+        "stream), defeating memoryless predictors."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 30, "length of the run"),
+        ScenarioParameter("quiet_utilization", 0.12, "offered load in the quiet phase"),
+        ScenarioParameter("bursty_utilization", 0.7, "offered load in the bursty phase"),
+        ScenarioParameter("persistence", 0.85, "probability of staying in the current phase each minute"),
+        ScenarioParameter("servers", 2, "number of identical Xeon servers"),
+        ScenarioParameter("workload", "dns", "Table 5 workload class: dns, google or mail"),
+    ),
+)
+def build_correlated_arrivals(
+    *,
+    seed: int,
+    backend: str,
+    duration_minutes: float,
+    quiet_utilization: float,
+    bursty_utilization: float,
+    persistence: float,
+    servers: int,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    if not 0.0 < quiet_utilization <= bursty_utilization <= 0.95:
+        raise ScenarioError(
+            "need 0 < quiet_utilization <= bursty_utilization <= 0.95, got "
+            f"[{quiet_utilization}, {bursty_utilization}]"
+        )
+    if not 0.0 <= persistence < 1.0:
+        raise ScenarioError(
+            f"persistence must lie in [0, 1), got {persistence}"
+        )
+    spec = workload_by_name(workload)
+    rng = np.random.default_rng(seed)
+    levels = (quiet_utilization, bursty_utilization)
+    state = 0
+    values = np.empty(num_samples)
+    for index in range(num_samples):
+        values[index] = levels[state]
+        if rng.random() > persistence:
+            state = 1 - state
+    trace = UtilizationTrace(values, interval=minutes(1), name="correlated-arrivals")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed + 1).jobs
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    return BuiltScenario(
+        name="correlated-arrivals",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "quiet_utilization": quiet_utilization,
+            "bursty_utilization": bursty_utilization,
+            "persistence": persistence,
+            "servers": servers,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# multiclass
+# ---------------------------------------------------------------------------
+
+
+def _mixture_spec(
+    specs_and_rates: list[tuple[WorkloadSpec, float]],
+) -> WorkloadSpec:
+    """Moment-matched spec of a superposition of independent job classes.
+
+    Arrival processes superpose (rates add); the service distribution is the
+    arrival-rate-weighted mixture, matched by mean and Cv through the library's
+    standard :func:`from_mean_cv` substitution.
+    """
+    total_rate = sum(rate for _, rate in specs_and_rates)
+    weights = [rate / total_rate for _, rate in specs_and_rates]
+    mean = sum(
+        weight * spec.service.mean
+        for (spec, _), weight in zip(specs_and_rates, weights)
+    )
+    second_moment = sum(
+        weight * spec.service.second_moment
+        for (spec, _), weight in zip(specs_and_rates, weights)
+    )
+    variance = max(second_moment - mean**2, 0.0)
+    cv = math.sqrt(variance) / mean
+    return WorkloadSpec(
+        name="multiclass",
+        interarrival=Exponential(1.0 / total_rate),
+        service=from_mean_cv(mean, cv),
+    )
+
+
+@scenario(
+    name="multiclass",
+    description=(
+        "DNS-like (large, rare) and Google-like (small, frequent) job classes "
+        "superposed into one stream and served by a shared Xeon farm."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 20, "length of the run"),
+        ScenarioParameter("dns_utilization", 0.25, "offered load contributed by the DNS-like class"),
+        ScenarioParameter("google_utilization", 0.35, "offered load contributed by the Google-like class"),
+        ScenarioParameter("servers", 2, "number of identical Xeon servers"),
+    ),
+)
+def build_multiclass(
+    *,
+    seed: int,
+    backend: str,
+    duration_minutes: float,
+    dns_utilization: float,
+    google_utilization: float,
+    servers: int,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    for label, value in (
+        ("dns_utilization", dns_utilization),
+        ("google_utilization", google_utilization),
+    ):
+        if not 0.0 < value <= 0.95:
+            raise ScenarioError(f"{label} must lie in (0, 0.95], got {value}")
+    dns_spec = dns_workload()
+    google_spec = google_workload()
+    streams = []
+    for offset, (class_spec, load) in enumerate(
+        ((dns_spec, dns_utilization), (google_spec, google_utilization))
+    ):
+        values = np.full(num_samples, load)
+        trace = UtilizationTrace(
+            values, interval=minutes(1), name=f"multiclass-{class_spec.name}"
+        )
+        streams.append(
+            generate_trace_driven_jobs(class_spec, trace, seed=seed + offset).jobs
+        )
+    jobs = merge_streams(streams)
+    spec = _mixture_spec(
+        [
+            (dns_spec, dns_utilization / dns_spec.mean_service_time),
+            (google_spec, google_utilization / google_spec.mean_service_time),
+        ]
+    )
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    return BuiltScenario(
+        name="multiclass",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "dns_utilization": dns_utilization,
+            "google_utilization": google_utilization,
+            "servers": servers,
+        },
+        backend=backend,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# trace-replay
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="trace-replay",
+    description=(
+        "Replay a stored utilisation trace: the synthetic Figure 7 traces "
+        "('file-server', 'email-store'), or any two-column CSV produced by "
+        "UtilizationTrace.to_csv."
+    ),
+    parameters=(
+        ScenarioParameter("trace", "file-server", "'file-server', 'email-store', or a path to a trace CSV"),
+        ScenarioParameter("duration_minutes", 45, "how many minutes of the trace to replay"),
+        ScenarioParameter("scale", 1.0, "multiply the trace's utilisation by this factor (clipped to [0, 1])"),
+        ScenarioParameter("servers", 1, "number of identical Xeon servers"),
+        ScenarioParameter("workload", "dns", "Table 5 workload class supplying job statistics"),
+    ),
+)
+def build_trace_replay(
+    *,
+    seed: int,
+    backend: str,
+    trace: str,
+    duration_minutes: float,
+    scale: float,
+    servers: int,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    if trace == "file-server":
+        utilization = synthetic_file_server_trace(days=1, seed=seed)
+    elif trace == "email-store":
+        utilization = synthetic_email_store_trace(days=1, seed=seed)
+    elif Path(trace).suffix == ".csv":
+        utilization = UtilizationTrace.from_csv(trace)
+    else:
+        raise ScenarioError(
+            f"unknown trace {trace!r}; expected 'file-server', 'email-store' "
+            "or a path to a .csv file"
+        )
+    if scale != 1.0:
+        utilization = utilization.scaled(scale)
+    num_samples = min(num_samples, len(utilization))
+    utilization = utilization.slice_index(0, num_samples)
+    spec = workload_by_name(workload)
+    jobs = generate_trace_driven_jobs(spec, utilization, seed=seed).jobs
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    return BuiltScenario(
+        name="trace-replay",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "trace": trace,
+            "duration_minutes": num_samples,
+            "scale": scale,
+            "servers": servers,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# heterogeneous-farm
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="heterogeneous-farm",
+    description=(
+        "Mixed Xeon + Atom fleet behind a power-aware dispatcher: low-power "
+        "platforms absorb the base load, the Xeons wake for the diurnal peak "
+        "— farm-level energy proportionality."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 30, "length of the run; one day/night cycle is compressed into it"),
+        ScenarioParameter("xeon_servers", 1, "number of Xeon-class servers"),
+        ScenarioParameter("atom_servers", 2, "number of Atom-class servers"),
+        ScenarioParameter("trough_utilization", 0.1, "night-time offered load (relative to one server)"),
+        ScenarioParameter("peak_utilization", 0.8, "mid-day offered load (relative to one server)"),
+        ScenarioParameter("workload", "google", "Table 5 workload class: dns, google or mail"),
+    ),
+)
+def build_heterogeneous_farm(
+    *,
+    seed: int,
+    backend: str,
+    duration_minutes: float,
+    xeon_servers: int,
+    atom_servers: int,
+    trough_utilization: float,
+    peak_utilization: float,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    for label, count in (("xeon_servers", xeon_servers), ("atom_servers", atom_servers)):
+        if count != int(count) or count < 0:
+            raise ScenarioError(
+                f"{label} must be a non-negative whole number, got {count}"
+            )
+    xeon_servers, atom_servers = int(xeon_servers), int(atom_servers)
+    if xeon_servers + atom_servers < 1:
+        raise ScenarioError(
+            "need at least one server in total, got "
+            f"xeon_servers={xeon_servers}, atom_servers={atom_servers}"
+        )
+    spec = workload_by_name(workload)
+    values = _diurnal_values(num_samples, trough_utilization, peak_utilization)
+    trace = UtilizationTrace(values, interval=minutes(1), name="heterogeneous-farm")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
+
+    xeon = xeon_power_model()
+    atom = atom_power_model()
+    servers: list[ServerSpec] = []
+    for index in range(xeon_servers):
+        servers.append(
+            _sleepscale_server(
+                f"xeon-{index}", xeon, seed=seed + index, backend=backend
+            )
+        )
+    for index in range(atom_servers):
+        servers.append(
+            _sleepscale_server(
+                f"atom-{index}",
+                atom,
+                seed=seed + xeon_servers + index,
+                backend=backend,
+            )
+        )
+    dispatcher = PowerAwareDispatcher.from_power_models(
+        [server.power_model for server in servers]
+    )
+    farm = ServerFarm(servers=tuple(servers), spec=spec, dispatcher=dispatcher)
+    return BuiltScenario(
+        name="heterogeneous-farm",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "xeon_servers": xeon_servers,
+            "atom_servers": atom_servers,
+            "trough_utilization": trough_utilization,
+            "peak_utilization": peak_utilization,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+    )

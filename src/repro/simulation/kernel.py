@@ -35,6 +35,16 @@ against each other):
 (scaled services, no-wake departures, candidate gaps), so characterising a
 policy space that crosses the same frequencies with several sleep sequences
 only pays for the Lindley recursion once per frequency.
+
+**Backend contract** (see ``docs/ARCHITECTURE.md``): this module is the
+``backend="vectorized"`` side; :mod:`repro.simulation.engine` keeps the
+``backend="reference"`` per-job loop as the readable oracle.  Both must
+produce numerically matching results (``rtol <= 1e-9``) for every trace,
+frequency, sleep sequence and power model — any intentional behaviour change
+must land in *both* backends and keep the equivalence suite green.  Every
+simulating entry point (``simulate_trace``, ``simulate_workload``,
+``PolicyManager``, the strategy factories, ``Scenario.build``) accepts a
+``backend=`` argument and passes it down unchanged.
 """
 
 from __future__ import annotations

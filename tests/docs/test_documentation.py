@@ -1,0 +1,72 @@
+"""Documentation must not rot: README and ARCHITECTURE code blocks execute.
+
+Every ``>>>`` example in the two documents runs as a doctest (the same check
+CI performs with ``python -m doctest``), and the README scenario cookbook is
+cross-checked against the live scenario registry so adding a scenario
+without documenting it — or documenting one that does not exist — fails.
+"""
+
+from __future__ import annotations
+
+import doctest
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import available_scenarios, get_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCUMENTS = {
+    "README.md": REPO_ROOT / "README.md",
+    "docs/ARCHITECTURE.md": REPO_ROOT / "docs" / "ARCHITECTURE.md",
+}
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("label", sorted(DOCUMENTS))
+    def test_document_examples_execute(self, label):
+        path = DOCUMENTS[label]
+        assert path.exists(), f"{label} is missing"
+        results = doctest.testfile(
+            str(path),
+            module_relative=False,
+            verbose=False,
+            optionflags=doctest.NORMALIZE_WHITESPACE,
+        )
+        assert results.failed == 0, f"{results.failed} doctest failure(s) in {label}"
+        assert results.attempted > 0, f"{label} contains no executable examples"
+
+
+class TestCookbookCoverage:
+    def test_every_registered_scenario_is_documented(self):
+        readme = DOCUMENTS["README.md"].read_text()
+        for name in available_scenarios():
+            assert f"### `{name}`" in readme, (
+                f"scenario {name!r} is registered but missing from the README "
+                "scenario cookbook"
+            )
+            assert f"run-scenario {name}" in readme, (
+                f"the README cookbook must show the one-line CLI for {name!r}"
+            )
+
+    def test_every_documented_parameter_exists(self):
+        """Each cookbook one-liner's --set overrides name real parameters."""
+        readme = DOCUMENTS["README.md"].read_text()
+        for line in readme.splitlines():
+            if "run-scenario" not in line or "--set" not in line:
+                continue
+            tokens = line.split()
+            name = tokens[tokens.index("run-scenario") + 1]
+            declared = set(get_scenario(name).parameter_defaults())
+            for index, token in enumerate(tokens):
+                if token == "--set":
+                    key = tokens[index + 1].split("=")[0]
+                    assert key in declared, (
+                        f"README documents unknown parameter {key!r} for {name!r}"
+                    )
+
+    def test_architecture_documents_the_schema_tag(self):
+        from repro.experiments.scenario_runner import REPORT_SCHEMA
+
+        architecture = DOCUMENTS["docs/ARCHITECTURE.md"].read_text()
+        assert REPORT_SCHEMA in architecture

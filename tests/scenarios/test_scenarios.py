@@ -1,0 +1,396 @@
+"""Scenario registry round-trip tests.
+
+Every registered scenario must build, simulate a short trace on both
+simulation backends, and produce a JSON report that validates against the
+``repro.scenario-report/v1`` schema.  These tests iterate the registry
+itself, so newly registered scenarios are covered automatically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError, ScenarioError
+from repro.experiments.scenario_runner import (
+    REPORT_SCHEMA,
+    run_scenario,
+    validate_report,
+)
+from repro.scenarios import (
+    BuiltScenario,
+    Scenario,
+    ScenarioParameter,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_catalog,
+)
+from repro.scenarios.base import _REGISTRY
+from repro.simulation.engine import simulate_trace
+from repro.simulation.kernel import BACKEND_REFERENCE, BACKEND_VECTORIZED
+
+#: Overrides that shrink any scenario to a couple of seconds of wall clock.
+TINY = {"duration_minutes": 5}
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios_registered(self):
+        assert len(available_scenarios()) >= 6
+
+    def test_names_are_kebab_case_and_sorted(self):
+        names = available_scenarios()
+        assert names == sorted(names)
+        for name in names:
+            assert name == name.lower()
+            assert " " not in name
+
+    def test_unknown_scenario_lists_alternatives(self):
+        with pytest.raises(ScenarioError, match="diurnal"):
+            get_scenario("definitely-not-registered")
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ScenarioError, match="no parameter"):
+            get_scenario("diurnal").build(not_a_parameter=3)
+
+    def test_reserved_override_names_get_a_helpful_error(self):
+        # `--set seed=3` must point at --seed, not crash with a TypeError.
+        with pytest.raises(ExperimentError, match="--seed / --backend"):
+            run_scenario("diurnal", overrides={"seed": 3})
+        with pytest.raises(ExperimentError, match="--seed / --backend"):
+            run_scenario("diurnal", overrides={"backend": "reference"})
+
+    def test_reserved_parameter_names_rejected_at_registration(self):
+        with pytest.raises(ScenarioError, match="reserved"):
+            Scenario(
+                name="bad",
+                description="declares a reserved parameter",
+                builder=lambda **_: None,
+                parameters=(ScenarioParameter("seed", 0, "collides"),),
+            )
+
+    def test_fractional_server_count_rejected(self):
+        with pytest.raises(ScenarioError, match="whole number"):
+            get_scenario("diurnal").build(servers=2.9, **TINY)
+        with pytest.raises(ScenarioError, match="whole number"):
+            get_scenario("heterogeneous-farm").build(atom_servers=1.5, **TINY)
+
+    def test_mistyped_override_value_rejected(self):
+        # "--set duration_minutes=abc" must fail with a clear ScenarioError,
+        # not a TypeError from inside the builder.
+        with pytest.raises(ScenarioError, match="expects a number"):
+            get_scenario("diurnal").build(duration_minutes="abc")
+        with pytest.raises(ScenarioError, match="expects a string"):
+            get_scenario("trace-replay").build(trace=3, **TINY)
+
+    def test_heavy_tail_parameter_ranges_rejected(self):
+        with pytest.raises(ScenarioError, match="pareto_alpha"):
+            get_scenario("heavy-tail").build(pareto_alpha=2.0, **TINY)
+        with pytest.raises(ScenarioError, match="mean_service_ms"):
+            get_scenario("heavy-tail").build(mean_service_ms=0.0, **TINY)
+
+    def test_invalid_worker_count_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            run_scenario("trace-replay", max_workers=0, overrides=TINY)
+
+    def test_report_works_for_unregistered_scenario(self):
+        """Reporting must not require the registry — only the built object."""
+        from repro.experiments.scenario_runner import report_from_result
+
+        registered = get_scenario("trace-replay").build(seed=0, **TINY)
+        unregistered = Scenario(
+            name="not-in-the-registry",
+            description="hand-constructed scenario",
+            builder=lambda **kwargs: None,  # never called
+        )
+        built = BuiltScenario(
+            name="not-in-the-registry",
+            spec=registered.spec,
+            jobs=registered.jobs,
+            farm=registered.farm,
+            description=unregistered.description,
+        )
+        report = report_from_result(built, built.run())
+        validate_report(report)
+        assert report["scenario"] == "not-in-the-registry"
+        assert report["description"] == "hand-constructed scenario"
+
+    def test_duplicate_registration_rejected(self):
+        existing = get_scenario("diurnal")
+        with pytest.raises(ScenarioError, match="already registered"):
+            register_scenario(existing)
+
+    def test_registering_and_removing_a_custom_scenario(self):
+        def build(*, seed, backend, **_):
+            return get_scenario("diurnal").build(seed=seed, backend=backend, **TINY)
+
+        custom = Scenario(
+            name="custom-test-only",
+            description="registry round-trip fixture",
+            builder=build,
+            parameters=(ScenarioParameter("knob", 1, "unused"),),
+        )
+        register_scenario(custom)
+        try:
+            assert "custom-test-only" in available_scenarios()
+            built = get_scenario("custom-test-only").build()
+            assert isinstance(built, BuiltScenario)
+        finally:
+            del _REGISTRY["custom-test-only"]
+
+    def test_catalog_matches_registry(self):
+        catalog = scenario_catalog()
+        assert sorted(catalog) == available_scenarios()
+        for name, entry in catalog.items():
+            assert entry["description"]
+            declared = get_scenario(name).parameter_defaults()
+            assert set(entry["parameters"]) == set(declared)
+            for parameter, details in entry["parameters"].items():
+                assert details["default"] == declared[parameter]
+                assert details["description"]
+
+
+class TestEveryScenario:
+    """Parametrised over the registry: new scenarios join automatically."""
+
+    @pytest.fixture(params=sorted(available_scenarios()))
+    def name(self, request):
+        return request.param
+
+    def test_builds_and_is_deterministic(self, name):
+        first = get_scenario(name).build(seed=11, **TINY)
+        second = get_scenario(name).build(seed=11, **TINY)
+        assert first.jobs == second.jobs
+        assert first.num_jobs > 0
+        assert first.parameters["duration_minutes"] == TINY["duration_minutes"]
+
+    def test_seed_changes_the_stream(self, name):
+        first = get_scenario(name).build(seed=1, **TINY)
+        second = get_scenario(name).build(seed=2, **TINY)
+        assert first.jobs != second.jobs
+
+    def test_short_trace_simulates_on_both_backends(self, name):
+        """The built stream is valid input for both simulation backends."""
+        from repro.power.states import C3_S0I
+
+        built = get_scenario(name).build(seed=3, **TINY)
+        jobs = built.jobs.head(200)
+        policy_model = built.farm.servers[0].power_model
+        sleep = policy_model.immediate_sleep_sequence(C3_S0I)
+        results = {
+            backend: simulate_trace(
+                jobs=jobs,
+                frequency=0.8,
+                sleep=sleep,
+                power_model=policy_model,
+                backend=backend,
+            )
+            for backend in (BACKEND_VECTORIZED, BACKEND_REFERENCE)
+        }
+        np.testing.assert_allclose(
+            results[BACKEND_VECTORIZED].response_times,
+            results[BACKEND_REFERENCE].response_times,
+            rtol=1e-9,
+        )
+        assert results[BACKEND_VECTORIZED].total_energy == pytest.approx(
+            results[BACKEND_REFERENCE].total_energy, rel=1e-9
+        )
+
+    def test_end_to_end_report_is_schema_valid_and_json_safe(self, name):
+        report = run_scenario(name, seed=5, overrides=TINY)
+        validate_report(report)  # run_scenario validates too; double-checking
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["scenario"] == name
+        # A report must survive a JSON round-trip unchanged (no NaN leaks).
+        assert json.loads(json.dumps(report)) == report
+
+    def test_job_conservation_in_report(self, name):
+        report = run_scenario(name, seed=5, overrides=TINY)
+        assert (
+            sum(entry["num_jobs"] for entry in report["per_server"])
+            == report["workload"]["num_jobs"]
+        )
+
+
+class TestBackendSelection:
+    def test_reference_backend_runs_end_to_end(self):
+        report = run_scenario(
+            "diurnal", seed=7, backend=BACKEND_REFERENCE, overrides=TINY
+        )
+        assert report["backend"] == BACKEND_REFERENCE
+
+    def test_backends_agree_on_selected_states(self):
+        """The per-epoch policy search must not depend on the backend."""
+        reports = {
+            backend: run_scenario(
+                "diurnal", seed=7, backend=backend, overrides=TINY
+            )
+            for backend in (BACKEND_VECTORIZED, BACKEND_REFERENCE)
+        }
+        assert (
+            reports[BACKEND_VECTORIZED]["state_selection_fractions"]
+            == reports[BACKEND_REFERENCE]["state_selection_fractions"]
+        )
+        assert reports[BACKEND_VECTORIZED]["energy"]["total_joules"] == pytest.approx(
+            reports[BACKEND_REFERENCE]["energy"]["total_joules"], rel=1e-6
+        )
+
+    def test_unknown_backend_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            get_scenario("diurnal").build(backend="quantum")
+
+
+class TestHeterogeneousScenario:
+    def test_at_least_one_scenario_is_heterogeneous(self):
+        heterogeneous = [
+            name
+            for name in available_scenarios()
+            if get_scenario(name).build(seed=0, **TINY).farm.is_heterogeneous
+        ]
+        assert heterogeneous, "the library must ship a heterogeneous scenario"
+
+    def test_heterogeneous_farm_report_lists_both_platforms(self):
+        report = run_scenario("heterogeneous-farm", seed=0, overrides=TINY)
+        assert report["farm"]["heterogeneous"] is True
+        assert len(report["farm"]["platforms"]) >= 2
+        assert set(report["farm"]["platforms"]) == {"xeon", "atom"}
+
+
+class TestValidator:
+    @pytest.fixture()
+    def report(self):
+        return run_scenario("trace-replay", seed=0, overrides=TINY)
+
+    def test_missing_key_rejected(self, report):
+        broken = dict(report)
+        del broken["energy"]
+        with pytest.raises(ExperimentError, match="exactly the keys"):
+            validate_report(broken)
+
+    def test_wrong_schema_tag_rejected(self, report):
+        broken = dict(report)
+        broken["schema"] = "repro.scenario-report/v0"
+        with pytest.raises(ExperimentError, match="schema"):
+            validate_report(broken)
+
+    def test_nan_metric_rejected(self, report):
+        broken = json.loads(json.dumps(report))
+        broken["energy"]["total_joules"] = float("nan")
+        with pytest.raises(ExperimentError, match="finite"):
+            validate_report(broken)
+
+    def test_fractions_must_sum_to_one(self, report):
+        broken = json.loads(json.dumps(report))
+        first = next(iter(broken["state_selection_fractions"]))
+        broken["state_selection_fractions"][first] *= 0.5
+        with pytest.raises(ExperimentError, match="sum to 1"):
+            validate_report(broken)
+
+    def test_job_conservation_enforced(self, report):
+        broken = json.loads(json.dumps(report))
+        broken["per_server"][0]["num_jobs"] += 1
+        with pytest.raises(ExperimentError, match="job conservation"):
+            validate_report(broken)
+
+    def test_heterogeneous_flag_must_match_platforms(self, report):
+        broken = json.loads(json.dumps(report))
+        broken["farm"]["heterogeneous"] = True  # single-platform farm
+        with pytest.raises(ExperimentError, match="heterogeneous"):
+            validate_report(broken)
+
+
+class TestCli:
+    def test_list_scenarios_prints_every_name(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in output
+
+    def test_run_scenario_prints_valid_json(self, capsys):
+        from repro.experiments.runner import main
+
+        assert (
+            main(
+                [
+                    "run-scenario",
+                    "trace-replay",
+                    "--seed",
+                    "3",
+                    "--set",
+                    "duration_minutes=5",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        validate_report(report)
+        assert report["seed"] == 3
+        assert report["parameters"]["duration_minutes"] == 5
+
+    def test_run_scenario_writes_output_file(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        target = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "run-scenario",
+                    "trace-replay",
+                    "--set",
+                    "duration_minutes=5",
+                    "--output",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        validate_report(json.loads(target.read_text()))
+
+    def test_run_scenario_with_string_override(self, capsys):
+        from repro.experiments.runner import main
+
+        assert (
+            main(
+                [
+                    "run-scenario",
+                    "trace-replay",
+                    "--set",
+                    "trace=email-store",
+                    "--set",
+                    "duration_minutes=5",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["parameters"]["trace"] == "email-store"
+
+    def test_experiment_cli_still_lists_experiments(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        assert "figure1" in capsys.readouterr().out
+
+    def test_list_scenarios_rejects_extra_arguments(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["list-scenarios", "--help"]) == 2
+        assert "takes no arguments" in capsys.readouterr().err
+
+    def test_main_help_mentions_scenario_subcommands(self, capsys):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        output = capsys.readouterr().out
+        assert "run-scenario" in output
+        assert "list-scenarios" in output
