@@ -7,16 +7,31 @@ each arriving job lands on; see :mod:`repro.cluster.dispatch`.
 """
 
 from repro.cluster.dispatch import (
+    DISPATCH_ENGINES,
+    ENGINE_HEAP,
+    ENGINE_LOOP,
     JobDispatcher,
     LeastLoadedDispatcher,
     PowerAwareDispatcher,
     RandomDispatcher,
     RoundRobinDispatcher,
+    StreamAssigner,
+    WorkTracker,
     merge_streams,
+    validate_engine,
 )
-from repro.cluster.farm import ClusterRuntime, FarmResult, ServerFarm, ServerSpec
+from repro.cluster.farm import (
+    ClusterRuntime,
+    FarmResult,
+    ServerFarm,
+    ServerSpec,
+    prorated_idle_energy,
+)
 
 __all__ = [
+    "DISPATCH_ENGINES",
+    "ENGINE_HEAP",
+    "ENGINE_LOOP",
     "ClusterRuntime",
     "FarmResult",
     "JobDispatcher",
@@ -26,5 +41,9 @@ __all__ = [
     "RoundRobinDispatcher",
     "ServerFarm",
     "ServerSpec",
+    "StreamAssigner",
+    "WorkTracker",
     "merge_streams",
+    "prorated_idle_energy",
+    "validate_engine",
 ]

@@ -16,8 +16,9 @@ Two *stateless* dispatchers model classic front-end load balancers:
 Two *work-tracking* dispatchers model smarter front ends.  Both estimate each
 server's outstanding backlog from the nominal service demands of the jobs
 already routed to it (the front end cannot observe the servers' DVFS settings
-or sleep states, so the estimate assumes full-frequency service — consistent
-across servers and sufficient for ranking):
+or sleep states, so the estimate assumes each server runs at its *frequency
+ceiling* — the best it could do — which is what a rate-aware load balancer
+would provision against):
 
 * :class:`LeastLoadedDispatcher` — join-the-least-work queue: each arriving
   job goes to the server with the smallest estimated backlog, which means an
@@ -28,6 +29,43 @@ across servers and sufficient for ranking):
   server whose backlog is below a threshold, so inefficient servers only wake
   up under pressure and can otherwise sit in deep sleep.
 
+Speed-aware backlog
+-------------------
+
+On a heterogeneous farm the same nominal demand takes different wall-clock
+time on different platforms.  Both work-tracking dispatchers therefore accept
+``server_speeds`` — the relative rate at which each server retires nominal
+demand seconds (1.0 = a full-frequency CPU-bound reference server).  A job of
+nominal demand ``d`` routed to server ``s`` extends that server's estimated
+finish time by ``d / server_speeds[s]``.  :class:`~repro.cluster.farm.ServerFarm`
+derives the speeds from each :class:`~repro.cluster.farm.ServerSpec`'s
+service-scaling rule and frequency ceiling and threads them through
+``dispatch``, so heterogeneous farms route on estimated *finish times*
+instead of raw demand seconds.  Omitting the speeds reproduces the old
+homogeneity-blind estimate bit for bit.
+
+The dispatch engine contract
+----------------------------
+
+Mirroring the simulation-backend contract, every work-tracking dispatcher has
+two interchangeable engines:
+
+* ``"heap"`` (default) — O(n log m) for ``n`` jobs on ``m`` servers, built on
+  the shared heap-backed :class:`WorkTracker` core with NumPy batch pre/post
+  processing;
+* ``"loop"`` — the original per-job Python scan, kept as the reference
+  oracle.
+
+The two produce **byte-identical assignments** for every trace (pinned by
+``tests/cluster/test_dispatch_engine.py``).  All dispatchers additionally
+support *streaming* assignment through :meth:`JobDispatcher.assigner`: the
+returned :class:`StreamAssigner` carries the dispatcher state across
+arrival-ordered chunks, so splitting one trace into chunks yields exactly the
+same assignment as one-shot :meth:`JobDispatcher.assign`.  This is what
+:meth:`ServerFarm.run(..., chunk_jobs=...) <repro.cluster.farm.ServerFarm.run>`
+uses to stream million-job traces without materialising every per-server
+array at once.
+
 All dispatchers return per-server :class:`~repro.workloads.jobs.JobTrace`
 objects with absolute arrival times preserved, so the per-server runtimes
 stay aligned on a common clock.
@@ -36,6 +74,7 @@ stay aligned on a common clock.
 from __future__ import annotations
 
 import abc
+import heapq
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -46,21 +85,164 @@ from repro.workloads.jobs import JobTrace
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (farm imports dispatch)
     from repro.power.platform import ServerPowerModel
 
+#: Engine identifiers for the work-tracking dispatchers (the dispatch
+#: analogue of the simulation BACKENDS tuple).
+ENGINE_HEAP = "heap"
+ENGINE_LOOP = "loop"
+DISPATCH_ENGINES = (ENGINE_HEAP, ENGINE_LOOP)
+
+
+def validate_engine(engine: str) -> str:
+    """Check *engine* names a known dispatch engine and return it."""
+    if engine not in DISPATCH_ENGINES:
+        raise ConfigurationError(
+            f"unknown dispatch engine {engine!r}; expected one of {DISPATCH_ENGINES}"
+        )
+    return engine
+
+
+def _demand_time_factors(
+    num_servers: int, server_speeds: Sequence[float] | None
+) -> list[float]:
+    """Per-server multiplier turning nominal demand into estimated service time.
+
+    ``None`` means a homogeneous farm: every factor is exactly 1.0, so the
+    arithmetic (``demand * 1.0``) is bit-identical to the historic
+    speed-blind estimate.
+    """
+    if server_speeds is None:
+        return [1.0] * num_servers
+    speeds = np.asarray(server_speeds, dtype=float)
+    if speeds.ndim != 1 or speeds.size != num_servers:
+        raise ConfigurationError(
+            f"got {speeds.size if speeds.ndim == 1 else 'non-1-D'} server "
+            f"speeds for {num_servers} servers"
+        )
+    if not np.all(np.isfinite(speeds)) or np.any(speeds <= 0):
+        raise ConfigurationError("server speeds must be finite and positive")
+    return (1.0 / speeds).tolist()
+
+
+class WorkTracker:
+    """Estimated per-server finish times, shared by the work-tracking engines.
+
+    The tracker stores, for every server, the time it would finish all work
+    routed to it so far, serving at its assumed speed.  ``charge`` routes one
+    job and returns the server's new estimated finish time; the arithmetic
+    (``max(busy, arrival) + demand * time_factor``) is written once here so
+    the heap and loop engines cannot drift apart numerically.
+    """
+
+    __slots__ = ("busy_until", "time_factors")
+
+    def __init__(self, num_servers: int, server_speeds: Sequence[float] | None = None):
+        if num_servers < 1:
+            raise ConfigurationError(
+                f"a work tracker needs at least one server, got {num_servers}"
+            )
+        self.busy_until = [0.0] * num_servers
+        self.time_factors = _demand_time_factors(num_servers, server_speeds)
+
+    @property
+    def num_servers(self) -> int:
+        return len(self.busy_until)
+
+    def charge(self, server: int, arrival: float, demand: float) -> float:
+        """Route one job to *server* and return its new estimated finish time."""
+        finish = (
+            max(self.busy_until[server], arrival)
+            + demand * self.time_factors[server]
+        )
+        self.busy_until[server] = finish
+        return finish
+
+    def backlog(self, server: int, now: float) -> float:
+        """Outstanding estimated work of *server* at time *now*, seconds."""
+        return max(self.busy_until[server] - now, 0.0)
+
+
+class StreamAssigner(abc.ABC):
+    """Stateful assignment of one arrival stream, one chunk at a time.
+
+    Chunks must be consecutive, arrival-ordered slices of a single trace.
+    Feeding the whole trace as one chunk is exactly one-shot assignment;
+    feeding it in pieces yields the same result because the assigner carries
+    all dispatcher state (heap contents, round-robin offset, RNG stream)
+    across calls.
+    """
+
+    def __init__(self, num_servers: int):
+        if num_servers < 1:
+            raise ConfigurationError(
+                f"a farm needs at least one server, got {num_servers}"
+            )
+        self.num_servers = num_servers
+
+    @abc.abstractmethod
+    def assign_chunk(
+        self, arrival_times: np.ndarray, service_demands: np.ndarray
+    ) -> np.ndarray:
+        """Server index (0-based, int64) for every job in the chunk."""
+
 
 class JobDispatcher(abc.ABC):
     """Splits one job stream into per-server streams."""
 
-    @abc.abstractmethod
-    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
-        """Return the server index (0-based) for every job in *jobs*."""
+    def assigner(
+        self,
+        num_servers: int,
+        *,
+        server_speeds: Sequence[float] | None = None,
+        total_jobs: int | None = None,
+        mean_service_demand: float | None = None,
+    ) -> StreamAssigner:
+        """A fresh :class:`StreamAssigner` for one (possibly chunked) trace.
 
-    def dispatch(self, jobs: JobTrace, num_servers: int) -> list[JobTrace | None]:
+        *total_jobs* and *mean_service_demand* describe the full trace the
+        chunks will come from; dispatchers that fold the trace length into
+        their seed (:class:`RandomDispatcher`) or derive adaptive thresholds
+        from the job-size statistics (:class:`PowerAwareDispatcher`) need
+        them to make chunked assignment identical to one-shot assignment.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support streaming dispatch; "
+            "override assigner() to enable chunked farm runs"
+        )
+
+    def assign(
+        self,
+        jobs: JobTrace,
+        num_servers: int,
+        *,
+        server_speeds: Sequence[float] | None = None,
+    ) -> np.ndarray:
+        """Return the server index (0-based) for every job in *jobs*.
+
+        Dispatchers needing trace statistics beyond the length (the
+        power-aware adaptive threshold) override this to supply them.
+        """
+        assigner = self.assigner(
+            num_servers,
+            server_speeds=server_speeds,
+            total_jobs=len(jobs),
+        )
+        return assigner.assign_chunk(jobs.arrival_times, jobs.service_demands)
+
+    def dispatch(
+        self,
+        jobs: JobTrace,
+        num_servers: int,
+        *,
+        server_speeds: Sequence[float] | None = None,
+    ) -> list[JobTrace | None]:
         """Split *jobs* into ``num_servers`` traces (``None`` for idle servers)."""
         if num_servers < 1:
             raise ConfigurationError(
                 f"a farm needs at least one server, got {num_servers}"
             )
-        assignment = np.asarray(self.assign(jobs, num_servers))
+        assignment = np.asarray(
+            self.assign(jobs, num_servers, server_speeds=server_speeds)
+        )
         if assignment.shape != (len(jobs),):
             raise ConfigurationError(
                 "dispatcher returned an assignment of the wrong shape"
@@ -79,20 +261,73 @@ class JobDispatcher(abc.ABC):
         return streams
 
 
+# ---------------------------------------------------------------------------
+# Stateless dispatchers
+# ---------------------------------------------------------------------------
+
+
+class _RoundRobinAssigner(StreamAssigner):
+    """Round-robin with the global job offset carried across chunks."""
+
+    def __init__(self, num_servers: int):
+        super().__init__(num_servers)
+        self._offset = 0
+
+    def assign_chunk(self, arrival_times, service_demands) -> np.ndarray:
+        count = len(arrival_times)
+        assignment = (
+            np.arange(self._offset, self._offset + count, dtype=np.int64)
+            % self.num_servers
+        )
+        self._offset += count
+        return assignment
+
+
 class RoundRobinDispatcher(JobDispatcher):
     """Assign job *i* to server ``i mod n`` (deterministic, perfectly balanced)."""
 
-    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
-        return np.arange(len(jobs)) % num_servers
+    def assigner(
+        self, num_servers, *, server_speeds=None, total_jobs=None, mean_service_demand=None
+    ) -> StreamAssigner:
+        return _RoundRobinAssigner(num_servers)
+
+
+class _RandomAssigner(StreamAssigner):
+    """One RNG stream shared by all chunks of one trace."""
+
+    def __init__(
+        self, num_servers: int, rng: np.random.Generator, probabilities: np.ndarray
+    ):
+        super().__init__(num_servers)
+        self._rng = rng
+        self._probabilities = probabilities
+
+    def assign_chunk(self, arrival_times, service_demands) -> np.ndarray:
+        count = len(arrival_times)
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        return self._rng.choice(
+            self.num_servers, size=count, p=self._probabilities
+        ).astype(np.int64, copy=False)
 
 
 class RandomDispatcher(JobDispatcher):
     """Assign each job to an independently sampled server.
 
+    Determinism contract (pinned by tests): the dispatcher instance holds no
+    advancing RNG state — every ``assign`` derives a *fresh* generator from
+    ``(seed, trace length)``, so two identical
+    :meth:`ServerFarm.run <repro.cluster.farm.ServerFarm.run>` calls with the
+    same dispatcher split identically, while traces of different lengths
+    still decorrelate.  (The length fold is new in the dispatch engine: a
+    given seed therefore splits differently than in earlier revisions,
+    which seeded from ``seed`` alone.)
+
     Parameters
     ----------
     seed:
         Seed for the assignment; runs with the same seed split identically.
+        ``None`` draws fresh OS entropy on every assignment.
     weights:
         Optional per-server probabilities (normalised internally); uniform
         when omitted.  Weighted dispatch models heterogeneous farms where
@@ -106,8 +341,9 @@ class RandomDispatcher(JobDispatcher):
             if np.any(self._weights < 0) or self._weights.sum() <= 0:
                 raise ConfigurationError("dispatch weights must be non-negative and not all zero")
 
-    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
-        rng = np.random.default_rng(self._seed)
+    def assigner(
+        self, num_servers, *, server_speeds=None, total_jobs=None, mean_service_demand=None
+    ) -> StreamAssigner:
         if self._weights is None:
             probabilities = np.full(num_servers, 1.0 / num_servers)
         else:
@@ -116,31 +352,459 @@ class RandomDispatcher(JobDispatcher):
                     f"got {self._weights.size} weights for {num_servers} servers"
                 )
             probabilities = self._weights / self._weights.sum()
-        return rng.choice(num_servers, size=len(jobs), p=probabilities)
+        if self._seed is None:
+            rng = np.random.default_rng()
+        else:
+            # Fold the trace length into the seed so repeated assignments of
+            # the same trace are identical but different traces decorrelate.
+            rng = np.random.default_rng(
+                np.random.SeedSequence((self._seed, total_jobs or 0))
+            )
+        return _RandomAssigner(num_servers, rng, probabilities)
+
+
+# ---------------------------------------------------------------------------
+# Work-tracking dispatchers
+# ---------------------------------------------------------------------------
+
+
+#: Adaptive vector-block sizing shared by the heap engines: attempts start
+#: small so a regime mismatch costs little, and grow while blocks commit
+#: fully so the numpy overhead amortises over long runs.
+_MIN_BLOCK = 256
+_MAX_BLOCK = 131072
+#: Per-job fallback burst after a block attempt commits almost nothing, so
+#: a hostile regime cannot trigger an O(block) attempt for every job.
+_FALLBACK_RUN = 64
+_SMALL_COMMIT = 32
+
+
+class _LeastLoadedHeapAssigner(StreamAssigner):
+    """Join-the-least-work via a (finish time, server) min-heap.
+
+    Two execution tiers share the heap state:
+
+    * a **vectorised merge block** (equal server speeds only): while every
+      popped finish time lies at or before the popping job's arrival — i.e.
+      some server is idle at every arrival, the common case for a farm that
+      is not globally saturated — the sequence of heap pops is *globally
+      sorted*, so a whole block of pops equals the sorted merge of the
+      current heap values and the block's own finish times
+      (``arrival + demand * time_factor``, precomputable because equal
+      speeds make finish times assignment-independent).  Which *server*
+      each pop denotes is recovered by pointer-jumping through the
+      pop-of-a-pop chains.  Any value tie in the merge aborts the block, so
+      tie-breaking never deviates from the heap order.
+    * a **per-job heap step** (O(log m)) for everything the block
+      certificate cannot validate: heterogeneous speeds, globally saturated
+      stretches, exact value ties.
+
+    Every comparison in both tiers is performed on exactly the float values
+    the per-job loop computes, so the assignment is byte-identical to
+    ``engine="loop"``.
+    """
+
+    def __init__(self, num_servers: int, server_speeds: Sequence[float] | None):
+        super().__init__(num_servers)
+        self._tracker = WorkTracker(num_servers, server_speeds)
+        factors = self._tracker.time_factors
+        self._uniform_factor = (
+            factors[0] if all(f == factors[0] for f in factors) else None
+        )
+        # (busy_until, server): ties break towards the lowest server index,
+        # exactly like the loop engine's list.index(min(...)).
+        self._heap = [(0.0, server) for server in range(num_servers)]
+        self._block = _MIN_BLOCK
+
+    def _try_merge_block(
+        self,
+        arrivals: np.ndarray,
+        demands: np.ndarray,
+        assignment: np.ndarray,
+        start: int,
+    ) -> int:
+        """Commit a prefix of jobs via the sorted-merge pop certificate.
+
+        Validity of pop ``j`` = ``j``-th smallest of (heap values + block
+        finish times) requires that value to be at or below arrival ``j``
+        (the popped server is idle, so the loop's ``max(busy, arrival) + w``
+        is exactly ``arrival + w`` and every later finish time strictly
+        exceeds it).  Exact value ties are rejected — the heap fallback
+        handles them with the true tuple tie-break.
+        """
+        count = len(arrivals) - start
+        factor = self._uniform_factor
+        if factor is None or count < 2:
+            return 0
+        num_servers = self.num_servers
+        block = min(self._block, count)
+        block_arrivals = arrivals[start : start + block]
+        finishes = block_arrivals + demands[start : start + block] * factor
+        heap_busy = np.asarray([busy for busy, _ in self._heap])
+        heap_servers = [server for _, server in self._heap]
+        merged = np.concatenate([heap_busy, finishes])
+        # Stable (timsort) exploits that finish times are nearly sorted.
+        order = np.argsort(merged, kind="stable")
+        popped = merged[order]
+        # Pop j must find an idle server, and its value must be globally
+        # unique (strictly below its sorted successor — ties would make the
+        # identity depend on the heap's tuple tie-break, which a stable
+        # value sort cannot reproduce).
+        good = (popped[:block] <= block_arrivals) & (
+            popped[:block] < popped[1 : block + 1]
+        )
+        committed = int(np.argmin(good)) if not good.all() else block
+        if committed == block:
+            self._block = min(self._block * 2, _MAX_BLOCK)
+        elif committed < block // 2:
+            self._block = max(self._block // 2, _MIN_BLOCK)
+        if committed == 0:
+            return 0
+        if committed < block:
+            # Re-rank against only the finish times that exist by then.
+            merged = np.concatenate([heap_busy, finishes[:committed]])
+            order = np.argsort(merged, kind="stable")
+        sources = order[:committed]
+        # Resolve pop identities: a pop of an original heap entry names its
+        # server directly; a pop of job k's finish time inherits job k's
+        # (earlier) assignment — resolved by pointer jumping.
+        parent = np.where(
+            sources < num_servers,
+            np.arange(committed),
+            sources - num_servers,
+        )
+        # Pointer doubling: chains shrink by half per round, so bit_length
+        # rounds always suffice.
+        for _ in range(committed.bit_length()):
+            parent = parent[parent]
+        roots = sources[parent]  # all < num_servers now
+        server_map = np.asarray(heap_servers, dtype=np.int64)
+        committed_servers = server_map[roots]
+        assignment[start : start + committed] = committed_servers
+        # Rebuild the heap from the m surviving entries (everything inserted
+        # so far minus the committed pops).
+        survivors = order[committed : committed + num_servers]
+        busy_until = self._tracker.busy_until
+        heap: list[tuple[float, int]] = []
+        for source in survivors.tolist():
+            if source < num_servers:
+                server = heap_servers[source]
+            else:
+                server = int(committed_servers[source - num_servers])
+            value = float(merged[source])
+            busy_until[server] = value
+            heap.append((value, server))
+        heapq.heapify(heap)
+        self._heap = heap
+        return committed
+
+    def assign_chunk(self, arrival_times, service_demands) -> np.ndarray:
+        arrivals = np.ascontiguousarray(arrival_times, dtype=float)
+        demands = np.ascontiguousarray(service_demands, dtype=float)
+        count = len(arrivals)
+        assignment = np.empty(count, dtype=np.int64)
+        charge = self._tracker.charge
+        index = 0
+        while index < count:
+            committed = self._try_merge_block(arrivals, demands, assignment, index)
+            index += committed
+            if index >= count:
+                break
+            # Fallback burst: per-job heap steps (O(log m) each).
+            stop = min(
+                count, index + (_FALLBACK_RUN if committed < _SMALL_COMMIT else 1)
+            )
+            heap = self._heap
+            arrival_list = arrivals[index:stop].tolist()
+            demand_list = demands[index:stop].tolist()
+            for arrival, demand in zip(arrival_list, demand_list):
+                server = heap[0][1]
+                assignment[index] = server
+                heapq.heapreplace(
+                    heap, (charge(server, arrival, demand), server)
+                )
+                index += 1
+        return assignment
+
+
+class _LeastLoadedLoopAssigner(StreamAssigner):
+    """The original per-job scan, retained as the reference oracle."""
+
+    def __init__(self, num_servers: int, server_speeds: Sequence[float] | None):
+        super().__init__(num_servers)
+        self._tracker = WorkTracker(num_servers, server_speeds)
+
+    def assign_chunk(self, arrival_times, service_demands) -> np.ndarray:
+        arrivals = np.asarray(arrival_times, dtype=float).tolist()
+        demands = np.asarray(service_demands, dtype=float).tolist()
+        tracker = self._tracker
+        busy_until = tracker.busy_until
+        assignment = np.empty(len(arrivals), dtype=np.int64)
+        for index, (arrival, demand) in enumerate(zip(arrivals, demands)):
+            server = busy_until.index(min(busy_until))
+            assignment[index] = server
+            tracker.charge(server, arrival, demand)
+        return assignment
 
 
 class LeastLoadedDispatcher(JobDispatcher):
     """Assign each job to the server with the least estimated outstanding work.
 
     The dispatcher replays the arrival stream once, tracking for every server
-    the time it would finish its assigned work at full frequency.  Each job
-    goes to the server with the smallest backlog at its arrival instant; idle
-    servers have negative backlog (they finished some time ago), so when any
-    server is idle the job *always* lands on an idle one — the longest-idle
-    first, which also breaks ties deterministically.
+    the time it would finish its assigned work at its assumed speed (see the
+    module docstring on ``server_speeds``).  Each job goes to the server with
+    the smallest estimated finish time at its arrival instant; idle servers
+    have finish times in the past, so when any server is idle the job
+    *always* lands on an idle one — the longest-idle first, which also breaks
+    ties deterministically.
+
+    ``engine="heap"`` (default) assigns in O(n log m); ``engine="loop"`` is
+    the retained per-job reference oracle.  Both produce byte-identical
+    assignments.
     """
 
-    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
-        # Scalar Python state: per-job ndarray construction would dominate
-        # the loop (server counts are tiny, job counts reach the 100k range).
-        arrivals = jobs.arrival_times.tolist()
-        demands = jobs.service_demands.tolist()
-        busy_until = [0.0] * num_servers
+    def __init__(self, engine: str = ENGINE_HEAP):
+        self._engine = validate_engine(engine)
+
+    def assigner(
+        self, num_servers, *, server_speeds=None, total_jobs=None, mean_service_demand=None
+    ) -> StreamAssigner:
+        if self._engine == ENGINE_HEAP:
+            return _LeastLoadedHeapAssigner(num_servers, server_speeds)
+        return _LeastLoadedLoopAssigner(num_servers, server_speeds)
+
+
+class _PowerAwareHeapAssigner(StreamAssigner):
+    """Efficiency-ranked packing with vectorised run batching.
+
+    The packing policy produces long *runs* of consecutive jobs on the same
+    server — the most efficient one whose backlog is below the threshold —
+    so the fast tier batches whole runs: the server's finish-time evolution
+    over a candidate run is the Lindley recursion, vectorised as ``cumsum``
+    + ``maximum.accumulate``, and the run ends at the first exact predicate
+    violation (a more efficient server becomes eligible, or the backlog
+    crosses the threshold).  Jobs outside a committable run fall back to
+    the exact per-job ranked scan.  An EMA of recent run lengths gates the
+    probing so regimes with rapidly alternating packing (saturation,
+    threshold bouncing) degrade to plain per-job cost instead of paying a
+    fixed numpy probe cost per short run.
+    """
+
+    def __init__(
+        self,
+        num_servers: int,
+        server_speeds: Sequence[float] | None,
+        ranking: Sequence[int],
+        threshold: float,
+    ):
+        super().__init__(num_servers)
+        self._tracker = WorkTracker(num_servers, server_speeds)
+        self._threshold = threshold
+        self._ranking = list(ranking)
+        rank_of = [0] * num_servers
+        for rank, server in enumerate(ranking):
+            rank_of[server] = rank
+        self._rank_of = rank_of
+        self._last_arrival = -np.inf
+        self._block = _MIN_BLOCK
+        # Exponential moving average of run-block commit sizes: probing has
+        # a fixed numpy-call cost, so it is only worth it while runs are
+        # long (light traffic or generous backlog thresholds).  Optimistic
+        # start; decays below the gate after a few short runs.
+        self._run_ema = float(_MAX_BLOCK)
+
+    def _try_run_block(
+        self,
+        arrivals: np.ndarray,
+        demands: np.ndarray,
+        assignment: np.ndarray,
+        start: int,
+        server: int,
+    ) -> int:
+        """Commit a run of consecutive jobs onto the already-chosen *server*.
+
+        Returns how many jobs were committed (possibly 0).  The run is valid
+        while, per job,
+
+        * no higher-ranked (more efficient) server becomes eligible:
+          ``cutoff < min(busy of higher-ranked)`` — higher-ranked finish
+          times are frozen during the run, so this is one elementwise
+          predicate on the cutoffs;
+        * the server itself stays at or below the backlog threshold:
+          ``finish so far <= cutoff``, with the running finish times given
+          by the Lindley recursion ``f = max(f, arrival) + w`` expressed as
+          ``cumsum`` + ``maximum.accumulate``.
+
+        The cumsum form rounds differently from the per-job sequential
+        additions (last-ulp differences), so the block is committed only
+        where its comparisons are *provably* on the same side as the
+        sequential arithmetic: any comparison landing within a rigorous
+        rounding-error margin of the boundary ends the block, and the
+        ambiguous job falls back to the exact per-job step.  The committed
+        final finish time is recomputed with sequential additions from the
+        run's last (unambiguous) idle restart, so the server state carried
+        out of the block matches the per-job arithmetic bit for bit.
+        """
+        count = len(arrivals) - start
+        if count < 2:
+            return 0
+        tracker = self._tracker
+        busy_until = tracker.busy_until
+        busy_start = busy_until[server]
+        higher = self._ranking[: self._rank_of[server]]
+        t_higher = min((busy_until[r] for r in higher), default=np.inf)
+        block = min(self._block, count)
+        block_arrivals = arrivals[start : start + block]
+        cutoffs = block_arrivals + self._threshold
+        work = demands[start : start + block] * tracker.time_factors[server]
+        totals = np.cumsum(work)
+        # Lindley: f_k = W_k + max(busy_start, max_{l<=k}(a_l - W_{l-1})).
+        restart_levels = block_arrivals - (totals - work)
+        peaks = np.maximum.accumulate(np.maximum(restart_levels, busy_start))
+        finishes = totals + peaks
+        # All terms are non-negative, so the cumsum-form values differ from
+        # the sequential ones by at most ~n*eps times the magnitudes below;
+        # comparisons inside this margin are ambiguous and end the block.
+        margin = (
+            (8.0 * np.finfo(float).eps)
+            * np.arange(2, block + 2)
+            * (totals + block_arrivals + busy_start)
+        )
+        good = cutoffs < t_higher  # exact: single-op cutoffs vs frozen busy
+        good[1:] &= finishes[:-1] <= cutoffs[1:] - margin[:-1]
+        # Idle-restart classification must also be unambiguous, or the
+        # exact-tail recomputation below could start from a wrong restart.
+        good[1:] &= np.abs(restart_levels[1:] - peaks[:-1]) > margin[1:]
+        committed = int(np.argmin(good)) if not good.all() else block
+        if committed == block:
+            self._block = min(self._block * 2, _MAX_BLOCK)
+        elif committed < block // 2:
+            self._block = max(self._block // 2, _MIN_BLOCK)
+        if committed == 0:
+            return 0
+        assignment[start : start + committed] = server
+        # Exact final finish: sequential adds from the last idle restart
+        # (or from the carried-in backlog if the server never went idle).
+        restarts = np.nonzero(
+            (restart_levels[:committed] == peaks[:committed])
+            & (restart_levels[:committed] > busy_start)
+        )[0]
+        if restarts.size:
+            last = int(restarts[-1])
+            finish = block_arrivals[last] + work[last]
+        else:
+            last = 0
+            finish = (
+                busy_start + work[0]
+                if busy_start >= block_arrivals[0]
+                else block_arrivals[0] + work[0]
+            )
+        tail = work[last + 1 : committed]
+        if tail.size:
+            # np.cumsum accumulates strictly left to right, so this matches
+            # the per-job `finish += w` additions bit for bit.
+            finish = np.cumsum(np.concatenate(([finish], tail)))[-1]
+        busy_until[server] = float(finish)
+        self._last_arrival = float(block_arrivals[committed - 1])
+        return committed
+
+    def assign_chunk(self, arrival_times, service_demands) -> np.ndarray:
+        arrivals = np.ascontiguousarray(arrival_times, dtype=float)
+        demands = np.ascontiguousarray(service_demands, dtype=float)
+        if arrivals.size and (
+            np.any(np.diff(arrivals) < 0) or arrivals[0] < self._last_arrival
+        ):
+            raise TraceError("streaming dispatch requires arrival-ordered chunks")
+        count = len(arrivals)
+        arrival_list = arrivals.tolist()
+        demand_list = demands.tolist()
+        assignment = np.empty(count, dtype=np.int64)
+        tracker = self._tracker
+        busy_until = tracker.busy_until
+        ranking, threshold = self._ranking, self._threshold
+        charge = tracker.charge
+        index = 0
+        while index < count:
+            # Probe for a vectorisable run on the currently chosen server.
+            arrival = arrival_list[index]
+            cutoff = arrival + threshold
+            for candidate in ranking:
+                if busy_until[candidate] <= cutoff:
+                    server = candidate
+                    break
+            else:
+                server = None
+            fallback_span = _FALLBACK_RUN
+            if server is not None:
+                committed = self._try_run_block(
+                    arrivals, demands, assignment, index, server
+                )
+                if committed:
+                    self._run_ema = 0.75 * self._run_ema + 0.25 * committed
+                    index += committed
+                    if self._run_ema < 2 * _FALLBACK_RUN:
+                        # Runs keep breaking (threshold bouncing): stay
+                        # per-job for a long stretch and re-probe only
+                        # occasionally, so the fixed probe cost cannot
+                        # dominate.
+                        fallback_span = 16 * _FALLBACK_RUN
+                    elif committed >= _SMALL_COMMIT:
+                        fallback_span = 0
+                # A structural reject (committed == 0, usually a short spill
+                # stretch while a better-ranked server drains) keeps the
+                # short fallback span without poisoning the run-length EMA.
+            # Per-job stretch: the exact ranked scan, in a tight loop.
+            stop = min(count, index + fallback_span)
+            while index < stop:
+                arrival = arrival_list[index]
+                cutoff = arrival + threshold
+                for candidate in ranking:
+                    if busy_until[candidate] <= cutoff:
+                        server = candidate
+                        break
+                else:
+                    server = busy_until.index(min(busy_until))
+                assignment[index] = server
+                charge(server, arrival, demand_list[index])
+                index += 1
+        if count:
+            self._last_arrival = arrival_list[-1]
+        return assignment
+
+
+class _PowerAwareLoopAssigner(StreamAssigner):
+    """The original ranked per-job scan, retained as the reference oracle."""
+
+    def __init__(
+        self,
+        num_servers: int,
+        server_speeds: Sequence[float] | None,
+        ranking: Sequence[int],
+        threshold: float,
+    ):
+        super().__init__(num_servers)
+        self._tracker = WorkTracker(num_servers, server_speeds)
+        self._ranking = list(ranking)
+        self._threshold = threshold
+
+    def assign_chunk(self, arrival_times, service_demands) -> np.ndarray:
+        arrivals = np.asarray(arrival_times, dtype=float).tolist()
+        demands = np.asarray(service_demands, dtype=float).tolist()
+        tracker = self._tracker
+        busy_until = tracker.busy_until
+        ranking = self._ranking
+        threshold = self._threshold
         assignment = np.empty(len(arrivals), dtype=np.int64)
         for index, (arrival, demand) in enumerate(zip(arrivals, demands)):
-            server = busy_until.index(min(busy_until))
+            cutoff = arrival + threshold
+            for candidate in ranking:
+                if busy_until[candidate] <= cutoff:
+                    server = candidate
+                    break
+            else:
+                server = busy_until.index(min(busy_until))
             assignment[index] = server
-            busy_until[server] = max(busy_until[server], arrival) + demand
+            tracker.charge(server, arrival, demand)
         return assignment
 
 
@@ -150,12 +814,16 @@ class PowerAwareDispatcher(JobDispatcher):
     Servers are ranked by *idle_powers* — the power each platform burns just
     for being awake, the natural cost of keeping a server out of deep sleep.
     Each arriving job goes to the most efficient server whose estimated
-    backlog (full-frequency work already routed to it and not yet finished)
-    is below *max_backlog* seconds; when every efficient server is saturated
-    the job falls back to the globally least-loaded server.  The effect on a
-    heterogeneous farm is energy proportionality at the farm level: the
-    low-power platforms absorb the base load and the power-hungry ones only
-    wake under pressure.
+    backlog (work already routed to it, scaled by its assumed speed, and not
+    yet finished) is below *max_backlog* seconds; when every efficient server
+    is saturated the job falls back to the globally least-loaded server.  The
+    effect on a heterogeneous farm is energy proportionality at the farm
+    level: the low-power platforms absorb the base load and the power-hungry
+    ones only wake under pressure.
+
+    ``engine="heap"`` (default) assigns in O(n log m); ``engine="loop"`` is
+    the retained per-job reference oracle.  Both produce byte-identical
+    assignments.
 
     Parameters
     ----------
@@ -172,6 +840,7 @@ class PowerAwareDispatcher(JobDispatcher):
         self,
         idle_powers: Sequence[float],
         max_backlog: float | None = None,
+        engine: str = ENGINE_HEAP,
     ):
         self._idle_powers = np.asarray(idle_powers, dtype=float)
         if self._idle_powers.ndim != 1 or self._idle_powers.size == 0:
@@ -183,6 +852,7 @@ class PowerAwareDispatcher(JobDispatcher):
                 f"max_backlog must be positive, got {max_backlog}"
             )
         self._max_backlog = max_backlog
+        self._engine = validate_engine(engine)
         # Stable sort: equally efficient servers keep index order.
         self._ranking = np.argsort(self._idle_powers, kind="stable")
 
@@ -191,40 +861,62 @@ class PowerAwareDispatcher(JobDispatcher):
         cls,
         power_models: Sequence["ServerPowerModel"],
         max_backlog: float | None = None,
+        engine: str = ENGINE_HEAP,
     ) -> "PowerAwareDispatcher":
         """Rank servers by their operating-idle power ``C0(i)S0(i)``."""
         return cls(
             [model.idle_power(1.0) for model in power_models],
             max_backlog=max_backlog,
+            engine=engine,
         )
 
-    def assign(self, jobs: JobTrace, num_servers: int) -> np.ndarray:
+    def _resolve_threshold(self, mean_service_demand: float | None) -> float:
+        if self._max_backlog is not None:
+            return self._max_backlog
+        if mean_service_demand is None:
+            raise ConfigurationError(
+                "PowerAwareDispatcher with adaptive max_backlog needs the "
+                "trace's mean_service_demand to build a streaming assigner"
+            )
+        return 4.0 * mean_service_demand if mean_service_demand > 0 else 1.0
+
+    def assigner(
+        self, num_servers, *, server_speeds=None, total_jobs=None, mean_service_demand=None
+    ) -> StreamAssigner:
         if self._idle_powers.size != num_servers:
             raise ConfigurationError(
                 f"got {self._idle_powers.size} idle powers for {num_servers} servers"
             )
-        arrivals = jobs.arrival_times.tolist()
-        demands = jobs.service_demands.tolist()
-        threshold = self._max_backlog
-        if threshold is None:
-            mean_demand = jobs.mean_service_demand
-            threshold = 4.0 * mean_demand if mean_demand > 0 else 1.0
+        threshold = self._resolve_threshold(mean_service_demand)
         ranking = self._ranking.tolist()
-        # Scalar Python state (see LeastLoadedDispatcher.assign): backlog for
-        # a candidate is max(busy_until - arrival, 0), evaluated lazily.
-        busy_until = [0.0] * num_servers
-        assignment = np.empty(len(arrivals), dtype=np.int64)
-        for index, (arrival, demand) in enumerate(zip(arrivals, demands)):
-            cutoff = arrival + threshold
-            for candidate in ranking:
-                if busy_until[candidate] <= cutoff:
-                    server = candidate
-                    break
-            else:
-                server = busy_until.index(min(busy_until))
-            assignment[index] = server
-            busy_until[server] = max(busy_until[server], arrival) + demand
-        return assignment
+        if self._engine == ENGINE_HEAP:
+            return _PowerAwareHeapAssigner(
+                num_servers, server_speeds, ranking, threshold
+            )
+        return _PowerAwareLoopAssigner(
+            num_servers, server_speeds, ranking, threshold
+        )
+
+    def assign(
+        self,
+        jobs: JobTrace,
+        num_servers: int,
+        *,
+        server_speeds: Sequence[float] | None = None,
+    ) -> np.ndarray:
+        mean_demand = jobs.mean_service_demand if len(jobs) > 0 else None
+        # A zero-job trace has no mean demand; any positive threshold works.
+        if mean_demand is not None and not np.isfinite(mean_demand):
+            mean_demand = None
+        if mean_demand is None and self._max_backlog is None:
+            mean_demand = 1.0
+        assigner = self.assigner(
+            num_servers,
+            server_speeds=server_speeds,
+            total_jobs=len(jobs),
+            mean_service_demand=mean_demand,
+        )
+        return assigner.assign_chunk(jobs.arrival_times, jobs.service_demands)
 
 
 def merge_streams(streams: Sequence[JobTrace | None]) -> JobTrace:

@@ -16,20 +16,30 @@ Two runtimes share this machinery:
   of :class:`ServerSpec` entries, each carrying its own platform power model,
   policy-management strategy (and therefore its own
   :class:`~repro.core.policy_manager.PolicyManager`), predictor, runtime
-  config and service-scaling rule.  Mixing e.g. Xeon- and Atom-class servers
-  behind a :class:`~repro.cluster.dispatch.PowerAwareDispatcher` is the
-  substrate for the energy-proportionality scenarios in
-  :mod:`repro.scenarios`.
+  config, service-scaling rule and dispatch-visible frequency ceiling.
+  Mixing e.g. Xeon- and Atom-class servers behind a
+  :class:`~repro.cluster.dispatch.PowerAwareDispatcher` is the substrate for
+  the energy-proportionality scenarios in :mod:`repro.scenarios`.
 
 Execution model: the dispatcher assigns every job to a server *first* (from
 arrival times and nominal service demands only — the front end cannot see
 DVFS or sleep decisions), then each server's epoch loop runs independently
 over its sub-stream, optionally fanned out over threads (``max_workers``).
-Because each server is managed independently (no coordination), the per-epoch
-policy-search overhead scales linearly with the number of servers — the
-"controlling the overall queuing simulation overhead" concern the paper
-raises — which the ablation benchmark quantifies through the recorded
-wall-clock cost per run.
+The work-tracking dispatchers receive each server's *dispatch speed* —
+derived from its :class:`ServerSpec` service scaling and frequency ceiling —
+so heterogeneous farms route on estimated finish times rather than raw
+demand seconds.  Because each server is managed independently (no
+coordination), the per-epoch policy-search overhead scales linearly with the
+number of servers — the "controlling the overall queuing simulation
+overhead" concern the paper raises — which the ablation benchmark quantifies
+through the recorded wall-clock cost per run.
+
+Streaming farm runs: with ``chunk_jobs`` set (field or ``run`` argument) the
+farm dispatches and feeds per-server epoch loops in arrival-ordered chunks
+through :class:`~repro.core.runtime.RuntimeSession`, never materialising all
+per-server job arrays at once — million-job traces stream through in
+bounded memory and produce results identical to the one-shot path (pinned
+by ``tests/cluster/test_farm_streaming.py``).
 
 Farm-level QoS: each server derives its response-time budget from its own
 ``rho_b``; the farm reports against the *strictest* (smallest) per-server
@@ -40,6 +50,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -47,12 +58,12 @@ import numpy as np
 from repro.cluster.dispatch import JobDispatcher, RoundRobinDispatcher
 from repro.concurrency import fan_out
 from repro.core.epoch import RuntimeResult
-from repro.core.runtime import RuntimeConfig, SleepScaleRuntime
+from repro.core.runtime import RuntimeConfig, RuntimeSession, SleepScaleRuntime
 from repro.core.strategies import PowerManagementStrategy
 from repro.exceptions import ConfigurationError
 from repro.power.platform import ServerPowerModel
 from repro.prediction.base import UtilizationPredictor
-from repro.simulation.service_scaling import ServiceScaling
+from repro.simulation.service_scaling import ServiceScaling, cpu_bound
 from repro.workloads.jobs import JobTrace
 from repro.workloads.spec import WorkloadSpec
 
@@ -60,6 +71,22 @@ from repro.workloads.spec import WorkloadSpec
 #: state (policy-manager RNGs, LMS weights) is never shared accidentally.
 StrategyFactory = Callable[[int], PowerManagementStrategy]
 PredictorFactory = Callable[[int], UtilizationPredictor]
+
+
+def prorated_idle_energy(
+    idle_energy: float, idle_duration: float, horizon: float
+) -> float:
+    """Charge a parked server's sleep-walk power over the farm's span.
+
+    The idle run's span is quantized up to the server's own epoch length, so
+    its *average power* is re-applied over the farm's actual *horizon* —
+    differing epoch configs then cannot overcount parked servers.  A
+    zero-length idle run or a zero/negative horizon charges nothing (instead
+    of dividing by zero): with no observed span there is no power to prorate.
+    """
+    if horizon <= 0 or idle_duration <= 0:
+        return 0.0
+    return idle_energy / idle_duration * horizon
 
 
 @dataclass(frozen=True)
@@ -113,9 +140,14 @@ class FarmResult:
 
     # -- latency -----------------------------------------------------------------------
 
-    @property
+    @cached_property
     def response_times(self) -> np.ndarray:
-        """All jobs' response times across the whole farm."""
+        """All jobs' response times across the whole farm.
+
+        Cached: the concatenation over per-server arrays is paid once, not
+        on every access by ``mean_response_time`` / percentile /
+        ``meets_budget`` (these can span millions of jobs).
+        """
         parts = [r.response_times for r in self.active_servers if r.num_jobs > 0]
         if not parts:
             return np.array([], dtype=float)
@@ -144,7 +176,14 @@ class FarmResult:
 
     @property
     def meets_budget(self) -> bool:
-        """Whether the farm-wide normalised mean response time meets the budget."""
+        """Whether the farm-wide normalised mean response time meets the budget.
+
+        A farm that completed no jobs has no latency evidence at all, so it
+        explicitly does *not* meet the budget — rather than relying on the
+        accidental falseness of a ``nan <= budget`` comparison.
+        """
+        if self.response_times.size == 0:
+            return False
         return self.normalized_mean_response_time <= self.response_time_budget
 
     # -- power ----------------------------------------------------------------------------
@@ -267,6 +306,13 @@ class ServerSpec:
     scaling:
         Service-time/frequency dependence of this server's jobs; ``None``
         selects the CPU-bound default.
+    max_frequency:
+        The DVFS frequency ceiling a front-end dispatcher should assume for
+        this server, in (0, 1] of the reference full-frequency setting.
+        Together with ``scaling`` it determines :attr:`dispatch_speed`, the
+        rate at which work-tracking dispatchers estimate this server retires
+        nominal demand.  It does not constrain the server's own policy
+        search — it is the load balancer's provisioning assumption.
     """
 
     name: str
@@ -275,10 +321,28 @@ class ServerSpec:
     predictor_factory: Callable[[], UtilizationPredictor]
     config: RuntimeConfig = field(default_factory=RuntimeConfig)
     scaling: ServiceScaling | None = None
+    max_frequency: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("a server spec needs a non-empty name")
+        if not 0.0 < self.max_frequency <= 1.0:
+            raise ConfigurationError(
+                f"max_frequency must lie in (0, 1], got {self.max_frequency}"
+            )
+
+    @property
+    def dispatch_speed(self) -> float:
+        """Relative rate at which this server retires nominal demand seconds.
+
+        A nominal demand of ``d`` seconds takes ``d / dispatch_speed``
+        wall-clock seconds at this server's frequency ceiling under its
+        service-scaling rule: 1.0 for a full-frequency CPU-bound server,
+        below 1.0 for frequency-capped platforms, and exactly 1.0 for
+        memory-bound scaling (frequency cannot slow those jobs down).
+        """
+        scaling = self.scaling or cpu_bound()
+        return 1.0 / scaling.time_factor(self.max_frequency)
 
 
 @dataclass
@@ -301,16 +365,22 @@ class ServerFarm:
     dispatcher:
         How arriving jobs are split across servers (round-robin by default;
         see :mod:`repro.cluster.dispatch` for least-loaded and power-aware).
+        Work-tracking dispatchers receive :attr:`dispatch_speeds` so their
+        backlog estimates are speed-aware on heterogeneous farms.
     max_workers:
         When > 1, run the per-server epoch loops on a thread pool of this
         size; results are identical to the serial run because no state is
         shared between servers.
+    chunk_jobs:
+        When set, :meth:`run` streams the trace through the farm in
+        arrival-ordered chunks of this many jobs (see :meth:`run`).
     """
 
     servers: Sequence[ServerSpec]
     spec: WorkloadSpec
     dispatcher: JobDispatcher = field(default_factory=RoundRobinDispatcher)
     max_workers: int | None = None
+    chunk_jobs: int | None = None
 
     def __post_init__(self) -> None:
         if not self.servers:
@@ -318,6 +388,10 @@ class ServerFarm:
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be at least 1, got {self.max_workers}"
+            )
+        if self.chunk_jobs is not None and self.chunk_jobs < 1:
+            raise ConfigurationError(
+                f"chunk_jobs must be at least 1, got {self.chunk_jobs}"
             )
         names = [server.name for server in self.servers]
         if len(set(names)) != len(names):
@@ -340,50 +414,75 @@ class ServerFarm:
         """Whether the farm mixes at least two distinct platforms."""
         return len(self.platform_names) > 1
 
-    def run(self, jobs: JobTrace) -> FarmResult:
-        """Dispatch *jobs* across the farm and run every server's epoch loop."""
-        streams: Sequence[JobTrace | None] = self.dispatcher.dispatch(
-            jobs, self.num_servers
+    @property
+    def dispatch_speeds(self) -> tuple[float, ...]:
+        """Per-server demand-retirement speeds handed to the dispatcher."""
+        return tuple(server.dispatch_speed for server in self.servers)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def _build_runtime(self, index: int) -> SleepScaleRuntime:
+        server = self.servers[index]
+        return SleepScaleRuntime(
+            power_model=server.power_model,
+            spec=self.spec,
+            strategy=server.strategy_factory(),
+            predictor=server.predictor_factory(),
+            config=server.config,
+            scaling=server.scaling,
         )
-        per_server: list[RuntimeResult | None] = [None] * len(streams)
-        active = [
-            (index, stream)
-            for index, stream in enumerate(streams)
-            if stream is not None
-        ]
-        if not active:
-            raise ConfigurationError("no server received any job")
-        # Call the factories up front (in the caller's thread) so the
-        # threaded path can check they actually hand out per-server state
-        # instead of silently racing on a shared object.
-        strategies = [self.servers[index].strategy_factory() for index, _ in active]
-        predictors = [self.servers[index].predictor_factory() for index, _ in active]
-        if self.max_workers is not None and self.max_workers > 1:
-            for label, instances in (("strategy", strategies), ("predictor", predictors)):
-                if len({id(instance) for instance in instances}) != len(instances):
-                    raise ConfigurationError(
-                        f"the {label} factory must return a fresh object per "
-                        "server when max_workers > 1; a shared instance "
-                        "would race across server threads"
-                    )
-        runtimes = [
-            SleepScaleRuntime(
-                power_model=self.servers[index].power_model,
-                spec=self.spec,
-                strategy=strategy,
-                predictor=predictor,
-                config=self.servers[index].config,
-                scaling=self.servers[index].scaling,
+
+    def _validate_fresh_instances(
+        self, runtimes: Sequence[SleepScaleRuntime]
+    ) -> None:
+        """Threaded runs require per-server strategy/predictor objects."""
+        for label, instances in (
+            ("strategy", [runtime._strategy for runtime in runtimes]),
+            ("predictor", [runtime._predictor for runtime in runtimes]),
+        ):
+            if len({id(instance) for instance in instances}) != len(instances):
+                raise ConfigurationError(
+                    f"the {label} factory must return a fresh object per "
+                    "server when max_workers > 1; a shared instance "
+                    "would race across server threads"
+                )
+
+    def _idle_energies(
+        self,
+        per_server: Sequence[RuntimeResult | None],
+        horizon: float,
+        spare_runtimes: Sequence[SleepScaleRuntime] | None = None,
+    ) -> list[float]:
+        """Sleep-walk energy for servers the dispatcher parked entirely.
+
+        *spare_runtimes* lets the chunked path reuse the (never-fed, hence
+        still fresh) runtimes it already built instead of invoking the
+        factories a second time.
+        """
+        idle_energies = [0.0] * len(per_server)
+        for index, result in enumerate(per_server):
+            if result is not None:
+                continue
+            runtime = (
+                spare_runtimes[index]
+                if spare_runtimes is not None
+                else self._build_runtime(index)
             )
-            for (index, _), strategy, predictor in zip(active, strategies, predictors)
-        ]
-        results = fan_out(
-            list(zip(runtimes, (stream for _, stream in active))),
-            lambda pair: pair[0].run(pair[1]),
-            self.max_workers,
-        )
-        for (index, _), result in zip(active, results):
-            per_server[index] = result
+            idle_run = runtime.run(JobTrace.empty(), horizon=horizon)
+            idle_energies[index] = prorated_idle_energy(
+                idle_run.total_energy, idle_run.total_duration, horizon
+            )
+        return idle_energies
+
+    def _assemble_result(
+        self,
+        per_server: list[RuntimeResult | None],
+        spare_runtimes: Sequence[SleepScaleRuntime] | None = None,
+    ) -> FarmResult:
+        if all(result is None for result in per_server):
+            raise ConfigurationError("no server received any job")
         # Heterogeneous configs may imply different per-server budgets; the
         # farm answers to the strictest one (identical in the homogeneous case).
         budget = min(
@@ -397,33 +496,130 @@ class ServerFarm:
         horizon = max(
             result.total_duration for result in per_server if result is not None
         )
-        idle_energies = [0.0] * len(streams)
-        for index, stream in enumerate(streams):
-            if stream is not None:
-                continue
-            server = self.servers[index]
-            runtime = SleepScaleRuntime(
-                power_model=server.power_model,
-                spec=self.spec,
-                strategy=server.strategy_factory(),
-                predictor=server.predictor_factory(),
-                config=server.config,
-                scaling=server.scaling,
-            )
-            idle_run = runtime.run(JobTrace.empty(), horizon=horizon)
-            # The idle run's span is quantized up to this server's own epoch
-            # length; charge its average power over the farm's span instead
-            # so differing epoch configs cannot overcount parked servers.
-            idle_energies[index] = (
-                idle_run.total_energy / idle_run.total_duration * horizon
-            )
         return FarmResult(
             per_server=tuple(per_server),
             mean_service_time=self.spec.mean_service_time,
             response_time_budget=budget,
             server_names=tuple(server.name for server in self.servers),
-            idle_energies=tuple(idle_energies),
+            idle_energies=tuple(
+                self._idle_energies(per_server, horizon, spare_runtimes)
+            ),
         )
+
+    def run(self, jobs: JobTrace, *, chunk_jobs: int | None = None) -> FarmResult:
+        """Dispatch *jobs* across the farm and run every server's epoch loop.
+
+        With ``chunk_jobs`` (argument, or the field as default; ``0`` forces
+        one-shot) the trace is dispatched and fed to the per-server epoch
+        loops in arrival-ordered chunks of that many jobs: the dispatcher's
+        :class:`~repro.cluster.dispatch.StreamAssigner` carries its state
+        across chunks and every server consumes its share through a
+        :class:`~repro.core.runtime.RuntimeSession`, so no per-server copy
+        of the whole stream ever exists.  Chunked and one-shot runs produce
+        identical results.
+        """
+        if chunk_jobs is None:
+            chunk_jobs = self.chunk_jobs
+        elif chunk_jobs == 0:
+            chunk_jobs = None
+        elif chunk_jobs < 1:
+            raise ConfigurationError(
+                f"chunk_jobs must be at least 1, got {chunk_jobs}"
+            )
+        if chunk_jobs is not None and chunk_jobs < len(jobs):
+            return self._run_chunked(jobs, chunk_jobs)
+        return self._run_one_shot(jobs)
+
+    def _run_one_shot(self, jobs: JobTrace) -> FarmResult:
+        streams: Sequence[JobTrace | None] = self.dispatcher.dispatch(
+            jobs, self.num_servers, server_speeds=self.dispatch_speeds
+        )
+        per_server: list[RuntimeResult | None] = [None] * len(streams)
+        active = [
+            (index, stream)
+            for index, stream in enumerate(streams)
+            if stream is not None
+        ]
+        if not active:
+            raise ConfigurationError("no server received any job")
+        # Build the runtimes up front (in the caller's thread) so the
+        # threaded path can check the factories actually hand out per-server
+        # state instead of silently racing on a shared object.
+        runtimes = [self._build_runtime(index) for index, _ in active]
+        if self.max_workers is not None and self.max_workers > 1:
+            self._validate_fresh_instances(runtimes)
+        results = fan_out(
+            list(zip(runtimes, (stream for _, stream in active))),
+            lambda pair: pair[0].run(pair[1]),
+            self.max_workers,
+        )
+        for (index, _), result in zip(active, results):
+            per_server[index] = result
+        return self._assemble_result(per_server)
+
+    def _run_chunked(self, jobs: JobTrace, chunk_jobs: int) -> FarmResult:
+        assigner = self.dispatcher.assigner(
+            self.num_servers,
+            server_speeds=self.dispatch_speeds,
+            total_jobs=len(jobs),
+            mean_service_demand=(
+                jobs.mean_service_demand if len(jobs) > 0 else None
+            ),
+        )
+        # One runtime + streaming session per server, created up front so
+        # the freshness validation happens before any thread runs.
+        runtimes = [self._build_runtime(index) for index in range(self.num_servers)]
+        if self.max_workers is not None and self.max_workers > 1:
+            self._validate_fresh_instances(runtimes)
+        sessions: list[RuntimeSession] = [runtime.stream() for runtime in runtimes]
+        fed_jobs = [0] * self.num_servers
+
+        arrivals = jobs.arrival_times
+        demands = jobs.service_demands
+        for start in range(0, len(jobs), chunk_jobs):
+            chunk_arrivals = arrivals[start : start + chunk_jobs]
+            chunk_demands = demands[start : start + chunk_jobs]
+            assignment = np.asarray(
+                assigner.assign_chunk(chunk_arrivals, chunk_demands)
+            )
+            if assignment.shape != (len(chunk_arrivals),):
+                raise ConfigurationError(
+                    "dispatcher returned an assignment of the wrong shape"
+                )
+            if (
+                assignment.min(initial=0) < 0
+                or assignment.max(initial=0) >= self.num_servers
+            ):
+                raise ConfigurationError(
+                    "dispatcher assigned a job to a non-existent server"
+                )
+            targets = np.unique(assignment)
+            work: list[tuple[int, np.ndarray, np.ndarray]] = []
+            for server in targets.tolist():
+                mask = assignment == server
+                work.append(
+                    (server, chunk_arrivals[mask], chunk_demands[mask])
+                )
+                fed_jobs[server] += int(np.count_nonzero(mask))
+            fan_out(
+                work,
+                lambda item: sessions[item[0]].feed(item[1], item[2]),
+                self.max_workers,
+            )
+        if not any(fed_jobs):
+            raise ConfigurationError("no server received any job")
+        per_server: list[RuntimeResult | None] = [None] * self.num_servers
+        active = [index for index, count in enumerate(fed_jobs) if count > 0]
+        results = fan_out(
+            active,
+            lambda index: sessions[index].finish(),
+            self.max_workers,
+        )
+        for index, result in zip(active, results):
+            per_server[index] = result
+        # Parked servers' runtimes were built but never fed — reuse them for
+        # the idle accounting instead of invoking the factories again.
+        return self._assemble_result(per_server, spare_runtimes=runtimes)
 
 
 @dataclass
@@ -451,6 +647,16 @@ class ClusterRuntime:
         to the serial run regardless of scheduling, and the farm-level
         policy-search overhead scales with ``num_servers / max_workers``
         instead of ``num_servers``.
+    scaling:
+        Service-time/frequency dependence shared by all servers (``None``
+        selects the CPU-bound default).
+    max_frequency:
+        Dispatch-visible frequency ceiling shared by all servers; threaded
+        into every :class:`ServerSpec` by :meth:`as_server_farm` so the
+        work-tracking dispatchers see the same speed model either way.
+    chunk_jobs:
+        When set, farm runs stream the trace in arrival-ordered chunks of
+        this many jobs (see :meth:`ServerFarm.run`).
     """
 
     num_servers: int
@@ -461,6 +667,9 @@ class ClusterRuntime:
     config: RuntimeConfig = field(default_factory=RuntimeConfig)
     dispatcher: JobDispatcher = field(default_factory=RoundRobinDispatcher)
     max_workers: int | None = None
+    scaling: ServiceScaling | None = None
+    max_frequency: float = 1.0
+    chunk_jobs: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -477,7 +686,9 @@ class ClusterRuntime:
 
         The per-index factories are frozen into zero-argument factories per
         server slot, so running the returned :class:`ServerFarm` is identical
-        to running this cluster directly.
+        to running this cluster directly.  The shared service scaling and
+        frequency ceiling are threaded into every spec, so speed-aware
+        dispatch sees the same (homogeneous) speed on every server.
         """
         servers = tuple(
             ServerSpec(
@@ -490,6 +701,8 @@ class ClusterRuntime:
                     lambda index=index: self.predictor_factory(index)
                 ),
                 config=self.config,
+                scaling=self.scaling,
+                max_frequency=self.max_frequency,
             )
             for index in range(self.num_servers)
         )
@@ -498,8 +711,9 @@ class ClusterRuntime:
             spec=self.spec,
             dispatcher=self.dispatcher,
             max_workers=self.max_workers,
+            chunk_jobs=self.chunk_jobs,
         )
 
-    def run(self, jobs: JobTrace) -> FarmResult:
+    def run(self, jobs: JobTrace, *, chunk_jobs: int | None = None) -> FarmResult:
         """Dispatch *jobs* across the farm and run every server's epoch loop."""
-        return self.as_server_farm().run(jobs)
+        return self.as_server_farm().run(jobs, chunk_jobs=chunk_jobs)

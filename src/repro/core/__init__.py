@@ -17,7 +17,7 @@ from repro.core.qos import (
     mean_qos_from_baseline,
     percentile_qos_from_baseline,
 )
-from repro.core.runtime import RuntimeConfig, SleepScaleRuntime
+from repro.core.runtime import RuntimeConfig, RuntimeSession, SleepScaleRuntime
 from repro.core.strategies import (
     EpochContext,
     FixedPolicyStrategy,
@@ -48,6 +48,7 @@ __all__ = [
     "QosConstraint",
     "RaceToHaltStrategy",
     "RuntimeConfig",
+    "RuntimeSession",
     "RuntimeResult",
     "SleepScaleRuntime",
     "analytic_sleepscale_strategy",

@@ -146,13 +146,16 @@ def run_scenario(
     seed: int = 0,
     backend: str = BACKEND_VECTORIZED,
     max_workers: int | None = None,
+    chunk_jobs: int | None = None,
     overrides: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build, run and report one registered scenario.
 
     *overrides* maps declared parameter names to values (unknown names are
-    rejected by the scenario).  The returned report is already validated
-    against :data:`REPORT_SCHEMA`.
+    rejected by the scenario).  *chunk_jobs* overrides the farm's streaming
+    chunk size (``0`` forces a one-shot run even if the scenario configured
+    chunking).  The returned report is already validated against
+    :data:`REPORT_SCHEMA`.
     """
     overrides = dict(overrides or {})
     # 'seed'/'backend' are build() keywords, not scenario parameters; caught
@@ -170,6 +173,10 @@ def run_scenario(
         # dataclasses.replace re-runs ServerFarm.__post_init__, so an invalid
         # worker count is rejected rather than silently running serially.
         farm = dataclasses.replace(farm, max_workers=max_workers)
+    if chunk_jobs is not None:
+        farm = dataclasses.replace(
+            farm, chunk_jobs=None if chunk_jobs == 0 else chunk_jobs
+        )
     result = farm.run(built.jobs)
     report = report_from_result(built, result)
     validate_report(report)
@@ -402,6 +409,16 @@ def main(argv: list[str] | None = None) -> int:
         help="fan per-server epoch loops out over a thread pool of N workers",
     )
     parser.add_argument(
+        "--chunk-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "stream the trace through the farm in arrival-ordered chunks of "
+            "N jobs (0 forces a one-shot run); results are identical either way"
+        ),
+    )
+    parser.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -419,6 +436,10 @@ def main(argv: list[str] | None = None) -> int:
     arguments = parser.parse_args(argv)
     if arguments.workers is not None and arguments.workers < 1:
         parser.error(f"--workers must be at least 1, got {arguments.workers}")
+    if arguments.chunk_jobs is not None and arguments.chunk_jobs < 0:
+        parser.error(
+            f"--chunk-jobs must be non-negative, got {arguments.chunk_jobs}"
+        )
 
     overrides = dict(_parse_override(item) for item in arguments.overrides)
     report = run_scenario(
@@ -426,6 +447,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=arguments.seed,
         backend=arguments.backend,
         max_workers=arguments.workers,
+        chunk_jobs=arguments.chunk_jobs,
         overrides=overrides,
     )
     text = json.dumps(report, indent=2, sort_keys=False)

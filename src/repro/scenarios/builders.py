@@ -1,6 +1,6 @@
 """The built-in scenario library.
 
-Seven scenarios ship with the reproduction, each stressing a different axis
+Eight scenarios ship with the reproduction, each stressing a different axis
 of the joint speed-scaling + sleep-state problem:
 
 ========================  ====================================================
@@ -18,6 +18,9 @@ of the joint speed-scaling + sleep-state problem:
                           Figure 7 traces, or any CSV in the same format)
 ``heterogeneous-farm``    mixed Xeon + Atom fleet behind a power-aware
                           dispatcher — farm-level energy proportionality
+``farm-scale``            million-job stream over 16 mixed Xeon/Atom servers,
+                          dispatched by the speed-aware heap engine and fed
+                          to the per-server epoch loops in chunks
 ========================  ====================================================
 
 Every builder is deterministic given ``seed``, sizes itself from
@@ -85,6 +88,7 @@ def _sleepscale_server(
     seed: int,
     backend: str,
     epoch_minutes: float = 5.0,
+    max_frequency: float = 1.0,
 ) -> ServerSpec:
     """A server running full SleepScale with an LMS+CUSUM predictor."""
     qos = mean_qos_from_baseline(_RHO_B)
@@ -103,6 +107,7 @@ def _sleepscale_server(
         ),
         predictor_factory=lambda: LmsCusumPredictor(history=10),
         config=config,
+        max_frequency=max_frequency,
     )
 
 
@@ -690,6 +695,120 @@ def build_heterogeneous_farm(
             "atom_servers": atom_servers,
             "trough_utilization": trough_utilization,
             "peak_utilization": peak_utilization,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# farm-scale
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="farm-scale",
+    description=(
+        "Constant heavy load streamed over a 16-server mixed Xeon/Atom fleet: "
+        "the speed-aware heap dispatcher assigns ~1M jobs (at defaults) and "
+        "the farm consumes them in arrival-ordered chunks, never "
+        "materialising every per-server stream at once."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 80, "length of the run (~1M Google-like jobs at defaults)"),
+        ScenarioParameter("utilization", 0.9, "constant offered load (relative to one full-frequency server)"),
+        ScenarioParameter("xeon_servers", 8, "number of Xeon-class servers"),
+        ScenarioParameter("atom_servers", 8, "number of Atom-class servers"),
+        ScenarioParameter("atom_frequency_ceiling", 0.7, "DVFS ceiling the dispatcher assumes for Atom-class servers"),
+        ScenarioParameter("chunk_jobs", 32768, "dispatch/feed chunk size in jobs; 0 runs one-shot"),
+        ScenarioParameter("workload", "google", "Table 5 workload class: dns, google or mail"),
+    ),
+)
+def build_farm_scale(
+    *,
+    seed: int,
+    backend: str,
+    duration_minutes: float,
+    utilization: float,
+    xeon_servers: int,
+    atom_servers: int,
+    atom_frequency_ceiling: float,
+    chunk_jobs: int,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    for label, count in (("xeon_servers", xeon_servers), ("atom_servers", atom_servers)):
+        if count != int(count) or count < 0:
+            raise ScenarioError(
+                f"{label} must be a non-negative whole number, got {count}"
+            )
+    xeon_servers, atom_servers = int(xeon_servers), int(atom_servers)
+    if xeon_servers + atom_servers < 1:
+        raise ScenarioError(
+            "need at least one server in total, got "
+            f"xeon_servers={xeon_servers}, atom_servers={atom_servers}"
+        )
+    if not 0.0 < utilization <= 0.95:
+        raise ScenarioError(
+            f"utilization must lie in (0, 0.95], got {utilization}"
+        )
+    if not 0.0 < atom_frequency_ceiling <= 1.0:
+        raise ScenarioError(
+            f"atom_frequency_ceiling must lie in (0, 1], got {atom_frequency_ceiling}"
+        )
+    if chunk_jobs != int(chunk_jobs) or chunk_jobs < 0:
+        raise ScenarioError(
+            f"chunk_jobs must be a non-negative whole number, got {chunk_jobs}"
+        )
+    chunk_jobs = int(chunk_jobs)
+    spec = workload_by_name(workload)
+    values = np.full(num_samples, utilization)
+    trace = UtilizationTrace(values, interval=minutes(1), name="farm-scale")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
+
+    xeon = xeon_power_model()
+    atom = atom_power_model()
+    servers: list[ServerSpec] = []
+    for index in range(xeon_servers):
+        servers.append(
+            _sleepscale_server(
+                f"xeon-{index}", xeon, seed=seed + index, backend=backend
+            )
+        )
+    for index in range(atom_servers):
+        servers.append(
+            _sleepscale_server(
+                f"atom-{index}",
+                atom,
+                seed=seed + xeon_servers + index,
+                backend=backend,
+                # The front end provisions against the Atom parts' lower
+                # DVFS ceiling, so backlog estimates are speed-aware.
+                max_frequency=atom_frequency_ceiling,
+            )
+        )
+    dispatcher = PowerAwareDispatcher.from_power_models(
+        [server.power_model for server in servers]
+    )
+    farm = ServerFarm(
+        servers=tuple(servers),
+        spec=spec,
+        dispatcher=dispatcher,
+        chunk_jobs=chunk_jobs or None,
+    )
+    return BuiltScenario(
+        name="farm-scale",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "utilization": utilization,
+            "xeon_servers": xeon_servers,
+            "atom_servers": atom_servers,
+            "atom_frequency_ceiling": atom_frequency_ceiling,
+            "chunk_jobs": chunk_jobs,
             "workload": workload,
         },
         backend=backend,

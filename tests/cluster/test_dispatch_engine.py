@@ -1,0 +1,360 @@
+"""The dispatch-engine contract: heap vs. loop equivalence and speed-aware
+backlog.
+
+Mirroring the simulation backend suite, every work-tracking dispatcher must
+produce **byte-identical** assignments on its ``"heap"`` (fast) and
+``"loop"`` (reference oracle) engines, across traffic regimes, farm sizes,
+speed models and crafted tie cases.  Streaming assignment (chunked) must be
+identical to one-shot assignment for *every* dispatcher.  The
+heterogeneity-blind backlog bug and the RandomDispatcher determinism bug are
+pinned by dedicated regression tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.dispatch import (
+    DISPATCH_ENGINES,
+    ENGINE_HEAP,
+    ENGINE_LOOP,
+    LeastLoadedDispatcher,
+    PowerAwareDispatcher,
+    RandomDispatcher,
+    RoundRobinDispatcher,
+    WorkTracker,
+    merge_streams,
+    validate_engine,
+)
+from repro.exceptions import ConfigurationError, TraceError
+from repro.workloads.jobs import JobTrace
+
+MEAN_SERVICE = 0.0042  # Google-like job size, seconds
+
+
+def poisson_jobs(num_jobs: int, utilization: float, seed: int = 0) -> JobTrace:
+    """Poisson arrivals at *utilization* of one full-frequency server."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(MEAN_SERVICE / utilization, num_jobs)
+    return JobTrace(np.cumsum(gaps), rng.exponential(MEAN_SERVICE, num_jobs))
+
+
+#: (num_servers, server_speeds) cases: homogeneous, mixed fleet, odd sizes.
+SPEED_CASES = [
+    (3, None),
+    (16, None),
+    (16, [1.0] * 8 + [0.7] * 8),
+    (5, [1.0, 0.5, 0.9, 0.7, 1.0]),
+    (1, None),
+]
+
+#: Traffic regimes relative to one full-frequency server: idle-dominated,
+#: nominal, and far beyond single-server saturation.
+UTILIZATIONS = [0.1, 0.9, 3.0, 14.0]
+
+#: Crafted traces with exact value ties (simultaneous arrivals, identical
+#: demands, zero demands) — the cases where tie-breaking must not deviate.
+TIE_TRACES = [
+    JobTrace(np.zeros(60), np.ones(60)),
+    JobTrace(np.repeat(np.arange(30.0), 2), np.tile([1.0, 2.0], 30)),
+    JobTrace(np.arange(60.0), np.zeros(60)),
+    JobTrace(np.arange(60.0), np.full(60, 0.5)),
+]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("utilization", UTILIZATIONS)
+    @pytest.mark.parametrize("num_servers,speeds", SPEED_CASES)
+    def test_least_loaded_byte_identical(self, utilization, num_servers, speeds):
+        jobs = poisson_jobs(3000, utilization, seed=int(utilization * 10))
+        heap = LeastLoadedDispatcher(ENGINE_HEAP).assign(
+            jobs, num_servers, server_speeds=speeds
+        )
+        loop = LeastLoadedDispatcher(ENGINE_LOOP).assign(
+            jobs, num_servers, server_speeds=speeds
+        )
+        np.testing.assert_array_equal(heap, loop)
+
+    @pytest.mark.parametrize("utilization", UTILIZATIONS)
+    @pytest.mark.parametrize("num_servers,speeds", SPEED_CASES)
+    @pytest.mark.parametrize("max_backlog", [None, 0.05, 1.0])
+    def test_power_aware_byte_identical(
+        self, utilization, num_servers, speeds, max_backlog
+    ):
+        jobs = poisson_jobs(3000, utilization, seed=int(utilization * 10) + 1)
+        idle_powers = list(np.linspace(4.0, 20.0, num_servers))
+        heap = PowerAwareDispatcher(
+            idle_powers, max_backlog=max_backlog, engine=ENGINE_HEAP
+        ).assign(jobs, num_servers, server_speeds=speeds)
+        loop = PowerAwareDispatcher(
+            idle_powers, max_backlog=max_backlog, engine=ENGINE_LOOP
+        ).assign(jobs, num_servers, server_speeds=speeds)
+        np.testing.assert_array_equal(heap, loop)
+
+    @pytest.mark.parametrize("trace_index", range(len(TIE_TRACES)))
+    @pytest.mark.parametrize("num_servers", [2, 4])
+    def test_exact_ties_byte_identical(self, trace_index, num_servers):
+        jobs = TIE_TRACES[trace_index]
+        np.testing.assert_array_equal(
+            LeastLoadedDispatcher(ENGINE_HEAP).assign(jobs, num_servers),
+            LeastLoadedDispatcher(ENGINE_LOOP).assign(jobs, num_servers),
+        )
+        idle_powers = list(range(1, num_servers + 1))
+        np.testing.assert_array_equal(
+            PowerAwareDispatcher(idle_powers, engine=ENGINE_HEAP).assign(
+                jobs, num_servers
+            ),
+            PowerAwareDispatcher(idle_powers, engine=ENGINE_LOOP).assign(
+                jobs, num_servers
+            ),
+        )
+
+    def test_rounding_boundary_run_blocks_stay_identical(self):
+        """Regression: the power-aware run block's cumsum-form finish times
+        round differently from the sequential per-job additions; a job whose
+        threshold comparison lands exactly on that last-ulp boundary
+        ((0.1+0.2)+0.3 vs (0.2+0.3)+0.1) must still be routed identically —
+        the block truncates at ambiguous comparisons instead of guessing."""
+        jobs = JobTrace([0.1, 0.1, 0.1], [0.2, 0.3, 0.05])
+        heap = PowerAwareDispatcher([1.0, 2.0], max_backlog=0.5).assign(jobs, 2)
+        loop = PowerAwareDispatcher(
+            [1.0, 2.0], max_backlog=0.5, engine=ENGINE_LOOP
+        ).assign(jobs, 2)
+        np.testing.assert_array_equal(heap, loop)
+        assert list(loop) == [0, 0, 1]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_coarse_decimal_traces_stay_identical(self, seed):
+        """Coarse decimal values maximise exact float coincidences — the
+        hostile case for vectorised fast paths on both dispatchers."""
+        rng = np.random.default_rng(seed)
+        count = 400
+        jobs = JobTrace(
+            np.round(np.cumsum(rng.exponential(0.1, count)), 1),
+            np.round(rng.exponential(0.1, count), 1) + 0.05,
+        )
+        for num_servers in (2, 5):
+            np.testing.assert_array_equal(
+                LeastLoadedDispatcher(ENGINE_HEAP).assign(jobs, num_servers),
+                LeastLoadedDispatcher(ENGINE_LOOP).assign(jobs, num_servers),
+            )
+            idle_powers = list(np.linspace(1.0, 3.0, num_servers))
+            for max_backlog in (0.3, None):
+                np.testing.assert_array_equal(
+                    PowerAwareDispatcher(
+                        idle_powers, max_backlog=max_backlog, engine=ENGINE_HEAP
+                    ).assign(jobs, num_servers),
+                    PowerAwareDispatcher(
+                        idle_powers, max_backlog=max_backlog, engine=ENGINE_LOOP
+                    ).assign(jobs, num_servers),
+                )
+
+    def test_engine_validation(self):
+        assert validate_engine(ENGINE_HEAP) == "heap"
+        assert DISPATCH_ENGINES == ("heap", "loop")
+        with pytest.raises(ConfigurationError, match="dispatch engine"):
+            LeastLoadedDispatcher(engine="vectorized")
+        with pytest.raises(ConfigurationError, match="dispatch engine"):
+            PowerAwareDispatcher([1.0], engine="fast")
+
+    def test_dispatch_is_still_lossless(self):
+        jobs = poisson_jobs(2000, 3.0, seed=7)
+        for dispatcher in (
+            LeastLoadedDispatcher(),
+            PowerAwareDispatcher(list(np.linspace(4, 20, 4))),
+        ):
+            streams = dispatcher.dispatch(jobs, 4)
+            assert merge_streams(streams) == jobs
+
+
+class TestStreamingAssignment:
+    """Chunked assignment must equal one-shot for every dispatcher."""
+
+    @pytest.mark.parametrize("chunk", [1, 7, 997, 100000])
+    def test_chunked_equals_one_shot(self, chunk):
+        jobs = poisson_jobs(5000, 3.0, seed=11)
+        speeds = [1.0, 0.7, 1.0, 0.7]
+        dispatchers = [
+            RoundRobinDispatcher(),
+            RandomDispatcher(seed=5),
+            LeastLoadedDispatcher(),
+            LeastLoadedDispatcher(ENGINE_LOOP),
+            PowerAwareDispatcher([4.0, 5.0, 6.0, 7.0]),
+            PowerAwareDispatcher([4.0, 5.0, 6.0, 7.0], engine=ENGINE_LOOP),
+        ]
+        for dispatcher in dispatchers:
+            one_shot = dispatcher.assign(jobs, 4, server_speeds=speeds)
+            assigner = dispatcher.assigner(
+                4,
+                server_speeds=speeds,
+                total_jobs=len(jobs),
+                mean_service_demand=jobs.mean_service_demand,
+            )
+            parts = [
+                assigner.assign_chunk(
+                    jobs.arrival_times[i : i + chunk],
+                    jobs.service_demands[i : i + chunk],
+                )
+                for i in range(0, len(jobs), chunk)
+            ]
+            np.testing.assert_array_equal(
+                np.concatenate(parts), one_shot, err_msg=type(dispatcher).__name__
+            )
+
+    def test_out_of_order_chunks_rejected(self):
+        assigner = PowerAwareDispatcher([1.0, 2.0]).assigner(
+            2, total_jobs=4, mean_service_demand=1.0
+        )
+        assigner.assign_chunk(np.array([5.0, 6.0]), np.array([1.0, 1.0]))
+        with pytest.raises(TraceError, match="arrival-ordered"):
+            assigner.assign_chunk(np.array([2.0]), np.array([1.0]))
+
+    def test_adaptive_threshold_requires_mean_demand(self):
+        with pytest.raises(ConfigurationError, match="mean_service_demand"):
+            PowerAwareDispatcher([1.0, 2.0]).assigner(2, total_jobs=10)
+
+
+class TestWorkTracker:
+    def test_charge_is_speed_aware(self):
+        tracker = WorkTracker(2, server_speeds=[1.0, 0.5])
+        assert tracker.charge(0, arrival=1.0, demand=2.0) == 3.0
+        assert tracker.charge(1, arrival=1.0, demand=2.0) == 5.0  # half speed
+        assert tracker.backlog(1, now=2.0) == 3.0
+        assert tracker.backlog(0, now=10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkTracker(0)
+        with pytest.raises(ConfigurationError):
+            WorkTracker(2, server_speeds=[1.0])
+        with pytest.raises(ConfigurationError):
+            WorkTracker(2, server_speeds=[1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            WorkTracker(2, server_speeds=[1.0, -2.0])
+
+
+class TestSpeedAwareBacklogRegression:
+    """The heterogeneity-blind backlog bug: charging raw full-frequency
+    demand regardless of platform speed provably mis-routes on a mixed farm.
+    """
+
+    def true_finish_times(self, jobs, assignment, speeds):
+        """Replay an assignment against the servers' *actual* speeds."""
+        tracker = WorkTracker(len(speeds), server_speeds=speeds)
+        finishes = np.empty(len(jobs))
+        for index, (arrival, demand) in enumerate(
+            zip(jobs.arrival_times, jobs.service_demands)
+        ):
+            finishes[index] = tracker.charge(int(assignment[index]), arrival, demand)
+        return finishes
+
+    @pytest.mark.parametrize("engine", DISPATCH_ENGINES)
+    def test_least_loaded_misroute(self, engine):
+        # Server 1 runs at half speed.  The blind estimate believes it has
+        # the smaller backlog at job 2 and routes there; the speed-aware
+        # estimate sends the job to the faster server, finishing earlier.
+        speeds = [1.0, 0.5]
+        jobs = JobTrace([0.0, 0.0, 0.0], [0.8, 0.7, 0.7])
+        dispatcher = LeastLoadedDispatcher(engine)
+        blind = dispatcher.assign(jobs, 2)
+        aware = dispatcher.assign(jobs, 2, server_speeds=speeds)
+        assert list(blind) == [0, 1, 1]
+        assert list(aware) == [0, 1, 0]
+        blind_finishes = self.true_finish_times(jobs, blind, speeds)
+        aware_finishes = self.true_finish_times(jobs, aware, speeds)
+        assert aware_finishes.max() < blind_finishes.max()
+
+    @pytest.mark.parametrize("engine", DISPATCH_ENGINES)
+    def test_power_aware_overloads_slow_server_when_blind(self, engine):
+        # The efficient server (rank 0) is an Atom-class box at half speed.
+        # Blind backlog keeps packing it past its true threshold; the
+        # speed-aware estimate spills one job earlier.
+        speeds = [0.5, 1.0]
+        jobs = JobTrace(np.zeros(4), np.full(4, 0.4))
+        dispatcher = PowerAwareDispatcher(
+            [1.0, 2.0], max_backlog=1.0, engine=engine
+        )
+        blind = dispatcher.assign(jobs, 2)
+        aware = dispatcher.assign(jobs, 2, server_speeds=speeds)
+        assert list(blind) == [0, 0, 0, 1]
+        assert list(aware) == [0, 0, 1, 1]
+        # At job 2 the slow server's true backlog (2 x 0.4 / 0.5 = 1.6 s)
+        # already exceeded the 1-second threshold — the blind route was a
+        # genuine mis-route, not a tie.
+        tracker = WorkTracker(2, server_speeds=speeds)
+        tracker.charge(0, 0.0, 0.4)
+        tracker.charge(0, 0.0, 0.4)
+        assert tracker.backlog(0, now=0.0) > 1.0
+
+    def test_speeds_equal_one_reproduce_blind_estimate(self):
+        jobs = poisson_jobs(2000, 3.0, seed=3)
+        for engine in DISPATCH_ENGINES:
+            dispatcher = LeastLoadedDispatcher(engine)
+            np.testing.assert_array_equal(
+                dispatcher.assign(jobs, 3),
+                dispatcher.assign(jobs, 3, server_speeds=[1.0, 1.0, 1.0]),
+            )
+
+    def test_no_idle_server_starvation_under_heterogeneity(self):
+        speeds = [1.0, 0.5, 0.7]
+        jobs = poisson_jobs(3000, 2.0, seed=9)
+        assignment = LeastLoadedDispatcher().assign(jobs, 3, server_speeds=speeds)
+        tracker = WorkTracker(3, server_speeds=speeds)
+        for index, (arrival, demand) in enumerate(
+            zip(jobs.arrival_times, jobs.service_demands)
+        ):
+            backlogs = [tracker.backlog(s, arrival) for s in range(3)]
+            chosen = int(assignment[index])
+            if backlogs[chosen] > 0:
+                assert not any(b == 0.0 for b in backlogs), (
+                    f"job {index} sent to a busy server while another was idle"
+                )
+            tracker.charge(chosen, arrival, demand)
+
+    def test_power_aware_packs_most_efficient_under_heterogeneity(self):
+        # Widely spaced small jobs: the efficient (slow) server never
+        # saturates even at half speed, so everything still lands on it.
+        jobs = JobTrace(np.arange(50, dtype=float), np.full(50, 0.01))
+        assignment = PowerAwareDispatcher([30.0, 10.0, 20.0]).assign(
+            jobs, 3, server_speeds=[1.0, 0.5, 1.0]
+        )
+        assert np.all(assignment == 1)
+
+
+class TestRandomDispatcherDeterminism:
+    """Determinism contract: the dispatcher must hold no advancing RNG
+    state — every ``assign`` derives a fresh generator from (seed, trace
+    length), so repeated identical farm runs split identically while
+    different traces decorrelate.  Pinned so a future refactor cannot
+    reintroduce a shared advancing generator."""
+
+    def test_same_instance_assigns_identically_twice(self):
+        jobs = poisson_jobs(2000, 3.0, seed=1)
+        dispatcher = RandomDispatcher(seed=9)
+        first = dispatcher.assign(jobs, 3)
+        second = dispatcher.assign(jobs, 3)
+        np.testing.assert_array_equal(first, second)
+
+    def test_farm_level_determinism(self):
+        jobs = poisson_jobs(1000, 2.0, seed=2)
+        dispatcher = RandomDispatcher(seed=4)
+        first = dispatcher.dispatch(jobs, 3)
+        second = dispatcher.dispatch(jobs, 3)
+        for a, b in zip(first, second):
+            assert (a is None and b is None) or a == b
+
+    def test_trace_length_folds_into_the_seed(self):
+        long_jobs = poisson_jobs(1000, 2.0, seed=2)
+        short_jobs = long_jobs.head(500)
+        dispatcher = RandomDispatcher(seed=4)
+        long_assignment = dispatcher.assign(long_jobs, 3)
+        short_assignment = dispatcher.assign(short_jobs, 3)
+        # Different trace lengths decorrelate (a shared prefix would mean
+        # the fold is ignored).
+        assert not np.array_equal(long_assignment[:500], short_assignment)
+
+    def test_unseeded_dispatcher_still_randomises(self):
+        jobs = poisson_jobs(500, 2.0, seed=2)
+        assignment = RandomDispatcher(seed=None).assign(jobs, 4)
+        assert set(np.unique(assignment)) <= {0, 1, 2, 3}

@@ -1,0 +1,151 @@
+"""Incremental epoch feeding: ``RuntimeSession`` vs. one-shot ``run``.
+
+``SleepScaleRuntime.run`` is built on the streaming session, so these tests
+pin the part that matters for chunked farm runs: feeding the same trace in
+arbitrary arrival-ordered chunks produces *exactly* the same
+``RuntimeResult`` (epoch records, response times, energy, duration) as one
+``run`` call, for both stateless and stateful (policy-searching,
+predicting) strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.qos import mean_qos_from_baseline
+from repro.core.runtime import RuntimeConfig, SleepScaleRuntime
+from repro.core.strategies import FixedPolicyStrategy, sleepscale_strategy
+from repro.exceptions import ConfigurationError, TraceError
+from repro.policies.policy import race_to_halt_policy
+from repro.power.states import C6_S0I
+from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.prediction.naive import NaivePreviousPredictor
+from repro.workloads.generator import generate_trace_driven_jobs
+from repro.workloads.jobs import JobTrace
+from repro.workloads.traces import step_trace
+
+
+@pytest.fixture(scope="module")
+def stepped_jobs(dns_empirical):
+    trace = step_trace(0.15, 0.8, num_samples=16)
+    return generate_trace_driven_jobs(dns_empirical, trace, seed=13).jobs
+
+
+def build_runtime(xeon, spec, kind):
+    config = RuntimeConfig(
+        epoch_minutes=5.0, rho_b=0.8, over_provisioning=0.35, log_epochs=2
+    )
+    if kind == "fixed":
+        strategy = FixedPolicyStrategy(race_to_halt_policy(xeon, C6_S0I))
+        predictor = NaivePreviousPredictor()
+    else:
+        strategy = sleepscale_strategy(
+            xeon, mean_qos_from_baseline(0.8), characterization_jobs=300, seed=1
+        )
+        predictor = LmsCusumPredictor(history=6)
+    return SleepScaleRuntime(
+        power_model=xeon,
+        spec=spec,
+        strategy=strategy,
+        predictor=predictor,
+        config=config,
+    )
+
+
+class TestStreamEqualsRun:
+    @pytest.mark.parametrize("kind", ["fixed", "sleepscale"])
+    @pytest.mark.parametrize("chunk", [1, 7, 211, 10_000_000])
+    def test_chunked_feed_is_exact(self, xeon, dns_empirical, stepped_jobs, kind, chunk):
+        reference = build_runtime(xeon, dns_empirical, kind).run(stepped_jobs)
+        session = build_runtime(xeon, dns_empirical, kind).stream()
+        arrivals = stepped_jobs.arrival_times
+        demands = stepped_jobs.service_demands
+        for start in range(0, len(stepped_jobs), chunk):
+            session.feed(arrivals[start : start + chunk], demands[start : start + chunk])
+        result = session.finish()
+        assert result.total_energy == reference.total_energy
+        assert result.total_duration == reference.total_duration
+        np.testing.assert_array_equal(result.response_times, reference.response_times)
+        assert result.epochs == reference.epochs
+
+    def test_job_trace_chunks_accepted(self, xeon, dns_empirical, stepped_jobs):
+        reference = build_runtime(xeon, dns_empirical, "fixed").run(stepped_jobs)
+        session = build_runtime(xeon, dns_empirical, "fixed").stream()
+        half = len(stepped_jobs) // 2
+        session.feed(
+            JobTrace(
+                stepped_jobs.arrival_times[:half], stepped_jobs.service_demands[:half]
+            )
+        )
+        session.feed(
+            JobTrace(
+                stepped_jobs.arrival_times[half:], stepped_jobs.service_demands[half:]
+            )
+        )
+        result = session.finish()
+        assert result.total_energy == reference.total_energy
+        assert result.epochs == reference.epochs
+
+    def test_epoch_boundary_arrivals(self, xeon, dns_empirical):
+        """Jobs exactly on epoch boundaries keep one-shot semantics."""
+        jobs = JobTrace([0.0, 100.0, 300.0, 600.0, 900.0], [0.1, 0.2, 0.3, 0.4, 0.1])
+        reference = build_runtime(xeon, dns_empirical, "fixed").run(jobs)
+        for chunk in (1, 2, 3):
+            session = build_runtime(xeon, dns_empirical, "fixed").stream()
+            for start in range(0, len(jobs), chunk):
+                session.feed(
+                    jobs.arrival_times[start : start + chunk],
+                    jobs.service_demands[start : start + chunk],
+                )
+            result = session.finish()
+            assert result.total_energy == reference.total_energy
+            assert result.epochs == reference.epochs
+
+    def test_empty_session_with_horizon(self, xeon, dns_empirical):
+        reference = build_runtime(xeon, dns_empirical, "fixed").run(
+            JobTrace.empty(), horizon=1234.5
+        )
+        session = build_runtime(xeon, dns_empirical, "fixed").stream()
+        result = session.finish(horizon=1234.5)
+        assert result.total_energy == reference.total_energy
+        assert result.total_duration == reference.total_duration
+        assert result.epochs == reference.epochs
+
+
+class TestSessionValidation:
+    def test_out_of_order_chunks_rejected(self, xeon, dns_empirical):
+        session = build_runtime(xeon, dns_empirical, "fixed").stream()
+        session.feed(np.array([10.0, 20.0]), np.array([0.1, 0.1]))
+        with pytest.raises(TraceError, match="arrival order"):
+            session.feed(np.array([5.0]), np.array([0.1]))
+
+    def test_unsorted_chunk_rejected(self, xeon, dns_empirical):
+        session = build_runtime(xeon, dns_empirical, "fixed").stream()
+        with pytest.raises(TraceError):
+            session.feed(np.array([10.0, 5.0]), np.array([0.1, 0.1]))
+
+    def test_bad_arrays_rejected(self, xeon, dns_empirical):
+        session = build_runtime(xeon, dns_empirical, "fixed").stream()
+        with pytest.raises(ConfigurationError):
+            session.feed(np.array([1.0]))
+        with pytest.raises(TraceError):
+            session.feed(np.array([1.0, 2.0]), np.array([0.1]))
+        with pytest.raises(TraceError):
+            session.feed(np.array([1.0]), np.array([-0.5]))
+
+    def test_finish_is_terminal(self, xeon, dns_empirical):
+        session = build_runtime(xeon, dns_empirical, "fixed").stream()
+        session.feed(np.array([1.0]), np.array([0.1]))
+        session.finish()
+        with pytest.raises(ConfigurationError, match="finished"):
+            session.finish()
+        with pytest.raises(ConfigurationError, match="finished"):
+            session.feed(np.array([2.0]), np.array([0.1]))
+
+    def test_empty_chunk_is_a_no_op(self, xeon, dns_empirical):
+        session = build_runtime(xeon, dns_empirical, "fixed").stream()
+        session.feed(np.empty(0), np.empty(0))
+        session.feed(np.array([1.0]), np.array([0.1]))
+        result = session.finish()
+        assert result.num_jobs == 1
