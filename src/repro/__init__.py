@@ -54,13 +54,17 @@ from repro.cluster import (
     ServerSpec,
 )
 from repro.core import (
+    SEARCH_FRONTIER,
+    SEARCH_FULL,
     AnalyticPolicyManager,
+    CharacterizationCache,
     EpochContext,
     EpochRecord,
     MeanResponseTimeConstraint,
     PercentileResponseTimeConstraint,
     PolicyEvaluation,
     PolicyManager,
+    PolicySearchEngine,
     PolicySelection,
     QosConstraint,
     RuntimeConfig,
@@ -136,6 +140,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalyticPolicyManager",
+    "CharacterizationCache",
     "BuiltScenario",
     "C0I_S0I",
     "C1_S0I",
@@ -159,6 +164,7 @@ __all__ = [
     "Policy",
     "PolicyEvaluation",
     "PolicyManager",
+    "PolicySearchEngine",
     "PolicySelection",
     "PolicySpace",
     "PowerAwareDispatcher",
@@ -167,6 +173,8 @@ __all__ = [
     "RoundRobinDispatcher",
     "RuntimeConfig",
     "RuntimeResult",
+    "SEARCH_FRONTIER",
+    "SEARCH_FULL",
     "Scenario",
     "ScenarioParameter",
     "ServerFarm",

@@ -59,6 +59,7 @@ from repro.cluster.dispatch import JobDispatcher, RoundRobinDispatcher
 from repro.concurrency import fan_out
 from repro.core.epoch import RuntimeResult
 from repro.core.runtime import RuntimeConfig, RuntimeSession, SleepScaleRuntime
+from repro.core.search import CharacterizationCache
 from repro.core.strategies import PowerManagementStrategy
 from repro.exceptions import ConfigurationError
 from repro.power.platform import ServerPowerModel
@@ -374,6 +375,14 @@ class ServerFarm:
     chunk_jobs:
         When set, :meth:`run` streams the trace through the farm in
         arrival-ordered chunks of this many jobs (see :meth:`run`).
+    search_cache:
+        Optional :class:`~repro.core.search.CharacterizationCache` shared
+        by every policy-search strategy of the farm (attached to each
+        strategy right after its factory builds it).  Sharing is always
+        sound — cache keys carry the full trace/space/power-model/QoS
+        identity — and pays off for servers with identical spec, QoS and
+        candidate space, whose repeated characterisations collapse to one.
+        The cache is thread-safe, so it composes with ``max_workers``.
     """
 
     servers: Sequence[ServerSpec]
@@ -381,6 +390,7 @@ class ServerFarm:
     dispatcher: JobDispatcher = field(default_factory=RoundRobinDispatcher)
     max_workers: int | None = None
     chunk_jobs: int | None = None
+    search_cache: CharacterizationCache | None = None
 
     def __post_init__(self) -> None:
         if not self.servers:
@@ -425,10 +435,15 @@ class ServerFarm:
 
     def _build_runtime(self, index: int) -> SleepScaleRuntime:
         server = self.servers[index]
+        strategy = server.strategy_factory()
+        if self.search_cache is not None and hasattr(
+            strategy, "attach_search_cache"
+        ):
+            strategy.attach_search_cache(self.search_cache)
         return SleepScaleRuntime(
             power_model=server.power_model,
             spec=self.spec,
-            strategy=server.strategy_factory(),
+            strategy=strategy,
             predictor=server.predictor_factory(),
             config=server.config,
             scaling=server.scaling,
@@ -657,6 +672,10 @@ class ClusterRuntime:
     chunk_jobs:
         When set, farm runs stream the trace in arrival-ordered chunks of
         this many jobs (see :meth:`ServerFarm.run`).
+    search_cache:
+        Optional characterisation cache shared by every server's strategy
+        (see :class:`ServerFarm`); in a homogeneous cluster all servers
+        have identical spec/QoS/space, the best case for sharing.
     """
 
     num_servers: int
@@ -670,6 +689,7 @@ class ClusterRuntime:
     scaling: ServiceScaling | None = None
     max_frequency: float = 1.0
     chunk_jobs: int | None = None
+    search_cache: CharacterizationCache | None = None
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -712,6 +732,7 @@ class ClusterRuntime:
             dispatcher=self.dispatcher,
             max_workers=self.max_workers,
             chunk_jobs=self.chunk_jobs,
+            search_cache=self.search_cache,
         )
 
     def run(self, jobs: JobTrace, *, chunk_jobs: int | None = None) -> FarmResult:

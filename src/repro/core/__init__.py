@@ -18,6 +18,14 @@ from repro.core.qos import (
     percentile_qos_from_baseline,
 )
 from repro.core.runtime import RuntimeConfig, RuntimeSession, SleepScaleRuntime
+from repro.core.search import (
+    SEARCH_FRONTIER,
+    SEARCH_FULL,
+    CharacterizationCache,
+    FrontierSearch,
+    PolicySearchEngine,
+    SearchStats,
+)
 from repro.core.strategies import (
     EpochContext,
     FixedPolicyStrategy,
@@ -35,19 +43,25 @@ from repro.core.strategies import (
 __all__ = [
     "AnalyticPolicyManager",
     "AnalyticSleepScaleStrategy",
+    "CharacterizationCache",
     "EpochContext",
     "EpochRecord",
     "FixedPolicyStrategy",
+    "FrontierSearch",
     "MeanResponseTimeConstraint",
     "PercentileResponseTimeConstraint",
     "PolicyEvaluation",
     "PolicyManager",
+    "PolicySearchEngine",
     "PolicySearchStrategy",
     "PolicySelection",
     "PowerManagementStrategy",
     "QosConstraint",
     "RaceToHaltStrategy",
     "RuntimeConfig",
+    "SEARCH_FRONTIER",
+    "SEARCH_FULL",
+    "SearchStats",
     "RuntimeSession",
     "RuntimeResult",
     "SleepScaleRuntime",

@@ -72,7 +72,7 @@ class RuntimeResult:
     total_duration: float
     mean_service_time: float
     response_time_budget: float
-    extra: Mapping[str, float] = field(default_factory=dict)
+    extra: Mapping[str, float | str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.epochs:

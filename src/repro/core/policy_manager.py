@@ -44,8 +44,9 @@ spaces per server — need no coordination; see
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.exceptions import PolicySelectionError
 from repro.core.qos import QosConstraint
@@ -63,6 +64,9 @@ from repro.simulation.service_scaling import ServiceScaling, cpu_bound
 from repro.workloads.generator import generate_jobs, make_rng
 from repro.workloads.jobs import JobTrace
 from repro.workloads.spec import WorkloadSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search imports us)
+    from repro.core.search import CharacterizationCache, SearchStats
 
 
 @dataclass(frozen=True)
@@ -113,6 +117,65 @@ class PolicySelection:
         return table
 
 
+def evaluation_from_result(
+    policy: Policy, result: SimulationResult, qos: QosConstraint
+) -> PolicyEvaluation:
+    """One characterisation-table row for *policy* evaluated as *result*.
+
+    Module-level so the policy manager and the search engine
+    (:mod:`repro.core.search`) build byte-identical rows.
+    """
+    return PolicyEvaluation(
+        policy=policy,
+        average_power=result.average_power,
+        mean_response_time=result.mean_response_time,
+        normalized_mean_response_time=result.normalized_mean_response_time,
+        p95_response_time=result.response_time_percentile(95.0),
+        meets_qos=qos.is_met(result),
+        qos_slack=qos.slack(result),
+    )
+
+
+def pick_selection(evaluations: Sequence[PolicyEvaluation]) -> PolicySelection:
+    """Select from a full characterisation table (the full-grid oracle).
+
+    Feasible candidates compete on average power (first minimum wins, i.e.
+    enumeration order breaks exact ties).  When nothing meets the budget the
+    server runs as close to it as possible: the largest *finite* slack wins,
+    with near-ties (within 2%) resolved towards cheaper power.  Rows whose
+    slack is NaN — e.g. a zero-job characterisation where per-job statistics
+    are undefined — are excluded from the slack ranking entirely; a plain
+    ``max`` would let a NaN first element win every comparison and poison
+    the fallback into picking an arbitrary cheapest-power row even when
+    finite-slack candidates exist.  Only when *every* slack is NaN does the
+    selection degrade to cheapest power over the whole table.
+    """
+    if not evaluations:
+        raise PolicySelectionError("no candidate policy could be evaluated")
+    feasible = [e for e in evaluations if e.meets_qos]
+    if feasible:
+        best = min(feasible, key=lambda e: e.average_power)
+        return PolicySelection(
+            best=best, evaluations=tuple(evaluations), feasible=True
+        )
+    finite_slacks = [
+        e.qos_slack for e in evaluations if not math.isnan(e.qos_slack)
+    ]
+    if finite_slacks:
+        best_slack = max(finite_slacks)
+        tolerance = 0.02 * abs(best_slack)
+        # NaN rows fail this comparison and are dropped from contention.
+        near_best = [
+            e for e in evaluations if e.qos_slack >= best_slack - tolerance
+        ]
+    else:
+        near_best = list(evaluations)
+    best = min(near_best, key=lambda e: e.average_power)
+    return PolicySelection(
+        best=best, evaluations=tuple(evaluations), feasible=False
+    )
+
+
 class PolicyManager:
     """Characterises candidate policies by simulation and selects the best one.
 
@@ -139,6 +202,22 @@ class PolicyManager:
         Simulation backend used for characterisation: ``"vectorized"``
         (default, batched through a shared :class:`TraceKernel`) or
         ``"reference"`` (the per-job loop).
+    search:
+        Policy-search mode: ``"full"`` (default) walks the whole candidate
+        grid; ``"frontier"`` routes :meth:`select` through the
+        :class:`~repro.core.search.PolicySearchEngine`, which bisects the
+        frequency axis per sleep state and falls back to the full grid
+        whenever its monotonicity certificate fails — the selected policy
+        is always identical to the full search.
+    cache:
+        Optional :class:`~repro.core.search.CharacterizationCache` handle;
+        attaching one (in either search mode) reuses characterisation
+        tables, selections and per-trace kernel structure across repeated
+        inputs, and may be shared farm-wide.
+    utilization_quantum:
+        Quantisation step the search engine snaps utilisations to before
+        candidate enumeration and cache keying (0 disables, the default).
+        Only meaningful when an engine is active.
     """
 
     def __init__(
@@ -150,6 +229,9 @@ class PolicyManager:
         characterization_jobs: int = 5_000,
         seed: int | None = 0,
         backend: str = BACKEND_VECTORIZED,
+        search: str = "full",
+        cache: "CharacterizationCache | None" = None,
+        utilization_quantum: float = 0.0,
     ):
         self._power_model = power_model
         self._space = policy_space
@@ -158,6 +240,27 @@ class PolicyManager:
         self._characterization_jobs = int(characterization_jobs)
         self._rng = make_rng(seed)
         self._backend = validate_backend(backend)
+        from repro.core.search import validate_search  # deferred: cycle
+
+        self._search = validate_search(search)
+        self._utilization_quantum = float(utilization_quantum)
+        self._engine = None
+        if self._search != "full" or cache is not None:
+            self._build_engine(cache)
+
+    def _build_engine(self, cache: "CharacterizationCache | None") -> None:
+        from repro.core.search import PolicySearchEngine  # deferred: cycle
+
+        self._engine = PolicySearchEngine(
+            power_model=self._power_model,
+            policy_space=self._space,
+            qos=self._qos,
+            scaling=self._scaling,
+            backend=self._backend,
+            search=self._search,
+            cache=cache,
+            utilization_quantum=self._utilization_quantum,
+        )
 
     # -- accessors -----------------------------------------------------------------
 
@@ -171,20 +274,39 @@ class PolicyManager:
         """The candidate policy space."""
         return self._space
 
+    @property
+    def search(self) -> str:
+        """The policy-search mode in force (``"full"`` or ``"frontier"``)."""
+        return self._search
+
+    @property
+    def search_cache(self) -> "CharacterizationCache | None":
+        """The cache handle the search engine uses, if any."""
+        return None if self._engine is None else self._engine.cache
+
+    @property
+    def search_stats(self) -> "SearchStats | None":
+        """Counters of the search engine (``None`` for the plain full search)."""
+        return None if self._engine is None else self._engine.stats
+
+    def attach_search_cache(self, cache: "CharacterizationCache") -> None:
+        """Attach a (possibly farm-shared) characterisation cache.
+
+        Builds the search engine on first attachment; in a farm this runs
+        before any epoch loop starts, so every selection of the run sees
+        the shared cache.
+        """
+        if self._engine is None:
+            self._build_engine(cache)
+        else:
+            self._engine.attach_cache(cache)
+
     # -- characterisation -------------------------------------------------------------
 
     def _evaluation_from_result(
         self, policy: Policy, result: SimulationResult
     ) -> PolicyEvaluation:
-        return PolicyEvaluation(
-            policy=policy,
-            average_power=result.average_power,
-            mean_response_time=result.mean_response_time,
-            normalized_mean_response_time=result.normalized_mean_response_time,
-            p95_response_time=result.response_time_percentile(95.0),
-            meets_qos=self._qos.is_met(result),
-            qos_slack=self._qos.slack(result),
-        )
+        return evaluation_from_result(policy, result, self._qos)
 
     def _evaluate(self, policy: Policy, jobs: JobTrace) -> PolicyEvaluation:
         result = simulate_trace(
@@ -207,6 +329,8 @@ class PolicyManager:
         replays *jobs* under each surviving policy.  With the default
         vectorized backend this delegates to :meth:`characterize_batch`.
         """
+        if self._engine is not None:
+            return self._engine.characterize(jobs, utilization)
         if self._backend == BACKEND_VECTORIZED:
             return self.characterize_batch(jobs, utilization)
         candidates = self._space.candidate_policies(utilization)
@@ -232,6 +356,17 @@ class PolicyManager:
             for policy in candidates
         )
 
+    def _sample_jobs(
+        self, spec: WorkloadSpec, utilization: float, num_jobs: int | None
+    ) -> JobTrace:
+        """One synthetic characterisation stream from *spec* at *utilization*."""
+        return generate_jobs(
+            spec,
+            num_jobs=num_jobs or self._characterization_jobs,
+            utilization=utilization,
+            rng=self._rng,
+        )
+
     def characterize_spec(
         self,
         spec: WorkloadSpec,
@@ -239,45 +374,28 @@ class PolicyManager:
         num_jobs: int | None = None,
     ) -> tuple[PolicyEvaluation, ...]:
         """Characterise using a freshly sampled stream from *spec* at *utilization*."""
-        jobs = generate_jobs(
-            spec,
-            num_jobs=num_jobs or self._characterization_jobs,
-            utilization=utilization,
-            rng=self._rng,
-        )
+        jobs = self._sample_jobs(spec, utilization, num_jobs)
         return self.characterize(jobs, utilization)
 
     # -- selection ----------------------------------------------------------------------
 
     @staticmethod
     def _pick(evaluations: Sequence[PolicyEvaluation]) -> PolicySelection:
-        if not evaluations:
-            raise PolicySelectionError("no candidate policy could be evaluated")
-        feasible = [e for e in evaluations if e.meets_qos]
-        if feasible:
-            best = min(feasible, key=lambda e: e.average_power)
-            return PolicySelection(
-                best=best, evaluations=tuple(evaluations), feasible=True
-            )
-        # Nothing meets the budget: run as close to it as possible (largest
-        # slack), but among candidates that are essentially tied on slack —
-        # e.g. the same frequency with different sleep states, whose wake-up
-        # latencies barely move the response time — prefer the cheaper one.
-        best_slack = max(e.qos_slack for e in evaluations)
-        tolerance = 0.02 * abs(best_slack)
-        near_best = [e for e in evaluations if e.qos_slack >= best_slack - tolerance]
-        if not near_best:
-            # All slacks are nan (e.g. a zero-job characterisation, where the
-            # per-job statistics are undefined): fall back to cheapest power.
-            near_best = list(evaluations)
-        best = min(near_best, key=lambda e: e.average_power)
-        return PolicySelection(
-            best=best, evaluations=tuple(evaluations), feasible=False
-        )
+        # Kept as a method for backwards compatibility; the logic (shared
+        # with the search engine) lives in :func:`pick_selection`.
+        return pick_selection(evaluations)
 
     def select(self, jobs: JobTrace, utilization: float) -> PolicySelection:
-        """Characterise against *jobs* and return the minimum-power feasible policy."""
-        return self._pick(self.characterize(jobs, utilization))
+        """Characterise against *jobs* and return the minimum-power feasible policy.
+
+        With ``search="frontier"`` (or an attached cache) this routes
+        through the search engine; the selected policy is identical to the
+        full-grid search either way, but frontier selections carry only the
+        winning row in ``PolicySelection.evaluations``.
+        """
+        if self._engine is not None:
+            return self._engine.select(jobs, utilization)
+        return pick_selection(self.characterize(jobs, utilization))
 
     def select_for_spec(
         self,
@@ -286,4 +404,5 @@ class PolicyManager:
         num_jobs: int | None = None,
     ) -> PolicySelection:
         """Characterise against a sampled stream from *spec* and select."""
-        return self._pick(self.characterize_spec(spec, utilization, num_jobs))
+        jobs = self._sample_jobs(spec, utilization, num_jobs)
+        return self.select(jobs, utilization)

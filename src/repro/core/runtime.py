@@ -343,7 +343,13 @@ class RuntimeSession:
                     energy_joules=idle_energy,
                 )
             )
-            self._previous_epoch_mean_delay = 0.0
+            # A zero-arrival epoch produces no delay evidence at all (its
+            # recorded mean response time is NaN): carry the previous
+            # epoch's mean delay forward unchanged.  Forcing it to 0.0 here
+            # unconditionally armed the over-provisioning guard band for
+            # the next epoch — even when the last observed delay was
+            # *above* the baseline budget — so quiet periods silently
+            # switched the controller into permanent over-provisioning.
             self._carryover_busy_until = max(
                 self._carryover_busy_until, epoch_start
             )
@@ -449,6 +455,9 @@ class RuntimeSession:
                 "epoch_minutes": config.epoch_minutes,
                 "rho_b": config.rho_b,
                 "over_provisioning": config.over_provisioning,
+                # Policy-search mode of the strategy, for report provenance
+                # (fixed-policy strategies have no search and report "full").
+                "search": getattr(self._runtime._strategy, "search", "full"),
             },
         )
 

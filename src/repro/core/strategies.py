@@ -20,9 +20,11 @@ runtime controller (and Figure 9's benchmark) can treat them uniformly.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 
 from repro.core.policy_manager import PolicyManager, PolicySelection
+from repro.core.search import SEARCH_FULL, CharacterizationCache, SearchStats
 from repro.core.qos import QosConstraint
 from repro.exceptions import ConfigurationError
 from repro.policies.policy import Policy, race_to_halt_policy
@@ -63,6 +65,11 @@ class PowerManagementStrategy(abc.ABC):
     #: Short label used in figures, e.g. ``"SS"`` or ``"R2H(C6)"``.
     name: str = "strategy"
 
+    #: Wall-clock seconds spent inside :meth:`select_policy` so far; the
+    #: policy-search benchmark reads this to time the search alone,
+    #: independent of epoch simulation and dispatch.
+    search_seconds: float = 0.0
+
     @abc.abstractmethod
     def select_policy(self, context: EpochContext) -> Policy:
         """The policy to run for the upcoming epoch."""
@@ -83,6 +90,11 @@ class PolicySearchStrategy(PowerManagementStrategy):
     inter-arrival times are rescaled so the offered load matches the
     predicted utilisation (Section 5.2.1/5.2.2); otherwise a synthetic stream
     is sampled from the workload spec at the predicted utilisation.
+
+    The per-epoch search itself runs through the policy manager's search
+    engine when *search* is ``"frontier"`` or a *cache* handle is supplied
+    (see :mod:`repro.core.search`); the selected policy is identical to the
+    full-grid search either way.
     """
 
     def __init__(
@@ -97,6 +109,9 @@ class PolicySearchStrategy(PowerManagementStrategy):
         min_utilization: float = 0.02,
         seed: int | None = 0,
         backend: str = BACKEND_VECTORIZED,
+        search: str = SEARCH_FULL,
+        cache: CharacterizationCache | None = None,
+        utilization_quantum: float = 0.0,
     ):
         self.name = name
         self._manager = PolicyManager(
@@ -107,12 +122,16 @@ class PolicySearchStrategy(PowerManagementStrategy):
             characterization_jobs=characterization_jobs,
             seed=seed,
             backend=backend,
+            search=search,
+            cache=cache,
+            utilization_quantum=utilization_quantum,
         )
         self._max_logged_jobs = int(max_logged_jobs)
         self._min_utilization = float(min_utilization)
         self._characterization_jobs = int(characterization_jobs)
         self._rng = make_rng(seed)
         self._last_selection: PolicySelection | None = None
+        self.search_seconds = 0.0
 
     @property
     def last_selection(self) -> PolicySelection | None:
@@ -124,13 +143,31 @@ class PolicySearchStrategy(PowerManagementStrategy):
         """The underlying policy manager (exposed for inspection/tests)."""
         return self._manager
 
+    @property
+    def search(self) -> str:
+        """The policy-search mode in force (``"full"`` or ``"frontier"``)."""
+        return self._manager.search
+
+    @property
+    def search_stats(self) -> SearchStats | None:
+        """Search-engine counters (``None`` for the plain full search)."""
+        return self._manager.search_stats
+
+    def attach_search_cache(self, cache: CharacterizationCache) -> None:
+        """Attach a (possibly farm-shared) characterisation cache."""
+        self._manager.attach_search_cache(cache)
+
     def _characterization_jobs_for(self, context: EpochContext) -> JobTrace:
         utilization = max(context.predicted_utilization, self._min_utilization)
         utilization = min(utilization, 0.98)
         if context.logged_jobs is not None and len(context.logged_jobs) >= 10:
             logged = context.logged_jobs
             if len(logged) > self._max_logged_jobs:
-                logged = logged.head(self._max_logged_jobs)
+                # Keep the *most recent* jobs: the paper rescales the log of
+                # recent epochs, and the tail is what reflects the current
+                # workload.  (``head`` here silently characterised against
+                # the oldest — stalest — slice of an over-long log window.)
+                logged = logged.tail(self._max_logged_jobs)
             return logged.scaled_to_utilization(utilization)
         return generate_jobs(
             context.spec,
@@ -143,8 +180,10 @@ class PolicySearchStrategy(PowerManagementStrategy):
         utilization = min(
             max(context.predicted_utilization, self._min_utilization), 0.98
         )
+        started = time.perf_counter()
         jobs = self._characterization_jobs_for(context)
         selection = self._manager.select(jobs, utilization)
+        self.search_seconds += time.perf_counter() - started
         self._last_selection = selection
         return selection.policy
 
@@ -190,6 +229,8 @@ def sleepscale_strategy(
     max_logged_jobs: int = 5_000,
     seed: int | None = 0,
     backend: str = BACKEND_VECTORIZED,
+    search: str = SEARCH_FULL,
+    cache: CharacterizationCache | None = None,
 ) -> PolicySearchStrategy:
     """The full SleepScale strategy (SS): all low-power states, joint search."""
     space = full_space(power_model, frequency_step=frequency_step, scaling=scaling or cpu_bound())
@@ -203,6 +244,8 @@ def sleepscale_strategy(
         max_logged_jobs=max_logged_jobs,
         seed=seed,
         backend=backend,
+        search=search,
+        cache=cache,
     )
 
 
@@ -216,6 +259,8 @@ def sleepscale_single_state_strategy(
     max_logged_jobs: int = 5_000,
     seed: int | None = 0,
     backend: str = BACKEND_VECTORIZED,
+    search: str = SEARCH_FULL,
+    cache: CharacterizationCache | None = None,
 ) -> PolicySearchStrategy:
     """SleepScale restricted to a single low-power state — SS(C3) in the paper."""
     space = single_state_space(
@@ -231,6 +276,8 @@ def sleepscale_single_state_strategy(
         max_logged_jobs=max_logged_jobs,
         seed=seed,
         backend=backend,
+        search=search,
+        cache=cache,
     )
 
 
@@ -243,6 +290,8 @@ def dvfs_only_strategy(
     max_logged_jobs: int = 5_000,
     seed: int | None = 0,
     backend: str = BACKEND_VECTORIZED,
+    search: str = SEARCH_FULL,
+    cache: CharacterizationCache | None = None,
 ) -> PolicySearchStrategy:
     """The DVFS-only baseline: frequency search but no low-power state at all."""
     space = dvfs_only_space(
@@ -258,6 +307,8 @@ def dvfs_only_strategy(
         max_logged_jobs=max_logged_jobs,
         seed=seed,
         backend=backend,
+        search=search,
+        cache=cache,
     )
 
 

@@ -6,14 +6,16 @@ prints one JSON document whose schema is identical across scenarios, so
 energy and latency numbers can be compared between e.g. ``diurnal`` and
 ``flash-crowd`` runs without any per-scenario glue.
 
-Report schema (``repro.scenario-report/v1``)::
+Report schema (``repro.scenario-report/v2``; v2 added the ``search``
+key recording the policy-search mode)::
 
     {
-      "schema": "repro.scenario-report/v1",
+      "schema": "repro.scenario-report/v2",
       "scenario": str,            # registered scenario name
       "description": str,
       "seed": int,
       "backend": "vectorized" | "reference",
+      "search": "full" | "frontier",
       "parameters": {name: value, ...},        # resolved builder parameters
       "workload": {
         "name": str,                           # WorkloadSpec name
@@ -70,10 +72,11 @@ from repro.scenarios import (
     get_scenario,
     scenario_catalog,
 )
+from repro.core.search import SEARCHES, SEARCH_FULL
 from repro.simulation.kernel import BACKENDS, BACKEND_VECTORIZED
 
 #: Version tag stamped into (and required from) every scenario report.
-REPORT_SCHEMA = "repro.scenario-report/v1"
+REPORT_SCHEMA = "repro.scenario-report/v2"
 
 
 def _finite_or_none(value: float) -> float | None:
@@ -108,6 +111,7 @@ def report_from_result(built: BuiltScenario, result: FarmResult) -> dict[str, An
         "description": built.description,
         "seed": built.seed,
         "backend": built.backend,
+        "search": built.search,
         "parameters": dict(built.parameters),
         "workload": {
             "name": built.spec.name,
@@ -145,6 +149,7 @@ def run_scenario(
     *,
     seed: int = 0,
     backend: str = BACKEND_VECTORIZED,
+    search: str = SEARCH_FULL,
     max_workers: int | None = None,
     chunk_jobs: int | None = None,
     overrides: Mapping[str, Any] | None = None,
@@ -161,13 +166,16 @@ def run_scenario(
     # 'seed'/'backend' are build() keywords, not scenario parameters; caught
     # here they produce a pointer to the right flag instead of a TypeError
     # from the keyword splat below.
-    reserved = sorted(set(overrides) & {"seed", "backend"})
+    reserved = sorted(set(overrides) & {"seed", "backend", "search"})
     if reserved:
         raise ExperimentError(
             f"{', '.join(reserved)} cannot be set via overrides; use the "
-            "dedicated seed/backend arguments (CLI: --seed / --backend)"
+            "dedicated seed/backend/search arguments "
+            "(CLI: --seed / --backend / --search-mode)"
         )
-    built = get_scenario(name).build(seed=seed, backend=backend, **overrides)
+    built = get_scenario(name).build(
+        seed=seed, backend=backend, search=search, **overrides
+    )
     farm = built.farm
     if max_workers is not None:
         # dataclasses.replace re-runs ServerFarm.__post_init__, so an invalid
@@ -212,7 +220,7 @@ def _require_finite_number(value: Any, where: str) -> None:
 
 
 def validate_report(report: Any) -> None:
-    """Check *report* against the ``repro.scenario-report/v1`` schema.
+    """Check *report* against the ``repro.scenario-report/v2`` schema.
 
     Raises :class:`~repro.exceptions.ExperimentError` on the first violation;
     returns ``None`` on success.  The check is structural (keys, types,
@@ -226,6 +234,7 @@ def validate_report(report: Any) -> None:
             "description",
             "seed",
             "backend",
+            "search",
             "parameters",
             "workload",
             "farm",
@@ -247,6 +256,7 @@ def validate_report(report: Any) -> None:
         "seed must be an integer",
     )
     _require(report["backend"] in BACKENDS, f"backend must be one of {BACKENDS}")
+    _require(report["search"] in SEARCHES, f"search must be one of {SEARCHES}")
     _require(isinstance(report["parameters"], dict), "parameters must be an object")
 
     workload = report["workload"]
@@ -402,6 +412,16 @@ def main(argv: list[str] | None = None) -> int:
         help="simulation backend for the per-epoch policy search",
     )
     parser.add_argument(
+        "--search-mode",
+        choices=list(SEARCHES),
+        default=SEARCH_FULL,
+        help=(
+            "per-epoch policy-search mode: 'full' walks the whole candidate "
+            "grid, 'frontier' bisects it with a farm-shared characterisation "
+            "cache (selected policies are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -446,6 +466,7 @@ def main(argv: list[str] | None = None) -> int:
         arguments.scenario,
         seed=arguments.seed,
         backend=arguments.backend,
+        search=arguments.search_mode,
         max_workers=arguments.workers,
         chunk_jobs=arguments.chunk_jobs,
         overrides=overrides,

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.cluster.farm import ServerFarm
+from repro.core.search import SEARCH_FULL, validate_search
 from repro.exceptions import ScenarioError
 from repro.simulation.kernel import BACKEND_VECTORIZED, validate_backend
 from repro.workloads.jobs import JobTrace
@@ -69,6 +70,8 @@ class BuiltScenario:
     parameters: Mapping[str, Any] = field(default_factory=dict)
     backend: str = BACKEND_VECTORIZED
     seed: int = 0
+    #: Policy-search mode every search strategy of the farm was built with.
+    search: str = SEARCH_FULL
     #: Filled in by :meth:`Scenario.build` from the scenario's description
     #: when the builder leaves it empty, so reports never need the registry.
     description: str = ""
@@ -79,6 +82,7 @@ class BuiltScenario:
                 f"scenario {self.name!r} built an empty job stream"
             )
         validate_backend(self.backend)
+        validate_search(self.search)
 
     @property
     def num_jobs(self) -> int:
@@ -111,7 +115,7 @@ class Scenario:
 
     #: Builder keywords owned by :meth:`build` itself; a declared parameter
     #: (or an override splatted into ``build``) must never collide with them.
-    RESERVED_NAMES = frozenset({"seed", "backend"})
+    RESERVED_NAMES = frozenset({"seed", "backend", "search"})
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -125,8 +129,8 @@ class Scenario:
         if reserved:
             raise ScenarioError(
                 f"scenario {self.name!r} declares reserved parameter name(s) "
-                f"{reserved}; 'seed' and 'backend' are passed to every builder "
-                "automatically"
+                f"{reserved}; 'seed', 'backend' and 'search' are passed to "
+                "every builder automatically"
             )
 
     def parameter_defaults(self) -> dict[str, Any]:
@@ -138,14 +142,19 @@ class Scenario:
         *,
         seed: int = 0,
         backend: str = BACKEND_VECTORIZED,
+        search: str = SEARCH_FULL,
         **overrides: Any,
     ) -> BuiltScenario:
         """Materialise the scenario with *overrides* applied over the defaults.
 
         Unknown override names are rejected rather than silently ignored, so
-        a typo in a CLI ``--set`` flag fails loudly.
+        a typo in a CLI ``--set`` flag fails loudly.  ``search`` selects the
+        per-epoch policy-search mode (``"full"`` or ``"frontier"``) every
+        search strategy of the scenario is built with; ``"frontier"`` also
+        attaches one shared characterisation cache across the farm.
         """
         validate_backend(backend)
+        validate_search(search)
         declared = {parameter.name for parameter in self.parameters}
         unknown = sorted(set(overrides) - declared)
         if unknown:
@@ -174,7 +183,7 @@ class Scenario:
                 f"parameter {key!r} of scenario {self.name!r} expects a "
                 f"{expected} (default {default!r}), got {got!r}"
             )
-        built = self.builder(seed=seed, backend=backend, **values)
+        built = self.builder(seed=seed, backend=backend, search=search, **values)
         if not built.description:
             built = dataclasses.replace(built, description=self.description)
         return built

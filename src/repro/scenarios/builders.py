@@ -50,6 +50,7 @@ from repro.cluster.dispatch import (
 from repro.cluster.farm import ServerFarm, ServerSpec
 from repro.core.qos import mean_qos_from_baseline
 from repro.core.runtime import RuntimeConfig
+from repro.core.search import SEARCH_FRONTIER, CharacterizationCache
 from repro.core.strategies import sleepscale_strategy
 from repro.exceptions import ScenarioError
 from repro.power.platform import ServerPowerModel, atom_power_model, xeon_power_model
@@ -87,6 +88,7 @@ def _sleepscale_server(
     *,
     seed: int,
     backend: str,
+    search: str = "full",
     epoch_minutes: float = 5.0,
     max_frequency: float = 1.0,
 ) -> ServerSpec:
@@ -104,11 +106,17 @@ def _sleepscale_server(
             characterization_jobs=_CHARACTERIZATION_JOBS,
             seed=seed,
             backend=backend,
+            search=search,
         ),
         predictor_factory=lambda: LmsCusumPredictor(history=10),
         config=config,
         max_frequency=max_frequency,
     )
+
+
+def _shared_cache(search: str) -> CharacterizationCache | None:
+    """One farm-wide characterisation cache for frontier-search scenarios."""
+    return CharacterizationCache() if search == SEARCH_FRONTIER else None
 
 
 def _xeon_farm(
@@ -117,6 +125,7 @@ def _xeon_farm(
     *,
     seed: int,
     backend: str,
+    search: str = "full",
     dispatcher: JobDispatcher | None = None,
     epoch_minutes: float = 5.0,
 ) -> ServerFarm:
@@ -128,6 +137,7 @@ def _xeon_farm(
             power_model,
             seed=seed + index,
             backend=backend,
+            search=search,
             epoch_minutes=epoch_minutes,
         )
         for index in range(num_servers)
@@ -136,6 +146,7 @@ def _xeon_farm(
         servers=servers,
         spec=spec,
         dispatcher=dispatcher or RoundRobinDispatcher(),
+        search_cache=_shared_cache(search),
     )
 
 
@@ -195,6 +206,7 @@ def build_diurnal(
     *,
     seed: int,
     backend: str,
+    search: str,
     duration_minutes: float,
     trough_utilization: float,
     peak_utilization: float,
@@ -207,7 +219,7 @@ def build_diurnal(
     values = _diurnal_values(num_samples, trough_utilization, peak_utilization)
     trace = UtilizationTrace(values, interval=minutes(1), name="diurnal")
     jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
-    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend, search=search)
     return BuiltScenario(
         name="diurnal",
         spec=spec,
@@ -222,6 +234,7 @@ def build_diurnal(
         },
         backend=backend,
         seed=seed,
+        search=search,
     )
 
 
@@ -251,6 +264,7 @@ def build_flash_crowd(
     *,
     seed: int,
     backend: str,
+    search: str,
     duration_minutes: float,
     base_utilization: float,
     crowd_utilization: float,
@@ -280,7 +294,12 @@ def build_flash_crowd(
     trace = UtilizationTrace(values, interval=minutes(1), name="flash-crowd")
     jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
     farm = _xeon_farm(
-        servers, spec, seed=seed, backend=backend, dispatcher=LeastLoadedDispatcher()
+        servers,
+        spec,
+        seed=seed,
+        backend=backend,
+        search=search,
+        dispatcher=LeastLoadedDispatcher(),
     )
     return BuiltScenario(
         name="flash-crowd",
@@ -298,6 +317,7 @@ def build_flash_crowd(
         },
         backend=backend,
         seed=seed,
+        search=search,
     )
 
 
@@ -325,6 +345,7 @@ def build_heavy_tail(
     *,
     seed: int,
     backend: str,
+    search: str,
     duration_minutes: float,
     utilization: float,
     pareto_alpha: float,
@@ -355,7 +376,7 @@ def build_heavy_tail(
     values = np.full(num_samples, utilization)
     trace = UtilizationTrace(values, interval=minutes(1), name="heavy-tail")
     jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
-    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend, search=search)
     return BuiltScenario(
         name="heavy-tail",
         spec=spec,
@@ -370,6 +391,7 @@ def build_heavy_tail(
         },
         backend=backend,
         seed=seed,
+        search=search,
     )
 
 
@@ -398,6 +420,7 @@ def build_correlated_arrivals(
     *,
     seed: int,
     backend: str,
+    search: str,
     duration_minutes: float,
     quiet_utilization: float,
     bursty_utilization: float,
@@ -427,7 +450,7 @@ def build_correlated_arrivals(
             state = 1 - state
     trace = UtilizationTrace(values, interval=minutes(1), name="correlated-arrivals")
     jobs = generate_trace_driven_jobs(spec, trace, seed=seed + 1).jobs
-    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend, search=search)
     return BuiltScenario(
         name="correlated-arrivals",
         spec=spec,
@@ -443,6 +466,7 @@ def build_correlated_arrivals(
         },
         backend=backend,
         seed=seed,
+        search=search,
     )
 
 
@@ -496,6 +520,7 @@ def build_multiclass(
     *,
     seed: int,
     backend: str,
+    search: str,
     duration_minutes: float,
     dns_utilization: float,
     google_utilization: float,
@@ -529,7 +554,7 @@ def build_multiclass(
             (google_spec, google_utilization / google_spec.mean_service_time),
         ]
     )
-    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend, search=search)
     return BuiltScenario(
         name="multiclass",
         spec=spec,
@@ -543,6 +568,7 @@ def build_multiclass(
         },
         backend=backend,
         seed=seed,
+        search=search,
     )
 
 
@@ -570,6 +596,7 @@ def build_trace_replay(
     *,
     seed: int,
     backend: str,
+    search: str,
     trace: str,
     duration_minutes: float,
     scale: float,
@@ -595,7 +622,7 @@ def build_trace_replay(
     utilization = utilization.slice_index(0, num_samples)
     spec = workload_by_name(workload)
     jobs = generate_trace_driven_jobs(spec, utilization, seed=seed).jobs
-    farm = _xeon_farm(servers, spec, seed=seed, backend=backend)
+    farm = _xeon_farm(servers, spec, seed=seed, backend=backend, search=search)
     return BuiltScenario(
         name="trace-replay",
         spec=spec,
@@ -610,6 +637,7 @@ def build_trace_replay(
         },
         backend=backend,
         seed=seed,
+        search=search,
     )
 
 
@@ -638,6 +666,7 @@ def build_heterogeneous_farm(
     *,
     seed: int,
     backend: str,
+    search: str,
     duration_minutes: float,
     xeon_servers: int,
     atom_servers: int,
@@ -668,7 +697,11 @@ def build_heterogeneous_farm(
     for index in range(xeon_servers):
         servers.append(
             _sleepscale_server(
-                f"xeon-{index}", xeon, seed=seed + index, backend=backend
+                f"xeon-{index}",
+                xeon,
+                seed=seed + index,
+                backend=backend,
+                search=search,
             )
         )
     for index in range(atom_servers):
@@ -678,12 +711,18 @@ def build_heterogeneous_farm(
                 atom,
                 seed=seed + xeon_servers + index,
                 backend=backend,
+                search=search,
             )
         )
     dispatcher = PowerAwareDispatcher.from_power_models(
         [server.power_model for server in servers]
     )
-    farm = ServerFarm(servers=tuple(servers), spec=spec, dispatcher=dispatcher)
+    farm = ServerFarm(
+        servers=tuple(servers),
+        spec=spec,
+        dispatcher=dispatcher,
+        search_cache=_shared_cache(search),
+    )
     return BuiltScenario(
         name="heterogeneous-farm",
         spec=spec,
@@ -699,6 +738,7 @@ def build_heterogeneous_farm(
         },
         backend=backend,
         seed=seed,
+        search=search,
     )
 
 
@@ -729,6 +769,7 @@ def build_farm_scale(
     *,
     seed: int,
     backend: str,
+    search: str,
     duration_minutes: float,
     utilization: float,
     xeon_servers: int,
@@ -773,7 +814,11 @@ def build_farm_scale(
     for index in range(xeon_servers):
         servers.append(
             _sleepscale_server(
-                f"xeon-{index}", xeon, seed=seed + index, backend=backend
+                f"xeon-{index}",
+                xeon,
+                seed=seed + index,
+                backend=backend,
+                search=search,
             )
         )
     for index in range(atom_servers):
@@ -783,6 +828,7 @@ def build_farm_scale(
                 atom,
                 seed=seed + xeon_servers + index,
                 backend=backend,
+                search=search,
                 # The front end provisions against the Atom parts' lower
                 # DVFS ceiling, so backlog estimates are speed-aware.
                 max_frequency=atom_frequency_ceiling,
@@ -796,6 +842,7 @@ def build_farm_scale(
         spec=spec,
         dispatcher=dispatcher,
         chunk_jobs=chunk_jobs or None,
+        search_cache=_shared_cache(search),
     )
     return BuiltScenario(
         name="farm-scale",
@@ -813,4 +860,5 @@ def build_farm_scale(
         },
         backend=backend,
         seed=seed,
+        search=search,
     )

@@ -318,12 +318,27 @@ class TraceKernel:
             self._frequency_cache[frequency] = cached
         return cached
 
-    def evaluate(self, frequency: float, sleep: SleepSequence) -> SimulationResult:
-        """Simulate one ``(frequency, sleep)`` policy against the trace."""
+    def solve(self, frequency: float, sleep: SleepSequence) -> "GapSolution":
+        """Resolve one ``(frequency, sleep)`` policy without per-job arrays.
+
+        Returns a :class:`GapSolution` whose scalar aggregates — average
+        power, energy breakdown, horizon, residencies — are available
+        immediately at ``O(idle gaps)`` cost beyond the memoised
+        per-frequency structure.  The per-job response/waiting arrays (and
+        the full :class:`SimulationResult`) are assembled lazily on first
+        access, through the same arithmetic :meth:`evaluate` always used,
+        so every derived quantity is bit-identical to a full evaluation.
+        This is what makes frontier-search probes cheap: most probes only
+        ever compare average power.
+        """
         frequency = validate_frequency(frequency)
         if self.num_jobs == 0:
-            return zero_job_result(
-                frequency, sleep, self._clock_start, self._busy_until
+            return GapSolution(
+                kernel=self,
+                frequency=frequency,
+                _result=zero_job_result(
+                    frequency, sleep, self._clock_start, self._busy_until
+                ),
             )
         (
             time_factor,
@@ -345,24 +360,9 @@ class TraceKernel:
             idle0, entry_delays, wake_latencies
         )
 
-        # Per-job departures: the no-wake departure plus the delay introduced
-        # at the last candidate gap at or before the job (piecewise constant
-        # between gaps).
-        num_jobs = self.num_jobs
-        departures = departures0
+        carried_after = None
         if gap_indices.size:
             carried_after = np.where(survived, wake_latency, offset - idle0)
-            counts = np.empty(gap_indices.size, dtype=np.intp)
-            counts[:-1] = np.diff(gap_indices)
-            counts[-1] = num_jobs - gap_indices[-1]
-            job_offset = np.repeat(carried_after, counts)
-            if gap_indices[0] == 0:
-                departures = departures0 + job_offset
-            else:
-                departures = departures0.copy()
-                departures[gap_indices[0] :] += job_offset
-        response_times = departures - self._arrivals
-        waiting_times = response_times - services
 
         waking_time = float(wake_latency.sum())
         wake_up_count = int(np.count_nonzero(reached >= 0))
@@ -376,7 +376,6 @@ class TraceKernel:
         if num_states == 1 and entry_delays[0] == 0.0:
             # Immediate single-state sequence: every surviving idle second is
             # spent in that one state.
-            pre_sleep_time = 0.0
             total = float(idle_durations.sum())
             residency[STATE_PRE_SLEEP] = 0.0
             residency[state_names[0]] = total
@@ -403,7 +402,14 @@ class TraceKernel:
                 residency[state_names[state_index]] += total
                 idle_energy += sleep_powers[state_index] * total
 
-        horizon = float(departures[-1]) - self._clock_start
+        # Last departure without materialising the per-job offset array:
+        # the offset of the final job is the delay carried out of the last
+        # candidate gap (``np.repeat`` would place exactly that value there),
+        # so the scalar sum below reproduces ``departures[-1]`` bit-exactly.
+        last_departure = float(departures0[-1])
+        if carried_after is not None:
+            last_departure = float(departures0[-1] + carried_after[-1])
+        horizon = last_departure - self._clock_start
         if horizon <= 0.0:
             # Degenerate single-instant trace; fall back to the total service
             # time so power is still well defined.
@@ -414,13 +420,120 @@ class TraceKernel:
             waking=active_power * waking_time,
             idle=idle_energy,
         )
-        return SimulationResult(
-            response_times=response_times,
-            waiting_times=waiting_times,
+        return GapSolution(
+            kernel=self,
+            frequency=frequency,
             energy=energy,
             horizon=horizon,
             state_residency=residency,
-            frequency=frequency,
             wake_up_count=wake_up_count,
-            mean_service_demand=self._mean_demand,
+            _services=services,
+            _departures0=departures0,
+            _gap_indices=gap_indices,
+            _carried_after=carried_after,
+        )
+
+    def evaluate(self, frequency: float, sleep: SleepSequence) -> SimulationResult:
+        """Simulate one ``(frequency, sleep)`` policy against the trace."""
+        return self.solve(frequency, sleep).result
+
+
+class GapSolution:
+    """One policy's resolved gap structure, with lazily assembled arrays.
+
+    Produced by :meth:`TraceKernel.solve`.  The scalar aggregates (``energy``,
+    ``horizon``, ``average_power``, residencies) are final; :attr:`result`
+    assembles the per-job response/waiting arrays on first access and returns
+    the full :class:`~repro.simulation.metrics.SimulationResult` — identical
+    to what :meth:`TraceKernel.evaluate` returns, because ``evaluate`` *is*
+    ``solve().result``.
+    """
+
+    __slots__ = (
+        "kernel",
+        "frequency",
+        "energy",
+        "horizon",
+        "state_residency",
+        "wake_up_count",
+        "_services",
+        "_departures0",
+        "_gap_indices",
+        "_carried_after",
+        "_result",
+    )
+
+    def __init__(
+        self,
+        kernel: TraceKernel,
+        frequency: float,
+        energy: EnergyBreakdown | None = None,
+        horizon: float = 0.0,
+        state_residency: dict[str, float] | None = None,
+        wake_up_count: int = 0,
+        _services: np.ndarray | None = None,
+        _departures0: np.ndarray | None = None,
+        _gap_indices: np.ndarray | None = None,
+        _carried_after: np.ndarray | None = None,
+        _result: SimulationResult | None = None,
+    ):
+        self.kernel = kernel
+        self.frequency = frequency
+        self.energy = energy
+        self.horizon = horizon
+        self.state_residency = state_residency
+        self.wake_up_count = wake_up_count
+        self._services = _services
+        self._departures0 = _departures0
+        self._gap_indices = _gap_indices
+        self._carried_after = _carried_after
+        self._result = _result
+        if _result is not None:
+            self.energy = _result.energy
+            self.horizon = _result.horizon
+
+    @property
+    def average_power(self) -> float:
+        """Average power over the horizon (identical to the full result's)."""
+        if self._result is not None:
+            return self._result.average_power
+        return self.energy.total / self.horizon
+
+    @property
+    def result(self) -> SimulationResult:
+        """The full simulation result (per-job arrays assembled on demand)."""
+        if self._result is None:
+            self._result = self._assemble()
+        return self._result
+
+    def _assemble(self) -> SimulationResult:
+        kernel = self.kernel
+        departures0 = self._departures0
+        gap_indices = self._gap_indices
+        # Per-job departures: the no-wake departure plus the delay introduced
+        # at the last candidate gap at or before the job (piecewise constant
+        # between gaps).
+        num_jobs = kernel.num_jobs
+        departures = departures0
+        if gap_indices.size:
+            counts = np.empty(gap_indices.size, dtype=np.intp)
+            counts[:-1] = np.diff(gap_indices)
+            counts[-1] = num_jobs - gap_indices[-1]
+            job_offset = np.repeat(self._carried_after, counts)
+            if gap_indices[0] == 0:
+                departures = departures0 + job_offset
+            else:
+                departures = departures0.copy()
+                departures[gap_indices[0] :] += job_offset
+        response_times = departures - kernel._arrivals
+        waiting_times = response_times - self._services
+        return SimulationResult(
+            response_times=response_times,
+            waiting_times=waiting_times,
+            energy=self.energy,
+            horizon=self.horizon,
+            state_residency=self.state_residency,
+            frequency=self.frequency,
+            wake_up_count=self.wake_up_count,
+            mean_service_demand=kernel._mean_demand,
         )

@@ -282,6 +282,22 @@ class JobTrace:
         count = min(count, len(self))
         return JobTrace(self._arrivals[:count], self._demands[:count])
 
+    def tail(self, count: int) -> "JobTrace":
+        """The last *count* jobs of the trace, re-based to start at time 0.
+
+        Unlike :meth:`head` — whose slice already starts near time 0 — a
+        tail slice begins mid-trace, so its arrival times are shifted down
+        by the slice's first arrival.  Without the re-basing, the huge
+        leading gap would corrupt ``offered_load`` and every rescaling
+        built on it (the policy manager rescales logged tails to the
+        predicted utilisation).
+        """
+        if count < 1:
+            raise TraceError(f"tail count must be >= 1, got {count}")
+        count = min(count, len(self))
+        arrivals = self._arrivals[-count:]
+        return JobTrace(arrivals - arrivals[0], self._demands[-count:])
+
     def concatenated(self, other: "JobTrace", gap: float = 0.0) -> "JobTrace":
         """Append *other* after this trace, separated by *gap* seconds."""
         if gap < 0:

@@ -100,6 +100,58 @@ class TestSelection:
         with pytest.raises(PolicySelectionError):
             PolicyManager._pick([])
 
+    @staticmethod
+    def _row(policy, power, slack):
+        from repro.core.policy_manager import PolicyEvaluation
+
+        return PolicyEvaluation(
+            policy=policy,
+            average_power=power,
+            mean_response_time=1.0,
+            normalized_mean_response_time=1.0,
+            p95_response_time=1.0,
+            meets_qos=False,
+            qos_slack=slack,
+        )
+
+    def test_infeasible_fallback_ignores_nan_slack_rows(self, xeon):
+        """Regression: a NaN slack in the *first* row used to poison max().
+
+        ``max()`` over [nan, -0.5, -3.0] returns nan (nothing compares
+        greater than a leading NaN), which emptied the near-best filter and
+        silently degraded the fallback to cheapest power — here the NaN row
+        itself.  The NaN-aware fallback must pick the finite largest-slack
+        candidate regardless of row order.
+        """
+        import math
+
+        from repro.policies.policy import race_to_halt_policy
+        from repro.power.states import C3_S0I, C6_S0I, C6_S3
+
+        nan_row = self._row(race_to_halt_policy(xeon, C6_S3), 10.0, math.nan)
+        best_row = self._row(race_to_halt_policy(xeon, C3_S0I), 90.0, -0.5)
+        worse_row = self._row(race_to_halt_policy(xeon, C6_S0I), 20.0, -3.0)
+        for table in (
+            [nan_row, best_row, worse_row],
+            [best_row, nan_row, worse_row],
+            [worse_row, best_row, nan_row],
+        ):
+            selection = PolicyManager._pick(table)
+            assert not selection.feasible
+            assert selection.best is best_row
+
+    def test_infeasible_fallback_all_nan_degrades_to_cheapest(self, xeon):
+        import math
+
+        from repro.policies.policy import race_to_halt_policy
+        from repro.power.states import C3_S0I, C6_S3
+
+        cheap = self._row(race_to_halt_policy(xeon, C6_S3), 10.0, math.nan)
+        costly = self._row(race_to_halt_policy(xeon, C3_S0I), 90.0, math.nan)
+        selection = PolicyManager._pick([costly, cheap])
+        assert not selection.feasible
+        assert selection.best is cheap
+
     def test_by_state_reports_cheapest_feasible_per_state(self, manager, small_dns_trace):
         selection = manager.select(small_dns_trace, 0.3)
         per_state = selection.by_state()

@@ -143,6 +143,73 @@ class TestOverProvisioning:
         result = runtime.run(flat_workload.jobs)
         assert not result.epochs[0].over_provisioned
 
+    def test_empty_epoch_carries_previous_delay_forward(self, xeon, dns_empirical):
+        """Regression: a zero-arrival epoch used to force the guard band on.
+
+        Epoch 0 is overloaded (mean delay far above the baseline budget),
+        epoch 1 is completely empty, epoch 2 has traffic again.  An empty
+        epoch yields no delay evidence, so epoch 2's decision must still
+        see epoch 0's over-budget delay — the bug recorded the empty epoch
+        as zero delay and unconditionally over-provisioned epoch 2.
+        """
+        policy = single_state_policy(xeon, C0I_S0I, 0.7)
+        runtime = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy),
+            epoch_minutes=1.0, alpha=0.35,
+        )
+        jobs = JobTrace(
+            np.concatenate([np.arange(10.0), [125.0, 130.0]]),
+            np.concatenate([np.full(10, 2.0), [0.1, 0.1]]),
+        )
+        result = runtime.run(jobs)
+        assert result.epochs[1].num_jobs == 0
+        assert np.isnan(result.epochs[1].mean_response_time)
+        # Epoch 1 sees epoch 0's huge delay: no over-provisioning; epoch 2
+        # must inherit that same evidence across the empty epoch.
+        assert not result.epochs[1].over_provisioned
+        assert not result.epochs[2].over_provisioned
+
+    def test_empty_epoch_keeps_guard_band_armed_when_delay_was_low(
+        self, xeon, dns_empirical
+    ):
+        """The carried-forward delay works in both directions: a low
+        pre-gap delay keeps over-provisioning active through the gap."""
+        policy = single_state_policy(xeon, C0I_S0I, 0.7)
+        runtime = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy),
+            epoch_minutes=1.0, alpha=0.35,
+        )
+        jobs = JobTrace(
+            np.concatenate([np.arange(0.0, 50.0, 5.0), [125.0, 130.0]]),
+            np.full(12, 0.001),  # tiny jobs: delay far below budget
+        )
+        result = runtime.run(jobs)
+        assert result.epochs[1].num_jobs == 0
+        assert result.epochs[1].over_provisioned
+        assert result.epochs[2].over_provisioned
+
+    def test_empty_epoch_run_stream_parity(self, xeon, dns_empirical):
+        policy = single_state_policy(xeon, C0I_S0I, 0.7)
+        jobs = JobTrace(
+            np.concatenate([np.arange(10.0), [125.0, 130.0]]),
+            np.concatenate([np.full(10, 2.0), [0.1, 0.1]]),
+        )
+        one_shot = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy),
+            epoch_minutes=1.0, alpha=0.35,
+        ).run(jobs)
+        session = build_runtime(
+            xeon, dns_empirical, FixedPolicyStrategy(policy),
+            epoch_minutes=1.0, alpha=0.35,
+        ).stream()
+        session.feed(jobs.arrival_times[:7], jobs.service_demands[:7])
+        session.feed(jobs.arrival_times[7:], jobs.service_demands[7:])
+        chunked = session.finish()
+        assert chunked.total_energy == one_shot.total_energy
+        assert [e.over_provisioned for e in chunked.epochs] == [
+            e.over_provisioned for e in one_shot.epochs
+        ]
+
     def test_over_provisioning_reduces_response_time(self, xeon, dns_empirical, flat_workload):
         policy = single_state_policy(xeon, C0I_S0I, 0.6)
         without = build_runtime(

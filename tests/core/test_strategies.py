@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.qos import mean_qos_from_baseline
@@ -19,8 +20,10 @@ from repro.core.strategies import (
 )
 from repro.exceptions import ConfigurationError
 from repro.policies.policy import race_to_halt_policy
+from repro.policies.space import full_space
 from repro.power.states import C3_S0I, C6_S0I
 from repro.workloads.generator import generate_jobs
+from repro.workloads.jobs import JobTrace
 
 
 @pytest.fixture()
@@ -118,6 +121,42 @@ class TestPolicySearchStrategies:
             EpochContext(predicted_utilization=0.7, spec=dns_empirical)
         )
         assert high.frequency > low.frequency
+
+    def test_over_long_log_keeps_most_recent_jobs(self, xeon, qos, dns_empirical):
+        """Regression: ``head()`` kept the *oldest* slice of a long log.
+
+        The paper rescales the log of recent epochs; when the log window
+        exceeds ``max_logged_jobs`` the strategy must characterise against
+        the most recent tail, not the stalest prefix.  The two halves of
+        this log carry distinct demand signatures, so the selected slice is
+        identifiable from the characterisation trace alone.
+        """
+        old_half = JobTrace(
+            np.arange(500) * 0.02, np.full(500, 0.004)  # old: tiny jobs
+        )
+        new_half = JobTrace(
+            10.0 + np.arange(500) * 0.02, np.full(500, 0.2)  # recent: big jobs
+        )
+        logged = JobTrace(
+            np.concatenate([old_half.arrival_times, new_half.arrival_times]),
+            np.concatenate([old_half.service_demands, new_half.service_demands]),
+        )
+        strategy = PolicySearchStrategy(
+            name="SS",
+            power_model=xeon,
+            space=full_space(xeon, frequency_step=0.1),
+            qos=qos,
+            max_logged_jobs=500,
+            seed=0,
+        )
+        context = EpochContext(
+            predicted_utilization=0.4, spec=dns_empirical, logged_jobs=logged
+        )
+        characterization = strategy._characterization_jobs_for(context)
+        assert len(characterization) == 500
+        # Rescaling changes arrival times but never demands: the recent
+        # half's signature must survive unchanged.
+        assert np.all(characterization.service_demands == 0.2)
 
     def test_extreme_prediction_is_clamped(self, xeon, qos, dns_empirical):
         strategy = sleepscale_strategy(xeon, qos, characterization_jobs=400, seed=4)

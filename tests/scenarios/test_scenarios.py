@@ -2,7 +2,7 @@
 
 Every registered scenario must build, simulate a short trace on both
 simulation backends, and produce a JSON report that validates against the
-``repro.scenario-report/v1`` schema.  These tests iterate the registry
+``repro.scenario-report/v2`` schema.  These tests iterate the registry
 itself, so newly registered scenarios are covered automatically.
 """
 

@@ -159,6 +159,33 @@ class TestJobTraceTransformations:
         with pytest.raises(TraceError):
             simple_trace.head(0)
 
+    def test_tail_keeps_most_recent_jobs_rebased(self):
+        trace = JobTrace([0.0, 10.0, 20.0, 30.0], [1.0, 2.0, 3.0, 4.0])
+        tail = trace.tail(2)
+        assert len(tail) == 2
+        assert list(tail.service_demands) == [3.0, 4.0]
+        # Re-based to start at zero: without it the mid-trace absolute
+        # arrival would enter offered_load as a giant leading gap.
+        assert tail.start_time == 0.0
+        assert tail.end_time == pytest.approx(10.0)
+
+    def test_tail_offered_load_matches_slice_not_whole_trace(self):
+        # A sparse old half and a dense recent half: the tail's offered
+        # load must reflect the dense half only.
+        arrivals = np.concatenate([np.arange(10) * 10.0, 100.0 + np.arange(10) * 1.0])
+        demands = np.full(20, 0.5)
+        tail = JobTrace(arrivals, demands).tail(10)
+        assert tail.offered_load == pytest.approx(0.5 * 10 / 9.0)
+
+    def test_tail_longer_than_trace(self, simple_trace):
+        tail = simple_trace.tail(100)
+        assert len(tail) == 3
+        assert tail.start_time == 0.0
+
+    def test_tail_rejects_zero(self, simple_trace):
+        with pytest.raises(TraceError):
+            simple_trace.tail(0)
+
     def test_concatenated(self, simple_trace):
         combined = simple_trace.concatenated(simple_trace, gap=5.0)
         assert len(combined) == 6
