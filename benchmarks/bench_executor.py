@@ -1,0 +1,217 @@
+"""Executor benchmark: serial vs thread vs process on the mega-farm fleet.
+
+Runs the registered ``mega-farm`` scenario (64 mixed Xeon/Atom servers at
+defaults, least-loaded speed-aware dispatch, short epochs) once per
+executor and reports wall-clock plus speedup over the serial oracle.
+**Executor parity is asserted in-benchmark**: all three runs must produce
+bit-identical ``FarmResult``s — same total energy, same per-server
+response-time arrays (hence identical dispatch assignments), same
+per-epoch policy selections — and any divergence aborts the benchmark.
+
+The thread row documents *why* the process executor exists: the per-server
+epoch loops are Python-heavy (policy search per epoch), so the thread pool
+stays GIL-bound near 1x while the process pool scales with cores.
+
+The ``>= min-speedup`` gate on the process executor is enforced only on
+machines with at least four CPUs (``--gate auto``, the default) — on a
+single-core runner the measurement is still recorded, honestly, as ~1x.
+
+Run directly (sizes shrink for CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_executor.py --output BENCH_pr5.json
+
+Not a pytest module on purpose: the measurements need fixed large sizes and
+a JSON artifact, not statistical repetition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+from datetime import date
+
+import numpy as np
+
+from repro.scenarios import get_scenario
+
+#: Executors compared, serial first (the oracle the others must match).
+EXECUTOR_ORDER = ("serial", "thread", "process")
+
+#: Cores below which the speedup gate is skipped under ``--gate auto``.
+GATE_MIN_CPUS = 4
+
+
+def _epoch_signature(result):
+    return [
+        (epoch.policy_label, epoch.sleep_state, epoch.selected_frequency)
+        for epoch in result.epochs
+    ]
+
+
+def _assert_parity(executor: str, oracle, candidate) -> None:
+    if candidate.total_energy != oracle.total_energy:
+        raise SystemExit(
+            f"FATAL: executor {executor!r} diverged from serial "
+            f"(energy {candidate.total_energy!r} != {oracle.total_energy!r})"
+        )
+    for index, (one, other) in enumerate(
+        zip(oracle.per_server, candidate.per_server)
+    ):
+        if (one is None) != (other is None):
+            raise SystemExit(
+                f"FATAL: executor {executor!r} changed server {index}'s "
+                "activity (different dispatch assignments)"
+            )
+        if one is None:
+            continue
+        if not np.array_equal(one.response_times, other.response_times):
+            raise SystemExit(
+                f"FATAL: executor {executor!r} changed server {index}'s "
+                "response times (different dispatch or epoch behaviour)"
+            )
+        if _epoch_signature(one) != _epoch_signature(other):
+            raise SystemExit(
+                f"FATAL: executor {executor!r} changed server {index}'s "
+                "per-epoch policy selections"
+            )
+
+
+def bench(
+    duration_minutes: int,
+    xeon_servers: int,
+    atom_servers: int,
+    epoch_minutes: float,
+    workers: int,
+    seed: int,
+) -> dict:
+    built = get_scenario("mega-farm").build(
+        seed=seed,
+        duration_minutes=duration_minutes,
+        xeon_servers=xeon_servers,
+        atom_servers=atom_servers,
+        epoch_minutes=epoch_minutes,
+    )
+    print(
+        f"mega-farm: {built.farm.num_servers} servers, "
+        f"{built.num_jobs} jobs, {duration_minutes} min, "
+        f"epoch {epoch_minutes} min, {workers} workers, "
+        f"{os.cpu_count()} cpus"
+    )
+    rows: dict[str, dict] = {}
+    results = {}
+    for executor in EXECUTOR_ORDER:
+        farm = dataclasses.replace(
+            built.farm, executor=executor, max_workers=workers
+        )
+        started = time.perf_counter()
+        result = farm.run(built.jobs)
+        elapsed = time.perf_counter() - started
+        results[executor] = result
+        rows[executor] = {
+            "seconds": round(elapsed, 3),
+            "total_energy_j": result.total_energy,
+        }
+        print(f"  {executor:8s} {elapsed:8.2f} s")
+    for executor in EXECUTOR_ORDER[1:]:
+        _assert_parity(executor, results["serial"], results[executor])
+        rows[executor]["speedup"] = round(
+            rows["serial"]["seconds"] / rows[executor]["seconds"], 2
+        )
+        rows[executor]["parity"] = True
+        print(
+            f"  {executor:8s} speedup {rows[executor]['speedup']:5.2f}x  "
+            "parity=True"
+        )
+    return {
+        "servers": built.farm.num_servers,
+        "jobs": built.num_jobs,
+        "duration_minutes": duration_minutes,
+        "epoch_minutes": epoch_minutes,
+        "workers": workers,
+        "executors": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration-minutes", type=int, default=40)
+    parser.add_argument("--xeon-servers", type=int, default=32)
+    parser.add_argument("--atom-servers", type=int, default=32)
+    parser.add_argument("--epoch-minutes", type=float, default=2.0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for the thread/process rows (default: CPU count)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="required process-executor speedup when the gate is active",
+    )
+    parser.add_argument(
+        "--gate",
+        choices=("auto", "always", "never"),
+        default="auto",
+        help=(
+            "when to enforce --min-speedup: 'auto' only on machines with "
+            f">= {GATE_MIN_CPUS} CPUs, 'always', or 'never' (parity is "
+            "always asserted regardless)"
+        ),
+    )
+    parser.add_argument("--output", type=str, default=None, metavar="FILE")
+    arguments = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    workers = arguments.workers or cpus
+    row = bench(
+        duration_minutes=arguments.duration_minutes,
+        xeon_servers=arguments.xeon_servers,
+        atom_servers=arguments.atom_servers,
+        epoch_minutes=arguments.epoch_minutes,
+        workers=workers,
+        seed=arguments.seed,
+    )
+    enforce = arguments.gate == "always" or (
+        arguments.gate == "auto" and cpus >= GATE_MIN_CPUS
+    )
+    process_speedup = row["executors"]["process"]["speedup"]
+    if enforce:
+        gate = f"enforced (>= {arguments.min_speedup}x)"
+        if process_speedup < arguments.min_speedup:
+            raise SystemExit(
+                f"FATAL: process-executor speedup {process_speedup}x is "
+                f"below the required {arguments.min_speedup}x on a "
+                f"{cpus}-CPU machine"
+            )
+    else:
+        gate = f"skipped ({cpus} CPU(s) < {GATE_MIN_CPUS})"
+        print(
+            f"speedup gate skipped: {cpus} CPU(s); recorded "
+            f"{process_speedup}x for the record"
+        )
+    report = {
+        "benchmark": "executor",
+        "generated": date.today().isoformat(),
+        "cpu_count": cpus,
+        "scenario": "mega-farm",
+        "parity": True,
+        "speedup_gate": gate,
+        "results": row,
+    }
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,15 @@ from repro.cluster import (
     ServerFarm,
     ServerSpec,
 )
+from repro.concurrency import (
+    EXECUTORS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    fan_out,
+    resolve_executor,
+)
 from repro.core import (
     SEARCH_FRONTIER,
     SEARCH_FULL,
@@ -149,7 +158,9 @@ __all__ = [
     "C6_S3",
     "ClusterRuntime",
     "DvfsModel",
+    "EXECUTORS",
     "EpochContext",
+    "Executor",
     "FarmResult",
     "EpochRecord",
     "JobTrace",
@@ -168,6 +179,7 @@ __all__ = [
     "PolicySelection",
     "PolicySpace",
     "PowerAwareDispatcher",
+    "ProcessExecutor",
     "QosConstraint",
     "RandomDispatcher",
     "RoundRobinDispatcher",
@@ -177,6 +189,7 @@ __all__ = [
     "SEARCH_FULL",
     "Scenario",
     "ScenarioParameter",
+    "SerialExecutor",
     "ServerFarm",
     "ServerPowerModel",
     "ServerSpec",
@@ -186,6 +199,7 @@ __all__ = [
     "SleepSequence",
     "SleepStateSpec",
     "SystemState",
+    "ThreadExecutor",
     "UtilizationPredictor",
     "UtilizationTrace",
     "WorkloadSpec",
@@ -196,6 +210,7 @@ __all__ = [
     "cpu_bound",
     "dns_workload",
     "dvfs_only_strategy",
+    "fan_out",
     "figure9_strategies",
     "full_space",
     "generate_jobs",
@@ -210,6 +225,7 @@ __all__ = [
     "race_to_halt_c6",
     "race_to_halt_policy",
     "register_scenario",
+    "resolve_executor",
     "scenario_catalog",
     "simulate_trace",
     "simulate_workload",

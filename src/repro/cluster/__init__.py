@@ -23,9 +23,12 @@ from repro.cluster.dispatch import (
 from repro.cluster.farm import (
     ClusterRuntime,
     FarmResult,
+    PerIndexFactory,
     ServerFarm,
+    ServerShardTask,
     ServerSpec,
     prorated_idle_energy,
+    run_server_shard,
 )
 
 __all__ = [
@@ -36,14 +39,17 @@ __all__ = [
     "FarmResult",
     "JobDispatcher",
     "LeastLoadedDispatcher",
+    "PerIndexFactory",
     "PowerAwareDispatcher",
     "RandomDispatcher",
     "RoundRobinDispatcher",
     "ServerFarm",
+    "ServerShardTask",
     "ServerSpec",
     "StreamAssigner",
     "WorkTracker",
     "merge_streams",
     "prorated_idle_energy",
+    "run_server_shard",
     "validate_engine",
 ]

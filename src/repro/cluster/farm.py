@@ -24,7 +24,10 @@ Two runtimes share this machinery:
 Execution model: the dispatcher assigns every job to a server *first* (from
 arrival times and nominal service demands only — the front end cannot see
 DVFS or sleep decisions), then each server's epoch loop runs independently
-over its sub-stream, optionally fanned out over threads (``max_workers``).
+over its sub-stream, optionally fanned out over a thread pool
+(``max_workers``) or sharded across worker processes
+(``executor="process"``, via picklable :class:`ServerShardTask`s); all
+execution paths produce bit-identical :class:`FarmResult`s.
 The work-tracking dispatchers receive each server's *dispatch speed* —
 derived from its :class:`ServerSpec` service scaling and frequency ceiling —
 so heterogeneous farms route on estimated finish times rather than raw
@@ -56,7 +59,12 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.cluster.dispatch import JobDispatcher, RoundRobinDispatcher
-from repro.concurrency import fan_out
+from repro.concurrency import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
 from repro.core.epoch import RuntimeResult
 from repro.core.runtime import RuntimeConfig, RuntimeSession, SleepScaleRuntime
 from repro.core.search import CharacterizationCache
@@ -72,6 +80,84 @@ from repro.workloads.spec import WorkloadSpec
 #: state (policy-manager RNGs, LMS weights) is never shared accidentally.
 StrategyFactory = Callable[[int], PowerManagementStrategy]
 PredictorFactory = Callable[[int], UtilizationPredictor]
+
+
+@dataclass(frozen=True)
+class PerIndexFactory:
+    """Freeze a per-index factory into a zero-argument factory for one slot.
+
+    Unlike the ``lambda index=index: factory(index)`` closure it replaces,
+    an instance is *picklable* whenever the wrapped factory is (a module
+    level function, ``functools.partial`` of one, or a factory dataclass),
+    which is what lets :meth:`ClusterRuntime.as_server_farm` farms run on
+    the process executor.
+    """
+
+    factory: Callable[[int], object]
+    index: int
+
+    def __call__(self) -> object:
+        return self.factory(self.index)
+
+
+def _build_server_runtime(
+    server: ServerSpec,
+    spec: WorkloadSpec,
+    search_cache: CharacterizationCache | None,
+) -> SleepScaleRuntime:
+    """One fresh runtime for *server* (shared by all execution paths)."""
+    strategy = server.strategy_factory()
+    if search_cache is not None and hasattr(strategy, "attach_search_cache"):
+        strategy.attach_search_cache(search_cache)
+    return SleepScaleRuntime(
+        power_model=server.power_model,
+        spec=spec,
+        strategy=strategy,
+        predictor=server.predictor_factory(),
+        config=server.config,
+        scaling=server.scaling,
+    )
+
+
+@dataclass(frozen=True)
+class ServerShardTask:
+    """Picklable unit of process-sharded farm work: one server, one shard.
+
+    Everything a worker process needs to reproduce the serial per-server
+    run bit for bit: the full :class:`ServerSpec` (its factories must be
+    picklable — the built-in scenario factories and
+    :class:`PerIndexFactory` are), the farm-wide workload spec, this
+    server's dispatched sub-stream, and whether the farm carries a shared
+    characterisation cache.  The cache itself cannot cross the process
+    boundary (it is a lock-guarded LRU), so each worker process attaches
+    its own (:func:`_process_local_cache`); cached values are exact, keyed
+    by full identity, hence per-process caching cannot change results —
+    only hit rates.
+    """
+
+    server: ServerSpec
+    spec: WorkloadSpec
+    jobs: JobTrace
+    use_cache: bool
+
+
+#: Per-worker-process characterisation cache (see :class:`ServerShardTask`).
+#: Created lazily inside a worker; never populated in the parent process.
+_PROCESS_CACHE: CharacterizationCache | None = None
+
+
+def _process_local_cache() -> CharacterizationCache:
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = CharacterizationCache()
+    return _PROCESS_CACHE
+
+
+def run_server_shard(task: ServerShardTask) -> RuntimeResult:
+    """Run one server's epoch loop over its shard (process-pool work fn)."""
+    cache = _process_local_cache() if task.use_cache else None
+    runtime = _build_server_runtime(task.server, task.spec, cache)
+    return runtime.run(task.jobs)
 
 
 def prorated_idle_energy(
@@ -369,9 +455,19 @@ class ServerFarm:
         Work-tracking dispatchers receive :attr:`dispatch_speeds` so their
         backlog estimates are speed-aware on heterogeneous farms.
     max_workers:
-        When > 1, run the per-server epoch loops on a thread pool of this
-        size; results are identical to the serial run because no state is
-        shared between servers.
+        Pool size for the per-server epoch loops (thread pool by default
+        when > 1; see ``executor``).  Results are identical to the serial
+        run because no state is shared between servers.
+    executor:
+        How the per-server epoch loops execute: ``None`` keeps the
+        historical behaviour (thread pool iff ``max_workers > 1``),
+        ``"serial"``/``"thread"``/``"process"`` select explicitly, and any
+        :class:`~repro.concurrency.Executor` instance is used as-is.  The
+        process executor shards the farm across worker processes via
+        picklable :class:`ServerShardTask`s — every ``ServerSpec`` factory
+        must then be picklable — and produces bit-identical results to the
+        serial and thread paths (pinned by
+        ``tests/cluster/test_executor_parity.py``).
     chunk_jobs:
         When set, :meth:`run` streams the trace through the farm in
         arrival-ordered chunks of this many jobs (see :meth:`run`).
@@ -389,6 +485,7 @@ class ServerFarm:
     spec: WorkloadSpec
     dispatcher: JobDispatcher = field(default_factory=RoundRobinDispatcher)
     max_workers: int | None = None
+    executor: Executor | str | None = None
     chunk_jobs: int | None = None
     search_cache: CharacterizationCache | None = None
 
@@ -399,6 +496,9 @@ class ServerFarm:
             raise ConfigurationError(
                 f"max_workers must be at least 1, got {self.max_workers}"
             )
+        # Resolving validates the name/worker combination up front, so a
+        # typo'd executor fails at construction, not mid-run.
+        resolve_executor(self.executor, self.max_workers)
         if self.chunk_jobs is not None and self.chunk_jobs < 1:
             raise ConfigurationError(
                 f"chunk_jobs must be at least 1, got {self.chunk_jobs}"
@@ -434,19 +534,19 @@ class ServerFarm:
     # ------------------------------------------------------------------
 
     def _build_runtime(self, index: int) -> SleepScaleRuntime:
-        server = self.servers[index]
-        strategy = server.strategy_factory()
-        if self.search_cache is not None and hasattr(
-            strategy, "attach_search_cache"
-        ):
-            strategy.attach_search_cache(self.search_cache)
-        return SleepScaleRuntime(
-            power_model=server.power_model,
+        return _build_server_runtime(
+            self.servers[index], self.spec, self.search_cache
+        )
+
+    def _resolve_executor(self) -> Executor:
+        return resolve_executor(self.executor, self.max_workers)
+
+    def _shard_task(self, index: int, stream: JobTrace) -> ServerShardTask:
+        return ServerShardTask(
+            server=self.servers[index],
             spec=self.spec,
-            strategy=strategy,
-            predictor=server.predictor_factory(),
-            config=server.config,
-            scaling=server.scaling,
+            jobs=stream,
+            use_cache=self.search_cache is not None,
         )
 
     def _validate_fresh_instances(
@@ -542,6 +642,13 @@ class ServerFarm:
                 f"chunk_jobs must be at least 1, got {chunk_jobs}"
             )
         if chunk_jobs is not None and chunk_jobs < len(jobs):
+            if isinstance(self._resolve_executor(), ProcessExecutor):
+                # Process sharding ships each server's whole sub-stream
+                # across the process boundary once; feeding chunk by chunk
+                # would serialise every chunk separately for no memory win
+                # (the parent materialises the shards either way).  Chunked
+                # and one-shot runs are pinned identical, so fall through.
+                return self._run_one_shot(jobs)
             return self._run_chunked(jobs, chunk_jobs)
         return self._run_one_shot(jobs)
 
@@ -557,17 +664,25 @@ class ServerFarm:
         ]
         if not active:
             raise ConfigurationError("no server received any job")
-        # Build the runtimes up front (in the caller's thread) so the
-        # threaded path can check the factories actually hand out per-server
-        # state instead of silently racing on a shared object.
-        runtimes = [self._build_runtime(index) for index, _ in active]
-        if self.max_workers is not None and self.max_workers > 1:
-            self._validate_fresh_instances(runtimes)
-        results = fan_out(
-            list(zip(runtimes, (stream for _, stream in active))),
-            lambda pair: pair[0].run(pair[1]),
-            self.max_workers,
-        )
+        executor = self._resolve_executor()
+        if isinstance(executor, ProcessExecutor):
+            # Worker processes rebuild each server's runtime from its
+            # picklable spec, so nothing mutable crosses the boundary.
+            results = executor.map(
+                run_server_shard,
+                [self._shard_task(index, stream) for index, stream in active],
+            )
+        else:
+            # Build the runtimes up front (in the caller's thread) so the
+            # threaded path can check the factories actually hand out
+            # per-server state instead of silently racing on a shared object.
+            runtimes = [self._build_runtime(index) for index, _ in active]
+            if not isinstance(executor, SerialExecutor):
+                self._validate_fresh_instances(runtimes)
+            results = executor.map(
+                lambda pair: pair[0].run(pair[1]),
+                list(zip(runtimes, (stream for _, stream in active))),
+            )
         for (index, _), result in zip(active, results):
             per_server[index] = result
         return self._assemble_result(per_server)
@@ -582,9 +697,12 @@ class ServerFarm:
             ),
         )
         # One runtime + streaming session per server, created up front so
-        # the freshness validation happens before any thread runs.
+        # the freshness validation happens before any thread runs.  (The
+        # process executor never reaches this path — ``run`` routes it to
+        # the one-shot sharding path.)
+        executor = self._resolve_executor()
         runtimes = [self._build_runtime(index) for index in range(self.num_servers)]
-        if self.max_workers is not None and self.max_workers > 1:
+        if not isinstance(executor, SerialExecutor):
             self._validate_fresh_instances(runtimes)
         sessions: list[RuntimeSession] = [runtime.stream() for runtime in runtimes]
         fed_jobs = [0] * self.num_servers
@@ -616,19 +734,17 @@ class ServerFarm:
                     (server, chunk_arrivals[mask], chunk_demands[mask])
                 )
                 fed_jobs[server] += int(np.count_nonzero(mask))
-            fan_out(
-                work,
+            executor.map(
                 lambda item: sessions[item[0]].feed(item[1], item[2]),
-                self.max_workers,
+                work,
             )
         if not any(fed_jobs):
             raise ConfigurationError("no server received any job")
         per_server: list[RuntimeResult | None] = [None] * self.num_servers
         active = [index for index, count in enumerate(fed_jobs) if count > 0]
-        results = fan_out(
-            active,
+        results = executor.map(
             lambda index: sessions[index].finish(),
-            self.max_workers,
+            active,
         )
         for index, result in zip(active, results):
             per_server[index] = result
@@ -655,13 +771,18 @@ class ClusterRuntime:
     dispatcher:
         How arriving jobs are split across servers (round-robin by default).
     max_workers:
-        When > 1, run the per-server epoch loops on a thread pool of this
-        size.  The factories must return a *fresh* strategy/predictor per
-        server index (validated at run time for the threaded path) so no
-        mutable state is shared across threads; the result is then identical
-        to the serial run regardless of scheduling, and the farm-level
+        When > 1, run the per-server epoch loops on a pool of this size.
+        The factories must return a *fresh* strategy/predictor per server
+        index (validated at run time for the threaded path) so no mutable
+        state is shared across threads; the result is then identical to the
+        serial run regardless of scheduling, and the farm-level
         policy-search overhead scales with ``num_servers / max_workers``
         instead of ``num_servers``.
+    executor:
+        Executor for the per-server epoch loops (see :class:`ServerFarm`);
+        ``"process"`` requires the per-index factories themselves to be
+        picklable (module-level functions or factory objects — they are
+        wrapped per slot in picklable :class:`PerIndexFactory` instances).
     scaling:
         Service-time/frequency dependence shared by all servers (``None``
         selects the CPU-bound default).
@@ -686,6 +807,7 @@ class ClusterRuntime:
     config: RuntimeConfig = field(default_factory=RuntimeConfig)
     dispatcher: JobDispatcher = field(default_factory=RoundRobinDispatcher)
     max_workers: int | None = None
+    executor: Executor | str | None = None
     scaling: ServiceScaling | None = None
     max_frequency: float = 1.0
     chunk_jobs: int | None = None
@@ -700,26 +822,25 @@ class ClusterRuntime:
             raise ConfigurationError(
                 f"max_workers must be at least 1, got {self.max_workers}"
             )
+        resolve_executor(self.executor, self.max_workers)
 
     def as_server_farm(self) -> ServerFarm:
         """The equivalent heterogeneous farm: ``num_servers`` identical specs.
 
-        The per-index factories are frozen into zero-argument factories per
-        server slot, so running the returned :class:`ServerFarm` is identical
-        to running this cluster directly.  The shared service scaling and
-        frequency ceiling are threaded into every spec, so speed-aware
-        dispatch sees the same (homogeneous) speed on every server.
+        The per-index factories are frozen into zero-argument
+        :class:`PerIndexFactory` objects per server slot, so running the
+        returned :class:`ServerFarm` is identical to running this cluster
+        directly (and stays picklable for the process executor whenever the
+        per-index factories are).  The shared service scaling and frequency
+        ceiling are threaded into every spec, so speed-aware dispatch sees
+        the same (homogeneous) speed on every server.
         """
         servers = tuple(
             ServerSpec(
                 name=f"server-{index}",
                 power_model=self.power_model,
-                strategy_factory=(
-                    lambda index=index: self.strategy_factory(index)
-                ),
-                predictor_factory=(
-                    lambda index=index: self.predictor_factory(index)
-                ),
+                strategy_factory=PerIndexFactory(self.strategy_factory, index),
+                predictor_factory=PerIndexFactory(self.predictor_factory, index),
                 config=self.config,
                 scaling=self.scaling,
                 max_frequency=self.max_frequency,
@@ -731,6 +852,7 @@ class ClusterRuntime:
             spec=self.spec,
             dispatcher=self.dispatcher,
             max_workers=self.max_workers,
+            executor=self.executor,
             chunk_jobs=self.chunk_jobs,
             search_cache=self.search_cache,
         )

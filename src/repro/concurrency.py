@@ -1,35 +1,252 @@
-"""Shared thread fan-out helper.
+"""Pluggable fan-out executors: serial, thread pool, process pool.
 
 The farm, the state sweeps and the experiment runner all offer the same
-optional parallelism: independent work items, results in item order,
-serial execution unless a pool is explicitly requested.  This helper is that
-shape, once, so the three call sites cannot drift apart.
+optional parallelism: independent work items, results in item order, serial
+execution unless a pool is explicitly requested.  :func:`fan_out` is that
+shape, once, so the call sites cannot drift apart — and since PR 5 the pool
+behind it is pluggable:
+
+* :class:`SerialExecutor` — run in the caller's thread (the oracle);
+* :class:`ThreadExecutor` — a ``ThreadPoolExecutor``; cheap to start and
+  shares memory, but Python-heavy work stays GIL-bound;
+* :class:`ProcessExecutor` — a ``ProcessPoolExecutor``; work functions,
+  items and results must pickle, in exchange the per-server epoch loops of a
+  farm actually occupy multiple cores.
+
+The executor contract (pinned by ``tests/test_concurrency.py`` and the
+scenario-wide parity suite in ``tests/cluster/test_executor_parity.py``):
+every executor applies the work function to each item independently and
+returns results in item order; exceptions propagate, first in item order;
+switching executors changes wall-clock only, never results.
+
+Process-executor pickling failures are reported eagerly as
+:class:`~repro.exceptions.ExecutorError` naming the offending item — not as
+a hang, and not as a bare ``PicklingError`` from the pool's feeder thread.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import abc
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
+
+from repro.exceptions import ExecutorError
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+#: Executor names accepted by every ``executor=`` knob (farm, cluster,
+#: sweeps, experiment runner, ``Scenario.build`` and the CLIs).
+EXECUTOR_SERIAL = "serial"
+EXECUTOR_THREAD = "thread"
+EXECUTOR_PROCESS = "process"
+EXECUTORS = (EXECUTOR_SERIAL, EXECUTOR_THREAD, EXECUTOR_PROCESS)
+
+
+def _validate_workers(max_workers: int | None) -> int | None:
+    if max_workers is not None and max_workers < 1:
+        raise ExecutorError(
+            f"max_workers must be at least 1, got {max_workers}"
+        )
+    return max_workers
+
+
+class Executor(abc.ABC):
+    """Applies a function to independent work items, results in item order."""
+
+    #: Name the executor answers to in reports and CLI flags.
+    name: str = "executor"
+
+    @abc.abstractmethod
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> list[ResultT]:
+        """Apply *fn* to every item and return the results in item order."""
+
+    def describe(self) -> str:
+        """Human-readable description for logs and benchmark reports."""
+        return self.name
+
+
+class SerialExecutor(Executor):
+    """Run every work item in the caller's thread, one after another."""
+
+    name = EXECUTOR_SERIAL
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> list[ResultT]:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Run work items on a thread pool.
+
+    Results are identical to :class:`SerialExecutor` whenever the work items
+    are independent (the library-wide requirement).  With fewer than two
+    items the pool is skipped entirely.  ``max_workers=None`` uses the
+    standard-library default sizing.
+    """
+
+    name = EXECUTOR_THREAD
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = _validate_workers(max_workers)
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> list[ResultT]:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+
+
+class ProcessExecutor(Executor):
+    """Run work items on a process pool (true multi-core execution).
+
+    The work function, every item and every result must pickle — they cross
+    a process boundary.  An unpicklable work function is rejected up front
+    (it is cheap to probe); an unpicklable item or result surfaces as the
+    pool's own pickling failure, which :meth:`map` converts into an
+    :class:`~repro.exceptions.ExecutorError` naming the item index — a
+    clear, prompt error either way, never a wedged pool.  Items are *not*
+    probe-pickled in advance: farm shards can carry megabytes of trace
+    arrays, and serialising them twice would tax exactly the hot path this
+    executor exists to speed up.  Worker count defaults to the machine's
+    CPU count and is never larger than the number of items.
+
+    The pool uses the ``fork`` start method where the platform offers it
+    (cheap start-up, workers inherit the parent's imports); elsewhere the
+    platform default applies.  Either way each worker process is fresh per
+    :meth:`map` call, so no state leaks between fan-outs.
+    """
+
+    name = EXECUTOR_PROCESS
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = _validate_workers(max_workers)
+
+    @staticmethod
+    def _context():
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    @staticmethod
+    def _is_pickling_failure(error: BaseException) -> bool:
+        """Whether *error* is the pool reporting unpicklable work.
+
+        The pool's feeder thread sets the pickler's own exception on the
+        affected future: ``PicklingError`` for unpicklable functions and
+        closures, ``TypeError``/``AttributeError`` with a "pickle" message
+        for unpicklable objects (locks, sockets, ...).
+        """
+        if isinstance(error, pickle.PicklingError):
+            return True
+        return isinstance(error, (TypeError, AttributeError)) and (
+            "pickle" in str(error).lower()
+        )
+
+    def map(
+        self, fn: Callable[[ItemT], ResultT], items: Sequence[ItemT]
+    ) -> list[ResultT]:
+        if not items:
+            return []
+        try:
+            # Probe only the function: it is small, shared by every task,
+            # and by far the most common pickling mistake (a lambda or
+            # locally defined closure).
+            pickle.dumps(fn)
+        except Exception as error:
+            raise ExecutorError(
+                "the process executor requires picklable work; the work "
+                f"function (type {type(fn).__name__}) cannot cross a "
+                f"process boundary: {error}"
+            ) from error
+        workers = min(self.max_workers or os.cpu_count() or 1, len(items))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=self._context()
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            results = []
+            for index, future in enumerate(futures):
+                try:
+                    results.append(future.result())
+                except Exception as error:
+                    if self._is_pickling_failure(error):
+                        raise ExecutorError(
+                            "the process executor requires picklable work; "
+                            f"work item {index} (type "
+                            f"{type(items[index]).__name__}) or its result "
+                            f"cannot cross a process boundary: {error}"
+                        ) from error
+                    raise
+            return results
+
+
+def resolve_executor(
+    executor: Executor | str | None,
+    max_workers: int | None = None,
+) -> Executor:
+    """Turn an ``executor=`` knob value into a concrete :class:`Executor`.
+
+    ``None`` preserves the pre-executor behaviour every call site shipped
+    with: a thread pool when ``max_workers > 1``, serial otherwise —
+    including the historical tolerance for ``max_workers <= 0`` meaning
+    "no pool".  A string selects by name (:data:`EXECUTORS`), with
+    *max_workers* sizing the pool (and then a count below 1 is rejected —
+    an explicitly requested pool of zero workers is a configuration error);
+    an :class:`Executor` instance is returned unchanged (its own worker
+    count wins).
+    """
+    if isinstance(executor, Executor):
+        return executor
+    if executor is None:
+        if max_workers is not None and max_workers > 1:
+            return ThreadExecutor(max_workers)
+        return SerialExecutor()
+    _validate_workers(max_workers)
+    if executor == EXECUTOR_SERIAL:
+        return SerialExecutor()
+    if executor == EXECUTOR_THREAD:
+        return ThreadExecutor(max_workers)
+    if executor == EXECUTOR_PROCESS:
+        return ProcessExecutor(max_workers)
+    raise ExecutorError(
+        f"unknown executor {executor!r}; expected one of {EXECUTORS} "
+        "or an Executor instance"
+    )
+
+
+def validate_executor(executor: Executor | str | None) -> None:
+    """Reject unknown executor names early, discarding the resolved instance.
+
+    For call sites that only need the name checked — :meth:`Scenario.build`
+    validates before handing the name to the built farm; the farm configs
+    resolve with their worker counts instead.
+    """
+    resolve_executor(executor)
 
 
 def fan_out(
     items: Sequence[ItemT],
     fn: Callable[[ItemT], ResultT],
     max_workers: int | None,
+    executor: Executor | str | None = None,
 ) -> list[ResultT]:
-    """Apply *fn* to every item, on a thread pool when ``max_workers > 1``.
+    """Apply *fn* to every item on the executor the arguments select.
 
-    Results come back in item order.  With ``max_workers`` of ``None``/``<= 1``
-    or fewer than two items the calls run serially in the caller's thread.
-    Exceptions propagate either way (first in item order for the pooled
-    path).  Items must be independent — *fn* must not rely on earlier calls'
-    side effects.
+    Results come back in item order.  With the default ``executor=None`` the
+    historical contract holds unchanged: a thread pool when
+    ``max_workers > 1`` and more than one item, serial otherwise (``None``,
+    ``1`` and the historically tolerated ``<= 0`` all run in the caller's
+    thread).  Exceptions propagate either way (first in item order for the
+    pooled paths).  Items must be independent — *fn* must not rely on
+    earlier calls' side effects.
     """
-    if max_workers is not None and max_workers > 1 and len(items) > 1:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(fn, item) for item in items]
-            return [future.result() for future in futures]
-    return [fn(item) for item in items]
+    return resolve_executor(executor, max_workers).map(fn, list(items))

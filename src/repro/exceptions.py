@@ -58,6 +58,15 @@ class TraceError(ReproError):
     """
 
 
+class ExecutorError(ConfigurationError):
+    """A fan-out executor was selected or used incorrectly.
+
+    Examples: an unknown executor name, a worker count below one, or work
+    shipped to the process executor that cannot cross a process boundary
+    (an unpicklable work function, item or result).
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown or invalid target."""
 

@@ -32,7 +32,7 @@ from repro.core.strategies import race_to_halt_c6, sleepscale_strategy
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments.runtime_common import build_scenario, make_predictor, run_strategy
 from repro.power.platform import atom_power_model, xeon_power_model
-from repro.power.states import C6_S0I, C6_S3, LOW_POWER_STATES
+from repro.power.states import C6_S0I, LOW_POWER_STATES
 from repro.prediction.lms_cusum import LmsCusumPredictor
 from repro.simulation.sweep import sweep_frequencies, sweep_states
 from repro.workloads.spec import workload_by_name

@@ -3,8 +3,9 @@
 ``python -m repro.experiments <name> [<name> ...] [--full] [--seed N]`` runs
 one or more experiments and prints their result tables; ``--list`` shows
 every registered experiment, and ``--parallel N`` fans independent
-experiments out over a thread pool (each experiment owns its seeds, so
-results are identical to the serial run).  The same registry is what the
+experiments out over a pool of N workers (``--executor`` picks serial,
+thread or process execution; each experiment owns its seeds, so results are
+identical whichever executor runs them).  The same registry is what the
 benchmark harness iterates over, so the CLI and the benchmarks can never
 diverge on what an experiment means.
 
@@ -21,11 +22,12 @@ Two subcommands expose the scenario library
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 import time
 from typing import Callable, Mapping, Sequence
 
-from repro.concurrency import fan_out
+from repro.concurrency import EXECUTORS, Executor, fan_out
 from repro.exceptions import ExperimentError
 from repro.experiments import (
     ablations,
@@ -91,13 +93,15 @@ def run_experiments(
     names: Sequence[str],
     config: ExperimentConfig | None = None,
     max_workers: int | None = None,
+    executor: Executor | str | None = None,
 ) -> dict[str, ExperimentResult]:
-    """Run several registered experiments, optionally on a thread pool.
+    """Run several registered experiments, optionally on a pool.
 
     Each experiment derives its random streams from the config's base seed
-    independently of the others, so the fan-out (``max_workers > 1``)
-    produces the same results as running them one after another.  Unknown
-    names raise before anything is started.
+    independently of the others, so the fan-out (``max_workers > 1`` for the
+    default thread pool, or any ``executor=`` selection including
+    ``"process"``) produces the same results as running them one after
+    another.  Unknown names raise before anything is started.
     """
     for name in names:
         if name not in EXPERIMENTS:
@@ -108,7 +112,10 @@ def run_experiments(
     # config, so a repeated name would just burn wall-clock for the same row.
     names = list(dict.fromkeys(names))
     config = config or ExperimentConfig()
-    results = fan_out(names, lambda name: run_experiment(name, config), max_workers)
+    # functools.partial of the module-level runner stays picklable for the
+    # process executor (experiment names and configs are plain data).
+    run_one = functools.partial(run_experiment, config=config)
+    results = fan_out(names, run_one, max_workers, executor)
     return dict(zip(names, results))
 
 
@@ -159,7 +166,17 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="run multiple experiments on a thread pool of N workers",
+        help="run multiple experiments on a pool of N workers",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=list(EXECUTORS),
+        default=None,
+        help=(
+            "pool type for --parallel: 'thread' (default when N > 1), "
+            "'process' for multi-core runs, 'serial' to force in-line "
+            "execution; results are identical across executors"
+        ),
     )
     arguments = parser.parse_args(argv)
     if arguments.parallel < 1:
@@ -173,7 +190,10 @@ def main(argv: list[str] | None = None) -> int:
     config = ExperimentConfig(fast=not arguments.full, seed=arguments.seed)
     started = time.perf_counter()
     results = run_experiments(
-        arguments.experiments, config, max_workers=arguments.parallel
+        arguments.experiments,
+        config,
+        max_workers=arguments.parallel,
+        executor=arguments.executor,
     )
     elapsed = time.perf_counter() - started
     for name in dict.fromkeys(arguments.experiments):

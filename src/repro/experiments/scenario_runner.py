@@ -65,6 +65,7 @@ import sys
 from typing import Any, Mapping
 
 from repro.cluster.farm import FarmResult
+from repro.concurrency import EXECUTORS, Executor
 from repro.exceptions import ExperimentError
 from repro.scenarios import (
     BuiltScenario,
@@ -150,6 +151,7 @@ def run_scenario(
     seed: int = 0,
     backend: str = BACKEND_VECTORIZED,
     search: str = SEARCH_FULL,
+    executor: Executor | str | None = None,
     max_workers: int | None = None,
     chunk_jobs: int | None = None,
     overrides: Mapping[str, Any] | None = None,
@@ -157,24 +159,27 @@ def run_scenario(
     """Build, run and report one registered scenario.
 
     *overrides* maps declared parameter names to values (unknown names are
-    rejected by the scenario).  *chunk_jobs* overrides the farm's streaming
-    chunk size (``0`` forces a one-shot run even if the scenario configured
-    chunking).  The returned report is already validated against
+    rejected by the scenario).  *executor*/*max_workers* select how the farm
+    fans its per-server epoch loops out (serial, thread pool, or process
+    sharding — the report is identical whichever executes, which is why the
+    schema carries no executor field).  *chunk_jobs* overrides the farm's
+    streaming chunk size (``0`` forces a one-shot run even if the scenario
+    configured chunking).  The returned report is already validated against
     :data:`REPORT_SCHEMA`.
     """
     overrides = dict(overrides or {})
     # 'seed'/'backend' are build() keywords, not scenario parameters; caught
     # here they produce a pointer to the right flag instead of a TypeError
     # from the keyword splat below.
-    reserved = sorted(set(overrides) & {"seed", "backend", "search"})
+    reserved = sorted(set(overrides) & {"seed", "backend", "search", "executor"})
     if reserved:
         raise ExperimentError(
             f"{', '.join(reserved)} cannot be set via overrides; use the "
-            "dedicated seed/backend/search arguments "
-            "(CLI: --seed / --backend / --search-mode)"
+            "dedicated seed/backend/search/executor arguments "
+            "(CLI: --seed / --backend / --search-mode / --executor)"
         )
     built = get_scenario(name).build(
-        seed=seed, backend=backend, search=search, **overrides
+        seed=seed, backend=backend, search=search, executor=executor, **overrides
     )
     farm = built.farm
     if max_workers is not None:
@@ -422,11 +427,25 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--executor",
+        choices=list(EXECUTORS),
+        default=None,
+        help=(
+            "how per-server epoch loops execute: 'serial', 'thread', or "
+            "'process' (shards the farm across worker processes for "
+            "multi-core runs); the report is identical whichever executes"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
         metavar="N",
-        help="fan per-server epoch loops out over a thread pool of N workers",
+        help=(
+            "pool size for --executor thread/process (default: --executor "
+            "thread alone sizes from the machine; without --executor, N > 1 "
+            "selects the historical thread pool)"
+        ),
     )
     parser.add_argument(
         "--chunk-jobs",
@@ -467,6 +486,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=arguments.seed,
         backend=arguments.backend,
         search=arguments.search_mode,
+        executor=arguments.executor,
         max_workers=arguments.workers,
         chunk_jobs=arguments.chunk_jobs,
         overrides=overrides,

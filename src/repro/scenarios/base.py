@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.cluster.farm import ServerFarm
+from repro.concurrency import Executor, validate_executor
 from repro.core.search import SEARCH_FULL, validate_search
 from repro.exceptions import ScenarioError
 from repro.simulation.kernel import BACKEND_VECTORIZED, validate_backend
@@ -115,7 +116,7 @@ class Scenario:
 
     #: Builder keywords owned by :meth:`build` itself; a declared parameter
     #: (or an override splatted into ``build``) must never collide with them.
-    RESERVED_NAMES = frozenset({"seed", "backend", "search"})
+    RESERVED_NAMES = frozenset({"seed", "backend", "search", "executor"})
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -129,8 +130,8 @@ class Scenario:
         if reserved:
             raise ScenarioError(
                 f"scenario {self.name!r} declares reserved parameter name(s) "
-                f"{reserved}; 'seed', 'backend' and 'search' are passed to "
-                "every builder automatically"
+                f"{reserved}; 'seed', 'backend', 'search' and 'executor' are "
+                "handled by build() itself"
             )
 
     def parameter_defaults(self) -> dict[str, Any]:
@@ -143,6 +144,7 @@ class Scenario:
         seed: int = 0,
         backend: str = BACKEND_VECTORIZED,
         search: str = SEARCH_FULL,
+        executor: Executor | str | None = None,
         **overrides: Any,
     ) -> BuiltScenario:
         """Materialise the scenario with *overrides* applied over the defaults.
@@ -152,9 +154,14 @@ class Scenario:
         per-epoch policy-search mode (``"full"`` or ``"frontier"``) every
         search strategy of the scenario is built with; ``"frontier"`` also
         attaches one shared characterisation cache across the farm.
+        ``executor`` selects how the built farm fans its per-server epoch
+        loops out (``"serial"``/``"thread"``/``"process"``); results are
+        identical across executors, so builders never see it — it is applied
+        to the built farm directly.
         """
         validate_backend(backend)
         validate_search(search)
+        validate_executor(executor)
         declared = {parameter.name for parameter in self.parameters}
         unknown = sorted(set(overrides) - declared)
         if unknown:
@@ -186,6 +193,13 @@ class Scenario:
         built = self.builder(seed=seed, backend=backend, search=search, **values)
         if not built.description:
             built = dataclasses.replace(built, description=self.description)
+        if executor is not None:
+            # Executor choice never changes results (the parity suite pins
+            # this), so it is orthogonal to what the builder constructed and
+            # is applied to the built farm afterwards.
+            built = dataclasses.replace(
+                built, farm=dataclasses.replace(built.farm, executor=executor)
+            )
         return built
 
 

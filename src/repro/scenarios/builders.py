@@ -21,6 +21,9 @@ of the joint speed-scaling + sleep-state problem:
 ``farm-scale``            million-job stream over 16 mixed Xeon/Atom servers,
                           dispatched by the speed-aware heap engine and fed
                           to the per-server epoch loops in chunks
+``mega-farm``             64 mixed Xeon/Atom servers with short epochs — the
+                          multi-core regime the process executor targets
+                          (``run-scenario mega-farm --executor process``)
 ========================  ====================================================
 
 Every builder is deterministic given ``seed``, sizes itself from
@@ -36,6 +39,7 @@ dispatcher sees roughly ``utilization / n`` per server.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -48,10 +52,10 @@ from repro.cluster.dispatch import (
     merge_streams,
 )
 from repro.cluster.farm import ServerFarm, ServerSpec
-from repro.core.qos import mean_qos_from_baseline
+from repro.core.qos import QosConstraint, mean_qos_from_baseline
 from repro.core.runtime import RuntimeConfig
 from repro.core.search import SEARCH_FRONTIER, CharacterizationCache
-from repro.core.strategies import sleepscale_strategy
+from repro.core.strategies import PolicySearchStrategy, sleepscale_strategy
 from repro.exceptions import ScenarioError
 from repro.power.platform import ServerPowerModel, atom_power_model, xeon_power_model
 from repro.prediction.lms_cusum import LmsCusumPredictor
@@ -82,6 +86,46 @@ _RHO_B = 0.8
 _CHARACTERIZATION_JOBS = 600
 
 
+@dataclass(frozen=True)
+class SleepScaleStrategyFactory:
+    """Picklable zero-argument factory for a fresh full-SleepScale strategy.
+
+    Scenario servers used to close over their parameters in a ``lambda``;
+    a frozen dataclass carrying the same parameters builds the identical
+    strategy while surviving pickling, so every built-in scenario can run
+    on the process executor (``ServerShardTask`` ships the whole
+    :class:`~repro.cluster.farm.ServerSpec`, factories included, to the
+    worker processes).
+    """
+
+    power_model: ServerPowerModel
+    qos: QosConstraint
+    characterization_jobs: int
+    seed: int
+    backend: str
+    search: str
+
+    def __call__(self) -> PolicySearchStrategy:
+        return sleepscale_strategy(
+            self.power_model,
+            self.qos,
+            characterization_jobs=self.characterization_jobs,
+            seed=self.seed,
+            backend=self.backend,
+            search=self.search,
+        )
+
+
+@dataclass(frozen=True)
+class LmsCusumPredictorFactory:
+    """Picklable zero-argument factory for a fresh LMS+CUSUM predictor."""
+
+    history: int = 10
+
+    def __call__(self) -> LmsCusumPredictor:
+        return LmsCusumPredictor(history=self.history)
+
+
 def _sleepscale_server(
     name: str,
     power_model: ServerPowerModel,
@@ -100,15 +144,15 @@ def _sleepscale_server(
     return ServerSpec(
         name=name,
         power_model=power_model,
-        strategy_factory=lambda: sleepscale_strategy(
-            power_model,
-            qos,
+        strategy_factory=SleepScaleStrategyFactory(
+            power_model=power_model,
+            qos=qos,
             characterization_jobs=_CHARACTERIZATION_JOBS,
             seed=seed,
             backend=backend,
             search=search,
         ),
-        predictor_factory=lambda: LmsCusumPredictor(history=10),
+        predictor_factory=LmsCusumPredictorFactory(history=10),
         config=config,
         max_frequency=max_frequency,
     )
@@ -856,6 +900,127 @@ def build_farm_scale(
             "atom_servers": atom_servers,
             "atom_frequency_ceiling": atom_frequency_ceiling,
             "chunk_jobs": chunk_jobs,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+        search=search,
+    )
+
+
+# ---------------------------------------------------------------------------
+# mega-farm
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="mega-farm",
+    description=(
+        "Fleet-scale executor stress: 64 mixed Xeon/Atom servers (at "
+        "defaults) behind the speed-aware least-loaded dispatcher, with "
+        "short epochs so per-server policy searches dominate — the "
+        "multi-core regime where `--executor process` shards the fleet "
+        "across worker processes."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 40, "length of the run"),
+        ScenarioParameter("utilization", 0.85, "constant offered load (relative to one full-frequency server)"),
+        ScenarioParameter("xeon_servers", 32, "number of Xeon-class servers"),
+        ScenarioParameter("atom_servers", 32, "number of Atom-class servers"),
+        ScenarioParameter("atom_frequency_ceiling", 0.7, "DVFS ceiling the dispatcher assumes for Atom-class servers"),
+        ScenarioParameter("epoch_minutes", 2.0, "policy-update epoch length; short epochs mean many searches per server"),
+        ScenarioParameter("workload", "google", "Table 5 workload class: dns, google or mail"),
+    ),
+)
+def build_mega_farm(
+    *,
+    seed: int,
+    backend: str,
+    search: str,
+    duration_minutes: float,
+    utilization: float,
+    xeon_servers: int,
+    atom_servers: int,
+    atom_frequency_ceiling: float,
+    epoch_minutes: float,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    for label, count in (("xeon_servers", xeon_servers), ("atom_servers", atom_servers)):
+        if count != int(count) or count < 0:
+            raise ScenarioError(
+                f"{label} must be a non-negative whole number, got {count}"
+            )
+    xeon_servers, atom_servers = int(xeon_servers), int(atom_servers)
+    if xeon_servers + atom_servers < 1:
+        raise ScenarioError(
+            "need at least one server in total, got "
+            f"xeon_servers={xeon_servers}, atom_servers={atom_servers}"
+        )
+    if not 0.0 < utilization <= 0.95:
+        raise ScenarioError(
+            f"utilization must lie in (0, 0.95], got {utilization}"
+        )
+    if not 0.0 < atom_frequency_ceiling <= 1.0:
+        raise ScenarioError(
+            f"atom_frequency_ceiling must lie in (0, 1], got {atom_frequency_ceiling}"
+        )
+    if epoch_minutes <= 0:
+        raise ScenarioError(
+            f"epoch_minutes must be positive, got {epoch_minutes}"
+        )
+    spec = workload_by_name(workload)
+    values = np.full(num_samples, utilization)
+    trace = UtilizationTrace(values, interval=minutes(1), name="mega-farm")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
+
+    xeon = xeon_power_model()
+    atom = atom_power_model()
+    servers: list[ServerSpec] = []
+    for index in range(xeon_servers):
+        servers.append(
+            _sleepscale_server(
+                f"xeon-{index}",
+                xeon,
+                seed=seed + index,
+                backend=backend,
+                search=search,
+                epoch_minutes=epoch_minutes,
+            )
+        )
+    for index in range(atom_servers):
+        servers.append(
+            _sleepscale_server(
+                f"atom-{index}",
+                atom,
+                seed=seed + xeon_servers + index,
+                backend=backend,
+                search=search,
+                epoch_minutes=epoch_minutes,
+                max_frequency=atom_frequency_ceiling,
+            )
+        )
+    # Least-loaded (not power-aware) on purpose: every server stays active,
+    # so the run's cost is dominated by the 64 independent per-server epoch
+    # loops — exactly the work the process executor shards across cores.
+    farm = ServerFarm(
+        servers=tuple(servers),
+        spec=spec,
+        dispatcher=LeastLoadedDispatcher(),
+        search_cache=_shared_cache(search),
+    )
+    return BuiltScenario(
+        name="mega-farm",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "utilization": utilization,
+            "xeon_servers": xeon_servers,
+            "atom_servers": atom_servers,
+            "atom_frequency_ceiling": atom_frequency_ceiling,
+            "epoch_minutes": epoch_minutes,
             "workload": workload,
         },
         backend=backend,

@@ -39,7 +39,6 @@ from repro.exceptions import ConfigurationError, StabilityError
 from repro.power.platform import ServerPowerModel
 from repro.power.sleep import SleepSequence
 from repro.simulation.kernel import (
-    BACKEND_REFERENCE,
     BACKEND_VECTORIZED,
     TraceKernel,
     validate_backend,

@@ -10,12 +10,13 @@ the simulation engine and provides small helpers to locate the optimum
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence, Union
 
 import numpy as np
 
-from repro.concurrency import fan_out
+from repro.concurrency import Executor, fan_out
 from repro.exceptions import ConfigurationError
 from repro.power.dvfs import frequency_grid
 from repro.power.platform import ServerPowerModel
@@ -252,6 +253,7 @@ def sweep_states(
     power_model: ServerPowerModel,
     utilization: float,
     max_workers: int | None = None,
+    executor: Executor | str | None = None,
     **kwargs,
 ) -> dict[str, TradeoffCurve]:
     """Sweep frequencies for several sleep behaviours (one curve each).
@@ -262,8 +264,13 @@ def sweep_states(
     through to :func:`sweep_frequencies`.
 
     ``max_workers`` > 1 fans the per-state curves out over a thread pool;
-    each curve draws its job stream from an independent generator seeded the
-    same way as the serial path, so results are identical either way.
+    ``executor`` selects the pool explicitly
+    (``"serial"``/``"thread"``/``"process"`` or an
+    :class:`~repro.concurrency.Executor`) — the process executor requires
+    picklable sleep specifications (states and sequences are; ad-hoc
+    callables are not).  Each curve draws its job stream from an independent
+    generator seeded the same way as the serial path, so results are
+    identical whichever executor runs them.
     """
     if isinstance(sleeps, Mapping):
         labelled = dict(sleeps)
@@ -279,13 +286,16 @@ def sweep_states(
                 )
     if not labelled:
         raise ConfigurationError("sweep_states needs at least one sleep sequence")
-    curves = fan_out(
-        list(labelled.values()),
-        lambda sleep: sweep_frequencies(
-            spec, sleep, power_model, utilization, **kwargs
-        ),
-        max_workers,
+    # A partial of the module-level sweep keeps the work function picklable
+    # for the process executor (a closure would not be).
+    sweep_one = functools.partial(
+        sweep_frequencies,
+        spec,
+        power_model=power_model,
+        utilization=utilization,
+        **kwargs,
     )
+    curves = fan_out(list(labelled.values()), sweep_one, max_workers, executor)
     return dict(zip(labelled.keys(), curves))
 
 

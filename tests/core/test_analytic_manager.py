@@ -18,7 +18,6 @@ from repro.core.qos import (
 from repro.core.strategies import EpochContext
 from repro.exceptions import ConfigurationError
 from repro.policies.space import full_space
-from repro.power.states import C6_S0I
 
 
 @pytest.fixture()

@@ -25,7 +25,6 @@ from repro.core.search import (
     SEARCH_FRONTIER,
     SEARCH_FULL,
     CharacterizationCache,
-    PolicySearchEngine,
     _PolicyGrid,
     policy_space_fingerprint,
     power_model_fingerprint,

@@ -7,7 +7,6 @@ by hand); the second half checks statistical agreement with M/M/1 theory.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError, StabilityError

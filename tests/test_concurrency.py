@@ -1,0 +1,190 @@
+"""The executor subsystem behind ``fan_out``.
+
+Pins the executor contract of :mod:`repro.concurrency`: results in item
+order on every executor, serial fallback exactly where the historical
+``fan_out`` ran serially, first-in-item-order exception propagation, and —
+for the process executor — *clear* errors (not hangs) when work cannot
+cross a process boundary.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.concurrency import (
+    EXECUTORS,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    fan_out,
+    resolve_executor,
+    validate_executor,
+)
+from repro.exceptions import ConfigurationError, ExecutorError
+
+
+def square(value):
+    """Module-level (hence picklable) work function."""
+    return value * value
+
+
+def square_after_reverse_delay(value):
+    """Later items finish first, exposing any completion-order reliance."""
+    time.sleep(0.02 * (5 - value))
+    return value * value
+
+
+def worker_pid(_value):
+    return os.getpid()
+
+
+def fail_on_even(value):
+    if value % 2 == 0:
+        raise ValueError(f"item {value} failed")
+    return value
+
+
+def record_thread(value):
+    return threading.get_ident()
+
+
+class TestFanOutContract:
+    """The historical fan_out behaviour, unchanged by the refactor."""
+
+    def test_results_in_item_order_serial(self):
+        assert fan_out([3, 1, 2], square, None) == [9, 1, 4]
+
+    def test_results_in_item_order_threaded(self):
+        items = list(range(5))
+        assert fan_out(items, square_after_reverse_delay, 4) == [
+            value * value for value in items
+        ]
+
+    @pytest.mark.parametrize("max_workers", [None, 0, 1])
+    def test_serial_fallback_runs_in_callers_thread(self, max_workers):
+        """``max_workers <= 1`` (including the historical 0) stays serial."""
+        idents = fan_out([1, 2, 3], record_thread, max_workers)
+        assert set(idents) == {threading.get_ident()}
+
+    def test_single_item_skips_the_pool(self):
+        assert fan_out([7], record_thread, 8) == [threading.get_ident()]
+
+    @pytest.mark.parametrize("max_workers", [None, 4])
+    def test_first_exception_in_item_order(self, max_workers):
+        """Items 0 and 2 both fail; item 0's error must be the one raised."""
+        with pytest.raises(ValueError, match="item 0 failed"):
+            fan_out([0, 1, 2], fail_on_even, max_workers)
+
+    def test_empty_items(self):
+        assert fan_out([], square, 4) == []
+
+    def test_executor_keyword_selects_by_name(self):
+        assert fan_out([2, 3], square, None, executor="process") == [4, 9]
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("executor", [SerialExecutor(), ThreadExecutor(2)])
+    def test_map_in_order(self, executor):
+        assert executor.map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_process_map_in_order(self):
+        executor = ProcessExecutor(max_workers=2)
+        items = list(range(5))
+        assert executor.map(square_after_reverse_delay, items) == [
+            value * value for value in items
+        ]
+
+    def test_process_runs_in_worker_processes(self):
+        pids = ProcessExecutor(max_workers=2).map(worker_pid, [1, 2])
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_process_exception_propagates_in_item_order(self):
+        with pytest.raises(ValueError, match="item 0 failed"):
+            ProcessExecutor(max_workers=2).map(fail_on_even, [0, 1, 2])
+
+    @pytest.mark.parametrize(
+        "executor",
+        [SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)],
+    )
+    def test_empty_items_every_executor(self, executor):
+        assert executor.map(square, []) == []
+
+    def test_executor_names_match_registry(self):
+        assert EXECUTORS == ("serial", "thread", "process")
+        assert SerialExecutor().name == "serial"
+        assert ThreadExecutor().name == "thread"
+        assert ProcessExecutor().name == "process"
+
+    @pytest.mark.parametrize("cls", [ThreadExecutor, ProcessExecutor])
+    def test_invalid_worker_count_rejected(self, cls):
+        with pytest.raises(ExecutorError):
+            cls(max_workers=0)
+
+
+class TestProcessPicklability:
+    """Unpicklable work must fail fast with a clear error, never hang."""
+
+    def test_unpicklable_work_function(self):
+        with pytest.raises(ExecutorError, match="work function"):
+            ProcessExecutor(2).map(lambda value: value, [1, 2])
+
+    def test_unpicklable_work_item_is_named(self):
+        items = [1, threading.Lock(), 3]
+        with pytest.raises(ExecutorError, match="work item 1"):
+            ProcessExecutor(2).map(square, items)
+
+    def test_error_arrives_promptly(self):
+        """The rejection happens up front, not after a pool timeout."""
+        started = time.perf_counter()
+        with pytest.raises(ExecutorError):
+            ProcessExecutor(2).map(square, [lambda: None])
+        assert time.perf_counter() - started < 5.0
+
+
+class TestResolveExecutor:
+    def test_none_keeps_historical_thread_rule(self):
+        assert isinstance(resolve_executor(None, None), SerialExecutor)
+        assert isinstance(resolve_executor(None, 0), SerialExecutor)
+        assert isinstance(resolve_executor(None, 1), SerialExecutor)
+        assert isinstance(resolve_executor(None, 2), ThreadExecutor)
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("thread", 3), ThreadExecutor)
+        assert isinstance(resolve_executor("process", 3), ProcessExecutor)
+
+    def test_worker_count_threads_through(self):
+        assert resolve_executor("thread", 3).max_workers == 3
+        assert resolve_executor("process", 5).max_workers == 5
+
+    def test_instance_passes_through(self):
+        executor = ThreadExecutor(2)
+        assert resolve_executor(executor, 99) is executor
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExecutorError, match="unknown executor"):
+            resolve_executor("gpu")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ExecutorError):
+            resolve_executor("thread", 0)
+
+    def test_validate_executor(self):
+        validate_executor(None)
+        for name in EXECUTORS:
+            validate_executor(name)
+        with pytest.raises(ExecutorError):
+            validate_executor("bogus")
+
+    def test_executor_error_is_a_configuration_error(self):
+        """Existing ``except ConfigurationError`` call sites keep working."""
+        assert issubclass(ExecutorError, ConfigurationError)
+
+    def test_executor_abc_not_instantiable(self):
+        with pytest.raises(TypeError):
+            Executor()

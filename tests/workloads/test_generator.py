@@ -14,7 +14,6 @@ from repro.workloads.generator import (
     make_rng,
 )
 from repro.workloads.jobs import JobTrace
-from repro.workloads.spec import dns_workload
 from repro.workloads.traces import constant_trace, step_trace
 
 
