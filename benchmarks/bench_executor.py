@@ -16,9 +16,21 @@ The ``>= min-speedup`` gate on the process executor is enforced only on
 machines with at least four CPUs (``--gate auto``, the default) — on a
 single-core runner the measurement is still recorded, honestly, as ~1x.
 
+``--mode storage`` benchmarks the zero-copy trace-storage path instead:
+it pickles every per-server shard task the process executor would ship —
+the memory path's :class:`~repro.cluster.farm.ServerShardTask` (carrying a
+full per-server ``JobTrace``) against the zero-copy
+:class:`~repro.cluster.farm.SharedServerShardTask` (carrying constant-size
+descriptors into a shared-memory arena) — and gates on the serialized-bytes
+reduction (deterministic, so enforced on any machine).  It then times the
+process path end to end under ``trace_backend="memory"`` vs ``"shm"``,
+asserting the two runs stay bit-identical.
+
 Run directly (sizes shrink for CI smoke)::
 
     PYTHONPATH=src python benchmarks/bench_executor.py --output BENCH_pr5.json
+    PYTHONPATH=src python benchmarks/bench_executor.py --mode storage \\
+        --output BENCH_pr6.json
 
 Not a pytest module on purpose: the measurements need fixed large sizes and
 a JSON artifact, not statistical repetition.
@@ -30,13 +42,16 @@ import argparse
 import dataclasses
 import json
 import os
+import pickle
 import sys
 import time
 from datetime import date
 
 import numpy as np
 
+from repro.cluster.farm import ServerShardTask, SharedServerShardTask
 from repro.scenarios import get_scenario
+from repro.workloads.storage import SharedTraceArena
 
 #: Executors compared, serial first (the oracle the others must match).
 EXECUTOR_ORDER = ("serial", "thread", "process")
@@ -136,8 +151,159 @@ def bench(
     }
 
 
+def _shard_bytes(farm, jobs) -> dict:
+    """Serialized bytes per shard: memory-path tasks vs zero-copy descriptors.
+
+    Reconstructs exactly the task lists the two process paths ship (the
+    memory path's per-server ``JobTrace`` copies, the shm path's narrowed
+    descriptors into the server-grouped published arrays) and measures
+    ``pickle.dumps`` of each shard — the bytes that actually cross the
+    process boundary.
+    """
+    use_cache = farm.search_cache is not None
+    streams = farm.dispatcher.dispatch(
+        jobs, farm.num_servers, server_speeds=farm.dispatch_speeds
+    )
+    memory_bytes = [
+        len(
+            pickle.dumps(
+                ServerShardTask(
+                    server=farm.servers[index],
+                    spec=farm.spec,
+                    jobs=stream,
+                    use_cache=use_cache,
+                )
+            )
+        )
+        for index, stream in enumerate(streams)
+        if stream is not None
+    ]
+    assignment = farm.dispatcher.validated_assignment(
+        jobs, farm.num_servers, server_speeds=farm.dispatch_speeds
+    )
+    counts = np.bincount(assignment, minlength=farm.num_servers)
+    order = np.argsort(assignment, kind="stable")
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    with SharedTraceArena("shm") as arena:
+        arrivals = arena.publish(jobs.arrival_times[order], "arrivals")
+        demands = arena.publish(jobs.service_demands[order], "demands")
+        shared_bytes = [
+            len(
+                pickle.dumps(
+                    SharedServerShardTask(
+                        server=farm.servers[index],
+                        spec=farm.spec,
+                        use_cache=use_cache,
+                        arrivals=arrivals.narrow(
+                            int(offsets[index]), int(counts[index])
+                        ),
+                        demands=demands.narrow(
+                            int(offsets[index]), int(counts[index])
+                        ),
+                    )
+                )
+            )
+            for index in range(farm.num_servers)
+            if counts[index] > 0
+        ]
+    reduction = 1.0 - sum(shared_bytes) / sum(memory_bytes)
+    return {
+        "shards": len(memory_bytes),
+        "memory_total_bytes": sum(memory_bytes),
+        "memory_max_bytes": max(memory_bytes),
+        "shared_total_bytes": sum(shared_bytes),
+        "shared_max_bytes": max(shared_bytes),
+        "reduction": round(reduction, 4),
+    }
+
+
+def bench_storage(
+    duration_minutes: int,
+    xeon_servers: int,
+    atom_servers: int,
+    epoch_minutes: float,
+    workers: int,
+    seed: int,
+    repeat: int = 1,
+) -> dict:
+    built = get_scenario("mega-farm").build(
+        seed=seed,
+        duration_minutes=duration_minutes,
+        xeon_servers=xeon_servers,
+        atom_servers=atom_servers,
+        epoch_minutes=epoch_minutes,
+    )
+    print(
+        f"mega-farm: {built.farm.num_servers} servers, "
+        f"{built.num_jobs} jobs, {duration_minutes} min, "
+        f"epoch {epoch_minutes} min, {workers} workers, "
+        f"{os.cpu_count()} cpus, best of {repeat}"
+    )
+    shard_bytes = _shard_bytes(built.farm, built.jobs)
+    print(
+        f"  shard bytes: memory {shard_bytes['memory_total_bytes']:,} -> "
+        f"shm {shard_bytes['shared_total_bytes']:,} "
+        f"({shard_bytes['reduction']:.1%} reduction over "
+        f"{shard_bytes['shards']} shards)"
+    )
+    rows: dict[str, dict] = {}
+    results = {}
+    for backend in ("memory", "shm"):
+        farm = dataclasses.replace(
+            built.farm,
+            executor="process",
+            max_workers=workers,
+            trace_backend=backend,
+        )
+        # Best-of-N: both backends run the same deterministic work, so the
+        # minimum is the least-noise estimate of each path's true cost
+        # (every repeat's result must still be bit-identical).
+        elapsed = float("inf")
+        for _ in range(max(1, repeat)):
+            started = time.perf_counter()
+            result = farm.run(built.jobs)
+            elapsed = min(elapsed, time.perf_counter() - started)
+            if backend in results:
+                _assert_parity(f"process/{backend}", results[backend], result)
+            results[backend] = result
+        rows[backend] = {
+            "seconds": round(elapsed, 3),
+            "total_energy_j": result.total_energy,
+        }
+        print(f"  process/{backend:6s} {elapsed:8.2f} s")
+    _assert_parity("process/shm", results["memory"], results["shm"])
+    rows["shm"]["speedup"] = round(
+        rows["memory"]["seconds"] / rows["shm"]["seconds"], 2
+    )
+    rows["shm"]["parity"] = True
+    print(
+        f"  process/shm speedup {rows['shm']['speedup']:5.2f}x over "
+        "process/memory  parity=True"
+    )
+    return {
+        "servers": built.farm.num_servers,
+        "jobs": built.num_jobs,
+        "duration_minutes": duration_minutes,
+        "epoch_minutes": epoch_minutes,
+        "workers": workers,
+        "repeat": repeat,
+        "shard_bytes": shard_bytes,
+        "process_path": rows,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode",
+        choices=("executor", "storage"),
+        default="executor",
+        help=(
+            "'executor' compares serial/thread/process (PR 5 artifact); "
+            "'storage' compares the process path's memory vs shm trace "
+            "backends and the serialized shard bytes (PR 6 artifact)"
+        ),
+    )
     parser.add_argument("--duration-minutes", type=int, default=40)
     parser.add_argument("--xeon-servers", type=int, default=32)
     parser.add_argument("--atom-servers", type=int, default=32)
@@ -156,6 +322,24 @@ def main(argv: list[str] | None = None) -> int:
         help="required process-executor speedup when the gate is active",
     )
     parser.add_argument(
+        "--min-bytes-reduction",
+        type=float,
+        default=0.90,
+        help=(
+            "required serialized-shard-bytes reduction in storage mode "
+            "(deterministic, so enforced regardless of --gate)"
+        ),
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help=(
+            "storage mode: run each backend this many times and keep the "
+            "fastest (damps scheduler noise; parity asserted on every run)"
+        ),
+    )
+    parser.add_argument(
         "--gate",
         choices=("auto", "always", "never"),
         default="auto",
@@ -170,7 +354,10 @@ def main(argv: list[str] | None = None) -> int:
 
     cpus = os.cpu_count() or 1
     workers = arguments.workers or cpus
-    row = bench(
+    enforce = arguments.gate == "always" or (
+        arguments.gate == "auto" and cpus >= GATE_MIN_CPUS
+    )
+    sizes = dict(
         duration_minutes=arguments.duration_minutes,
         xeon_servers=arguments.xeon_servers,
         atom_servers=arguments.atom_servers,
@@ -178,33 +365,66 @@ def main(argv: list[str] | None = None) -> int:
         workers=workers,
         seed=arguments.seed,
     )
-    enforce = arguments.gate == "always" or (
-        arguments.gate == "auto" and cpus >= GATE_MIN_CPUS
-    )
-    process_speedup = row["executors"]["process"]["speedup"]
-    if enforce:
-        gate = f"enforced (>= {arguments.min_speedup}x)"
-        if process_speedup < arguments.min_speedup:
+    if arguments.mode == "storage":
+        row = bench_storage(**sizes, repeat=arguments.repeat)
+        # The bytes reduction is a property of the task encoding, not of
+        # the machine: enforce it everywhere.
+        reduction = row["shard_bytes"]["reduction"]
+        if reduction < arguments.min_bytes_reduction:
             raise SystemExit(
-                f"FATAL: process-executor speedup {process_speedup}x is "
-                f"below the required {arguments.min_speedup}x on a "
-                f"{cpus}-CPU machine"
+                f"FATAL: serialized shard-bytes reduction {reduction:.1%} "
+                f"is below the required {arguments.min_bytes_reduction:.0%}"
             )
+        shm_speedup = row["process_path"]["shm"]["speedup"]
+        if enforce:
+            gate = "enforced (shm >= memory wall-clock)"
+            if shm_speedup < 1.0:
+                raise SystemExit(
+                    f"FATAL: process/shm ran {shm_speedup}x vs "
+                    f"process/memory on a {cpus}-CPU machine"
+                )
+        else:
+            gate = f"skipped ({cpus} CPU(s) < {GATE_MIN_CPUS})"
+            print(
+                f"wall-clock gate skipped: {cpus} CPU(s); recorded "
+                f"{shm_speedup}x for the record"
+            )
+        report = {
+            "benchmark": "trace-storage",
+            "generated": date.today().isoformat(),
+            "cpu_count": cpus,
+            "scenario": "mega-farm",
+            "parity": True,
+            "bytes_reduction_gate": f">= {arguments.min_bytes_reduction:.0%}",
+            "wall_clock_gate": gate,
+            "results": row,
+        }
     else:
-        gate = f"skipped ({cpus} CPU(s) < {GATE_MIN_CPUS})"
-        print(
-            f"speedup gate skipped: {cpus} CPU(s); recorded "
-            f"{process_speedup}x for the record"
-        )
-    report = {
-        "benchmark": "executor",
-        "generated": date.today().isoformat(),
-        "cpu_count": cpus,
-        "scenario": "mega-farm",
-        "parity": True,
-        "speedup_gate": gate,
-        "results": row,
-    }
+        row = bench(**sizes)
+        process_speedup = row["executors"]["process"]["speedup"]
+        if enforce:
+            gate = f"enforced (>= {arguments.min_speedup}x)"
+            if process_speedup < arguments.min_speedup:
+                raise SystemExit(
+                    f"FATAL: process-executor speedup {process_speedup}x is "
+                    f"below the required {arguments.min_speedup}x on a "
+                    f"{cpus}-CPU machine"
+                )
+        else:
+            gate = f"skipped ({cpus} CPU(s) < {GATE_MIN_CPUS})"
+            print(
+                f"speedup gate skipped: {cpus} CPU(s); recorded "
+                f"{process_speedup}x for the record"
+            )
+        report = {
+            "benchmark": "executor",
+            "generated": date.today().isoformat(),
+            "cpu_count": cpus,
+            "scenario": "mega-farm",
+            "parity": True,
+            "speedup_gate": gate,
+            "results": row,
+        }
     if arguments.output:
         with open(arguments.output, "w") as handle:
             json.dump(report, handle, indent=2)

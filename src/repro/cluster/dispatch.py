@@ -228,14 +228,20 @@ class JobDispatcher(abc.ABC):
         )
         return assigner.assign_chunk(jobs.arrival_times, jobs.service_demands)
 
-    def dispatch(
+    def validated_assignment(
         self,
         jobs: JobTrace,
         num_servers: int,
         *,
         server_speeds: Sequence[float] | None = None,
-    ) -> list[JobTrace | None]:
-        """Split *jobs* into ``num_servers`` traces (``None`` for idle servers)."""
+    ) -> np.ndarray:
+        """:meth:`assign` plus the shape/range validation :meth:`dispatch` applies.
+
+        The farm's zero-copy process path shards on raw assignments (it
+        ships per-server index ranges instead of copied sub-streams), so the
+        defensive checks that used to live only inside :meth:`dispatch` are
+        factored here and shared by both consumers.
+        """
         if num_servers < 1:
             raise ConfigurationError(
                 f"a farm needs at least one server, got {num_servers}"
@@ -249,14 +255,31 @@ class JobDispatcher(abc.ABC):
             )
         if assignment.min(initial=0) < 0 or assignment.max(initial=0) >= num_servers:
             raise ConfigurationError("dispatcher assigned a job to a non-existent server")
+        return assignment
+
+    def dispatch(
+        self,
+        jobs: JobTrace,
+        num_servers: int,
+        *,
+        server_speeds: Sequence[float] | None = None,
+    ) -> list[JobTrace | None]:
+        """Split *jobs* into ``num_servers`` traces (``None`` for idle servers)."""
+        assignment = self.validated_assignment(
+            jobs, num_servers, server_speeds=server_speeds
+        )
         streams: list[JobTrace | None] = []
         for server in range(num_servers):
             mask = assignment == server
             if not np.any(mask):
                 streams.append(None)
                 continue
+            # A boolean mask preserves order, so the masked views of a
+            # validated trace still satisfy every invariant: trusted ctor.
             streams.append(
-                JobTrace(jobs.arrival_times[mask], jobs.service_demands[mask])
+                JobTrace.from_validated_arrays(
+                    jobs.arrival_times[mask], jobs.service_demands[mask]
+                )
             )
         return streams
 
@@ -937,4 +960,6 @@ def merge_streams(streams: Sequence[JobTrace | None]) -> JobTrace:
     all_arrivals = np.concatenate(arrivals)
     all_demands = np.concatenate(demands)
     order = np.argsort(all_arrivals, kind="stable")
-    return JobTrace(all_arrivals[order], all_demands[order])
+    # Sorting validated arrivals re-establishes the ordering invariant and
+    # cannot break finiteness/non-negativity: trusted construction.
+    return JobTrace.from_validated_arrays(all_arrivals[order], all_demands[order])

@@ -51,8 +51,10 @@ budget, which collapses to the shared budget in the homogeneous case.
 
 from __future__ import annotations
 
+import contextlib
 import math
-from dataclasses import dataclass, field
+import tempfile
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import Callable, Mapping, Sequence
 
@@ -75,6 +77,15 @@ from repro.prediction.base import UtilizationPredictor
 from repro.simulation.service_scaling import ServiceScaling, cpu_bound
 from repro.workloads.jobs import JobTrace
 from repro.workloads.spec import WorkloadSpec
+from repro.workloads.storage import (
+    TRACE_BACKEND_MEMORY,
+    TRACE_BACKEND_MMAP,
+    ArenaReader,
+    ArrayDescriptor,
+    SharedTraceArena,
+    is_mmap_backed,
+    validate_trace_backend,
+)
 
 #: Factory signatures: one fresh strategy/predictor per server, so per-server
 #: state (policy-manager RNGs, LMS weights) is never shared accidentally.
@@ -141,6 +152,39 @@ class ServerShardTask:
     use_cache: bool
 
 
+@dataclass(frozen=True)
+class SharedServerShardTask:
+    """Zero-copy process shard: descriptors instead of the sub-stream.
+
+    The shared-memory counterpart of :class:`ServerShardTask` (the farm
+    picks between them by ``trace_backend``): the parent gathers the trace
+    into stable server-grouped order and publishes the grouped
+    arrival/demand arrays into a
+    :class:`~repro.workloads.storage.SharedTraceArena` *once*; each shard
+    task then carries two constant-size
+    :class:`~repro.workloads.storage.ArrayDescriptor`\\ s narrowed to its
+    server's contiguous range.  Pickling a shard is therefore O(1) in the
+    trace length instead of O(jobs-on-server), and the worker materialises
+    its sub-stream with a straight contiguous copy — no worker-side gather.
+    The grouped range holds the same float values, in the same order, as
+    the memory path's boolean-mask dispatch, hence bit-identical results.
+    """
+
+    server: ServerSpec
+    spec: WorkloadSpec
+    use_cache: bool
+    arrivals: ArrayDescriptor
+    demands: ArrayDescriptor
+
+
+#: LRU bounds of the per-worker-process characterisation cache.  A pool
+#: worker outlives one farm run (and under an externally managed pool may
+#: serve many different farms), so the cache must carry an explicit bound —
+#: the same LRU discipline :class:`CharacterizationCache` applies everywhere
+#: else — rather than growing with every farm a worker ever shards.
+_PROCESS_CACHE_MAX_TABLES = 512
+_PROCESS_CACHE_MAX_KERNELS = 8
+
 #: Per-worker-process characterisation cache (see :class:`ServerShardTask`).
 #: Created lazily inside a worker; never populated in the parent process.
 _PROCESS_CACHE: CharacterizationCache | None = None
@@ -149,15 +193,56 @@ _PROCESS_CACHE: CharacterizationCache | None = None
 def _process_local_cache() -> CharacterizationCache:
     global _PROCESS_CACHE
     if _PROCESS_CACHE is None:
-        _PROCESS_CACHE = CharacterizationCache()
+        _PROCESS_CACHE = CharacterizationCache(
+            max_tables=_PROCESS_CACHE_MAX_TABLES,
+            max_kernels=_PROCESS_CACHE_MAX_KERNELS,
+        )
     return _PROCESS_CACHE
+
+
+def _run_shard(
+    server: ServerSpec, spec: WorkloadSpec, jobs: JobTrace, use_cache: bool
+) -> RuntimeResult:
+    """Run one server's epoch loop in a worker (shared by both shard kinds).
+
+    When the worker-local cache is in play, the shard's hit/miss deltas are
+    folded into ``RuntimeResult.extra`` (``process_cache_*`` keys), so the
+    parent can observe per-shard cache effectiveness — state that otherwise
+    dies with the worker.  The counters are observability only; they never
+    feed back into results.
+    """
+    cache = _process_local_cache() if use_cache else None
+    before = cache.stats.as_dict() if cache is not None else None
+    runtime = _build_server_runtime(server, spec, cache)
+    result = runtime.run(jobs)
+    if cache is not None and before is not None:
+        after = cache.stats.as_dict()
+        extra = dict(result.extra)
+        for key, value in after.items():
+            extra[f"process_cache_{key}"] = float(value - before.get(key, 0))
+        result = replace(result, extra=extra)
+    return result
 
 
 def run_server_shard(task: ServerShardTask) -> RuntimeResult:
     """Run one server's epoch loop over its shard (process-pool work fn)."""
-    cache = _process_local_cache() if task.use_cache else None
-    runtime = _build_server_runtime(task.server, task.spec, cache)
-    return runtime.run(task.jobs)
+    return _run_shard(task.server, task.spec, task.jobs, task.use_cache)
+
+
+def run_shared_server_shard(task: SharedServerShardTask) -> RuntimeResult:
+    """Zero-copy process-pool work fn: resolve descriptors, then run.
+
+    ``load`` copies this server's contiguous grouped range into private
+    worker memory (exactly the arrays the memory path would have pickled
+    over), so the reader detaches before the epoch loop runs — no shared
+    buffer outlives the ``with`` block, and the parent's unlink can never
+    invalidate arrays mid-simulation.
+    """
+    with ArenaReader() as reader:
+        arrivals = reader.load(task.arrivals)
+        demands = reader.load(task.demands)
+    jobs = JobTrace.from_validated_arrays(arrivals, demands)
+    return _run_shard(task.server, task.spec, jobs, task.use_cache)
 
 
 def prorated_idle_energy(
@@ -471,6 +556,19 @@ class ServerFarm:
     chunk_jobs:
         When set, :meth:`run` streams the trace through the farm in
         arrival-ordered chunks of this many jobs (see :meth:`run`).
+    trace_backend:
+        Where the trace's arrays live while the farm runs (``"memory"``,
+        ``"shm"``, ``"mmap"`` — see :mod:`repro.workloads.storage`).  With
+        ``"shm"`` or ``"mmap"``, the process executor switches to zero-copy
+        sharding: the trace (and the server-grouped job order) is published
+        into a :class:`~repro.workloads.storage.SharedTraceArena` once and
+        shard tasks carry constant-size descriptors instead of pickled
+        sub-streams.  ``"mmap"`` additionally spills an in-memory trace to
+        a temporary ``.npy`` file and memory-maps it, so the farm's working
+        arrays live on disk (traces loaded via
+        :meth:`JobTrace.from_file(mmap=True) <repro.workloads.jobs.JobTrace.from_file>`
+        are used as-is).  The backend is result-invisible: all backends
+        produce bit-identical :class:`FarmResult`\\ s.
     search_cache:
         Optional :class:`~repro.core.search.CharacterizationCache` shared
         by every policy-search strategy of the farm (attached to each
@@ -487,6 +585,7 @@ class ServerFarm:
     max_workers: int | None = None
     executor: Executor | str | None = None
     chunk_jobs: int | None = None
+    trace_backend: str = TRACE_BACKEND_MEMORY
     search_cache: CharacterizationCache | None = None
 
     def __post_init__(self) -> None:
@@ -499,6 +598,7 @@ class ServerFarm:
         # Resolving validates the name/worker combination up front, so a
         # typo'd executor fails at construction, not mid-run.
         resolve_executor(self.executor, self.max_workers)
+        validate_trace_backend(self.trace_backend)
         if self.chunk_jobs is not None and self.chunk_jobs < 1:
             raise ConfigurationError(
                 f"chunk_jobs must be at least 1, got {self.chunk_jobs}"
@@ -641,6 +741,24 @@ class ServerFarm:
             raise ConfigurationError(
                 f"chunk_jobs must be at least 1, got {chunk_jobs}"
             )
+        if (
+            self.trace_backend == TRACE_BACKEND_MMAP
+            and len(jobs) > 0
+            and not is_mmap_backed(jobs.arrival_times)
+        ):
+            # The mmap backend means "the farm's working trace lives on
+            # disk": spill an in-memory trace to a temporary .npy file and
+            # re-open it memory-mapped.  The binary round trip is exact, so
+            # results are bit-identical to the in-memory run; traces that
+            # are already memmap-backed (JobTrace.from_file) pass through.
+            with tempfile.TemporaryDirectory(prefix="repro_trace_") as tmp:
+                path = f"{tmp}/trace.npy"
+                jobs.to_file(path)
+                spilled = JobTrace.from_file(path, mmap=True, validate=False)
+                return self._run_resolved(spilled, chunk_jobs)
+        return self._run_resolved(jobs, chunk_jobs)
+
+    def _run_resolved(self, jobs: JobTrace, chunk_jobs: int | None) -> FarmResult:
         if chunk_jobs is not None and chunk_jobs < len(jobs):
             if isinstance(self._resolve_executor(), ProcessExecutor):
                 # Process sharding ships each server's whole sub-stream
@@ -653,6 +771,10 @@ class ServerFarm:
         return self._run_one_shot(jobs)
 
     def _run_one_shot(self, jobs: JobTrace) -> FarmResult:
+        if self.trace_backend != TRACE_BACKEND_MEMORY and isinstance(
+            self._resolve_executor(), ProcessExecutor
+        ):
+            return self._run_process_zero_copy(jobs)
         streams: Sequence[JobTrace | None] = self.dispatcher.dispatch(
             jobs, self.num_servers, server_speeds=self.dispatch_speeds
         )
@@ -684,6 +806,70 @@ class ServerFarm:
                 list(zip(runtimes, (stream for _, stream in active))),
             )
         for (index, _), result in zip(active, results):
+            per_server[index] = result
+        return self._assemble_result(per_server)
+
+    def _run_process_zero_copy(self, jobs: JobTrace) -> FarmResult:
+        """One-shot process sharding through a shared-trace arena.
+
+        Instead of materialising per-server :class:`JobTrace` copies and
+        pickling each into its shard (O(trace) serialised bytes per farm),
+        the parent gathers the trace into server-grouped order, publishes
+        the grouped arrays once, and ships constant-size descriptors
+        narrowed to each server's contiguous range.  Grouping uses a
+        *stable* argsort of the assignment, so within each server the jobs
+        keep arrival order — the grouped range for server ``s`` is exactly
+        ``arrivals[np.nonzero(assignment == s)]``, making the worker-side
+        contiguous copies bit-identical to the memory path's masked copies
+        (hence bit-identical ``FarmResult``\\ s).
+        """
+        assignment = self.dispatcher.validated_assignment(
+            jobs, self.num_servers, server_speeds=self.dispatch_speeds
+        )
+        counts = np.bincount(assignment, minlength=self.num_servers)
+        active = [
+            index for index in range(self.num_servers) if counts[index] > 0
+        ]
+        if not active:
+            raise ConfigurationError("no server received any job")
+        order = np.argsort(assignment, kind="stable")
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        executor = self._resolve_executor()
+        use_cache = self.search_cache is not None
+        with contextlib.ExitStack() as stack:
+            directory = (
+                stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro_arena_")
+                )
+                if self.trace_backend == TRACE_BACKEND_MMAP
+                else None
+            )
+            # The with-block guarantees segment unlink on *every* exit —
+            # including a worker crash surfacing as an executor exception.
+            arena = stack.enter_context(
+                SharedTraceArena(self.trace_backend, directory=directory)
+            )
+            arrivals_desc = arena.publish(jobs.arrival_times[order], "arrivals")
+            demands_desc = arena.publish(
+                jobs.service_demands[order], "demands"
+            )
+            tasks = [
+                SharedServerShardTask(
+                    server=self.servers[index],
+                    spec=self.spec,
+                    use_cache=use_cache,
+                    arrivals=arrivals_desc.narrow(
+                        int(offsets[index]), int(counts[index])
+                    ),
+                    demands=demands_desc.narrow(
+                        int(offsets[index]), int(counts[index])
+                    ),
+                )
+                for index in active
+            ]
+            results = executor.map(run_shared_server_shard, tasks)
+        per_server: list[RuntimeResult | None] = [None] * self.num_servers
+        for index, result in zip(active, results):
             per_server[index] = result
         return self._assemble_result(per_server)
 
@@ -793,6 +979,9 @@ class ClusterRuntime:
     chunk_jobs:
         When set, farm runs stream the trace in arrival-ordered chunks of
         this many jobs (see :meth:`ServerFarm.run`).
+    trace_backend:
+        Trace storage backend threaded into the built farm (see
+        :class:`ServerFarm` and :mod:`repro.workloads.storage`).
     search_cache:
         Optional characterisation cache shared by every server's strategy
         (see :class:`ServerFarm`); in a homogeneous cluster all servers
@@ -811,6 +1000,7 @@ class ClusterRuntime:
     scaling: ServiceScaling | None = None
     max_frequency: float = 1.0
     chunk_jobs: int | None = None
+    trace_backend: str = TRACE_BACKEND_MEMORY
     search_cache: CharacterizationCache | None = None
 
     def __post_init__(self) -> None:
@@ -823,6 +1013,7 @@ class ClusterRuntime:
                 f"max_workers must be at least 1, got {self.max_workers}"
             )
         resolve_executor(self.executor, self.max_workers)
+        validate_trace_backend(self.trace_backend)
 
     def as_server_farm(self) -> ServerFarm:
         """The equivalent heterogeneous farm: ``num_servers`` identical specs.
@@ -854,6 +1045,7 @@ class ClusterRuntime:
             max_workers=self.max_workers,
             executor=self.executor,
             chunk_jobs=self.chunk_jobs,
+            trace_backend=self.trace_backend,
             search_cache=self.search_cache,
         )
 

@@ -442,6 +442,10 @@ class RuntimeSession:
             if self._all_response_times
             else np.array([], dtype=float)
         )
+        # Drop the per-epoch fragments: a finished session may outlive the
+        # concatenation (the farm keeps sessions alive while it assembles
+        # results), and holding both doubles peak memory on streaming runs.
+        self._all_response_times = []
         return RuntimeResult(
             strategy=self._runtime._strategy.name,
             predictor=self._runtime._predictor.name,

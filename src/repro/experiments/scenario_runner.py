@@ -75,6 +75,7 @@ from repro.scenarios import (
 )
 from repro.core.search import SEARCHES, SEARCH_FULL
 from repro.simulation.kernel import BACKENDS, BACKEND_VECTORIZED
+from repro.workloads.storage import TRACE_BACKENDS
 
 #: Version tag stamped into (and required from) every scenario report.
 REPORT_SCHEMA = "repro.scenario-report/v2"
@@ -154,6 +155,7 @@ def run_scenario(
     executor: Executor | str | None = None,
     max_workers: int | None = None,
     chunk_jobs: int | None = None,
+    trace_backend: str | None = None,
     overrides: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build, run and report one registered scenario.
@@ -162,7 +164,10 @@ def run_scenario(
     rejected by the scenario).  *executor*/*max_workers* select how the farm
     fans its per-server epoch loops out (serial, thread pool, or process
     sharding — the report is identical whichever executes, which is why the
-    schema carries no executor field).  *chunk_jobs* overrides the farm's
+    schema carries no executor field).  *trace_backend* selects where the
+    trace's arrays live while the farm runs (``"memory"``/``"shm"``/
+    ``"mmap"``; storage is result-invisible like the executor, so the schema
+    carries no backend field either).  *chunk_jobs* overrides the farm's
     streaming chunk size (``0`` forces a one-shot run even if the scenario
     configured chunking).  The returned report is already validated against
     :data:`REPORT_SCHEMA`.
@@ -171,15 +176,23 @@ def run_scenario(
     # 'seed'/'backend' are build() keywords, not scenario parameters; caught
     # here they produce a pointer to the right flag instead of a TypeError
     # from the keyword splat below.
-    reserved = sorted(set(overrides) & {"seed", "backend", "search", "executor"})
+    reserved = sorted(
+        set(overrides) & {"seed", "backend", "search", "executor", "trace_backend"}
+    )
     if reserved:
         raise ExperimentError(
             f"{', '.join(reserved)} cannot be set via overrides; use the "
-            "dedicated seed/backend/search/executor arguments "
-            "(CLI: --seed / --backend / --search-mode / --executor)"
+            "dedicated seed/backend/search/executor/trace_backend arguments "
+            "(CLI: --seed / --backend / --search-mode / --executor / "
+            "--trace-backend)"
         )
     built = get_scenario(name).build(
-        seed=seed, backend=backend, search=search, executor=executor, **overrides
+        seed=seed,
+        backend=backend,
+        search=search,
+        executor=executor,
+        trace_backend=trace_backend,
+        **overrides,
     )
     farm = built.farm
     if max_workers is not None:
@@ -458,6 +471,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace-backend",
+        choices=list(TRACE_BACKENDS),
+        default=None,
+        help=(
+            "where the trace's arrays live while the farm runs: 'memory' "
+            "(default), 'shm' (zero-copy process sharding via shared-memory "
+            "descriptors), or 'mmap' (trace memory-mapped from a .npy file, "
+            "for larger-than-RAM runs); results are identical whichever is "
+            "selected"
+        ),
+    )
+    parser.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -489,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
         executor=arguments.executor,
         max_workers=arguments.workers,
         chunk_jobs=arguments.chunk_jobs,
+        trace_backend=arguments.trace_backend,
         overrides=overrides,
     )
     text = json.dumps(report, indent=2, sort_keys=False)

@@ -37,6 +37,7 @@ from repro.exceptions import ScenarioError
 from repro.simulation.kernel import BACKEND_VECTORIZED, validate_backend
 from repro.workloads.jobs import JobTrace
 from repro.workloads.spec import WorkloadSpec
+from repro.workloads.storage import validate_trace_backend
 
 
 @dataclass(frozen=True)
@@ -116,7 +117,9 @@ class Scenario:
 
     #: Builder keywords owned by :meth:`build` itself; a declared parameter
     #: (or an override splatted into ``build``) must never collide with them.
-    RESERVED_NAMES = frozenset({"seed", "backend", "search", "executor"})
+    RESERVED_NAMES = frozenset(
+        {"seed", "backend", "search", "executor", "trace_backend"}
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -130,8 +133,8 @@ class Scenario:
         if reserved:
             raise ScenarioError(
                 f"scenario {self.name!r} declares reserved parameter name(s) "
-                f"{reserved}; 'seed', 'backend', 'search' and 'executor' are "
-                "handled by build() itself"
+                f"{reserved}; 'seed', 'backend', 'search', 'executor' and "
+                "'trace_backend' are handled by build() itself"
             )
 
     def parameter_defaults(self) -> dict[str, Any]:
@@ -145,6 +148,7 @@ class Scenario:
         backend: str = BACKEND_VECTORIZED,
         search: str = SEARCH_FULL,
         executor: Executor | str | None = None,
+        trace_backend: str | None = None,
         **overrides: Any,
     ) -> BuiltScenario:
         """Materialise the scenario with *overrides* applied over the defaults.
@@ -155,13 +159,18 @@ class Scenario:
         search strategy of the scenario is built with; ``"frontier"`` also
         attaches one shared characterisation cache across the farm.
         ``executor`` selects how the built farm fans its per-server epoch
-        loops out (``"serial"``/``"thread"``/``"process"``); results are
-        identical across executors, so builders never see it — it is applied
-        to the built farm directly.
+        loops out (``"serial"``/``"thread"``/``"process"``) and
+        ``trace_backend`` where the trace's arrays live while it runs
+        (``"memory"``/``"shm"``/``"mmap"``; see
+        :mod:`repro.workloads.storage`); neither changes results — the
+        parity suites pin this — so builders never see them; both are
+        applied to the built farm directly.
         """
         validate_backend(backend)
         validate_search(search)
         validate_executor(executor)
+        if trace_backend is not None:
+            validate_trace_backend(trace_backend)
         declared = {parameter.name for parameter in self.parameters}
         unknown = sorted(set(overrides) - declared)
         if unknown:
@@ -199,6 +208,12 @@ class Scenario:
             # is applied to the built farm afterwards.
             built = dataclasses.replace(
                 built, farm=dataclasses.replace(built.farm, executor=executor)
+            )
+        if trace_backend is not None:
+            # Same contract as the executor: storage is result-invisible.
+            built = dataclasses.replace(
+                built,
+                farm=dataclasses.replace(built.farm, trace_backend=trace_backend),
             )
         return built
 

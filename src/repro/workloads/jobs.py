@@ -85,6 +85,39 @@ class JobTrace:
     # -- constructors --------------------------------------------------------
 
     @classmethod
+    def from_validated_arrays(
+        cls,
+        arrival_times: np.ndarray,
+        service_demands: np.ndarray,
+    ) -> "JobTrace":
+        """Wrap arrays whose invariants are already known to hold — O(1).
+
+        Every slice, boolean mask, or sorted fancy-index of a validated
+        trace's arrays still satisfies the trace invariants (finite,
+        non-negative, arrivals non-decreasing), so re-running the O(n)
+        ``isfinite``/``diff`` scans on them is pure overhead — at farm scale
+        the dispatcher re-scanned the entire trace once per server.  This
+        trusted constructor skips the scans and only normalises dtype/shape.
+
+        Only for arrays *derived from an already-validated trace* (or
+        validated externally, e.g. by
+        :func:`repro.workloads.storage.validate_trace_arrays`).  Arbitrary
+        input must keep going through the validating constructor.
+        """
+        arrivals = np.asarray(arrival_times, dtype=float)
+        demands = np.asarray(service_demands, dtype=float)
+        if arrivals.ndim != 1 or demands.ndim != 1:
+            raise TraceError("arrival times and service demands must be 1-D")
+        if arrivals.size != demands.size:
+            raise TraceError(
+                f"got {arrivals.size} arrival times but {demands.size} service demands"
+            )
+        trace = cls.__new__(cls)
+        trace._arrivals = arrivals
+        trace._demands = demands
+        return trace
+
+    @classmethod
     def empty(cls) -> "JobTrace":
         """A trace containing no jobs at all.
 
@@ -273,14 +306,20 @@ class JobTrace:
         mask = (self._arrivals >= start) & (self._arrivals < end)
         if not np.any(mask):
             return None
-        return JobTrace(self._arrivals[mask] - start, self._demands[mask])
+        # Masked views of validated arrays keep every invariant (start >= 0,
+        # so the re-basing cannot go negative): trusted construction.
+        return JobTrace.from_validated_arrays(
+            self._arrivals[mask] - start, self._demands[mask]
+        )
 
     def head(self, count: int) -> "JobTrace":
         """The first *count* jobs of the trace."""
         if count < 1:
             raise TraceError(f"head count must be >= 1, got {count}")
         count = min(count, len(self))
-        return JobTrace(self._arrivals[:count], self._demands[:count])
+        return JobTrace.from_validated_arrays(
+            self._arrivals[:count], self._demands[:count]
+        )
 
     def tail(self, count: int) -> "JobTrace":
         """The last *count* jobs of the trace, re-based to start at time 0.
@@ -296,7 +335,9 @@ class JobTrace:
             raise TraceError(f"tail count must be >= 1, got {count}")
         count = min(count, len(self))
         arrivals = self._arrivals[-count:]
-        return JobTrace(arrivals - arrivals[0], self._demands[-count:])
+        return JobTrace.from_validated_arrays(
+            arrivals - arrivals[0], self._demands[-count:]
+        )
 
     def concatenated(self, other: "JobTrace", gap: float = 0.0) -> "JobTrace":
         """Append *other* after this trace, separated by *gap* seconds."""
@@ -322,6 +363,42 @@ class JobTrace:
             writer.writerow(["arrival_s", "service_demand_s"])
             for arrival, demand in zip(self._arrivals, self._demands):
                 writer.writerow([f"{arrival:.9f}", f"{demand:.9f}"])
+
+    def to_file(self, path: str | Path) -> None:
+        """Write the trace as a binary ``.npy`` file (lossless, mmap-able).
+
+        The on-disk form is one ``(2, n)`` float64 array — row 0 arrival
+        times, row 1 service demands — written through a memory map in
+        bounded chunks, so even a trace whose arrays are themselves
+        memory-mapped spills to disk without materialising.  Unlike
+        :meth:`to_csv` (the human-readable interchange format, which rounds
+        to nanoseconds), the round trip through :meth:`from_file` is exact.
+        """
+        from repro.workloads.storage import TraceBuffer
+
+        TraceBuffer.write_file(path, self._arrivals, self._demands)
+
+    @classmethod
+    def from_file(
+        cls, path: str | Path, *, mmap: bool = True, validate: bool = True
+    ) -> "JobTrace":
+        """Load a trace written by :meth:`to_file`.
+
+        With ``mmap=True`` (default) the trace's arrays are read-only views
+        of a :class:`numpy.memmap`, so a trace larger than RAM can stream
+        through ``ServerFarm.run(chunk_jobs=...)`` — only the pages a chunk
+        touches are resident.  Validation runs the usual trace invariants in
+        bounded-memory chunks; pass ``validate=False`` only for files this
+        process (or an equally trusted one) wrote from a validated trace.
+        """
+        from repro.workloads.storage import TraceBuffer
+
+        buffer = TraceBuffer.from_file(path, mmap=mmap)
+        if len(buffer) == 0:
+            raise TraceError(f"{path} contains no jobs")
+        if validate:
+            buffer.validate()
+        return buffer.as_trace()
 
     @classmethod
     def from_csv(cls, path: str | Path) -> "JobTrace":

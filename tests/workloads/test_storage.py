@@ -1,0 +1,396 @@
+"""Trace storage backends: descriptors, arenas, readers, file round trips.
+
+The contracts pinned here:
+
+* whatever the backend, the arrays a reader reconstructs are byte-identical
+  to the published ones (the substrate of the farm-level parity suite);
+* shared segments never leak — normal exit, exceptions, refused teardown
+  under live views, idempotent close;
+* the ``.npy`` trace file round trip is exact (unlike the CSV interchange
+  format, which rounds), and validation of memory-mapped files runs in
+  bounded chunks with the same error surface as the trusting-nothing
+  :class:`JobTrace` constructor.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.workloads.jobs import JobTrace
+from repro.workloads.storage import (
+    SHM_PREFIX,
+    TRACE_BACKENDS,
+    ArenaReader,
+    ArrayDescriptor,
+    SharedTraceArena,
+    TraceBuffer,
+    is_mmap_backed,
+    validate_trace_arrays,
+    validate_trace_backend,
+)
+
+
+def shm_segments() -> set[str]:
+    """The arena-owned segments currently present under ``/dev/shm``."""
+    return set(glob.glob(f"/dev/shm/{SHM_PREFIX}*"))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = shm_segments()
+    yield
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def make_trace(n: int = 64, seed: int = 0) -> JobTrace:
+    rng = np.random.default_rng(seed)
+    arrivals = np.cumsum(rng.uniform(0.001, 0.1, size=n))
+    demands = rng.uniform(0.0001, 0.05, size=n)
+    return JobTrace(arrivals, demands)
+
+
+#: Sorted non-negative finite float arrays — a valid arrival process.
+arrival_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+).map(sorted)
+
+
+class TestBackendNames:
+    def test_registry(self):
+        assert TRACE_BACKENDS == ("memory", "shm", "mmap")
+        for backend in TRACE_BACKENDS:
+            assert validate_trace_backend(backend) == backend
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown trace backend"):
+            validate_trace_backend("tape")
+
+
+class TestArrayDescriptor:
+    def test_narrow_sub_range(self):
+        descriptor = ArrayDescriptor("shm", "seg", "<f8", 0, 100)
+        narrowed = descriptor.narrow(10, 25)
+        assert narrowed.offset == 10
+        assert narrowed.length == 25
+        assert narrowed.location == "seg"
+        # Narrowing composes: offsets accumulate.
+        assert narrowed.narrow(5, 5).offset == 15
+
+    def test_narrow_out_of_range(self):
+        descriptor = ArrayDescriptor("shm", "seg", "<f8", 0, 10)
+        with pytest.raises(ConfigurationError, match="narrow"):
+            descriptor.narrow(5, 6)
+        with pytest.raises(ConfigurationError, match="narrow"):
+            descriptor.narrow(-1, 2)
+
+    def test_invalid_kind_and_ranges(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            ArrayDescriptor("memory", "x", "<f8", 0, 1)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            ArrayDescriptor("shm", "x", "<f8", -1, 1)
+
+    def test_picklable_and_tiny(self):
+        import pickle
+
+        descriptor = ArrayDescriptor("shm", "seg", "<f8", 0, 10**9)
+        blob = pickle.dumps(descriptor)
+        assert pickle.loads(blob) == descriptor
+        # The whole point: constant-size regardless of the array it names.
+        assert len(blob) < 200
+
+
+class TestChunkedValidation:
+    def test_accepts_valid_arrays(self):
+        trace = make_trace(500)
+        validate_trace_arrays(trace.arrival_times, trace.service_demands)
+
+    @pytest.mark.parametrize(
+        "arrivals, demands, message",
+        [
+            ([0.0, 1.0], [0.1], "service demands"),
+            ([0.0, np.nan], [0.1, 0.1], "finite"),
+            ([0.0, 1.0], [0.1, -0.1], "non-negative"),
+            ([1.0, 0.5], [0.1, 0.1], "non-decreasing"),
+        ],
+    )
+    def test_rejects_like_the_constructor(self, arrivals, demands, message):
+        with pytest.raises(TraceError, match=message):
+            validate_trace_arrays(np.asarray(arrivals, dtype=float), np.asarray(demands, dtype=float))
+
+    def test_cross_chunk_ordering_violation_detected(self):
+        # The regression a chunked scan can miss: each chunk sorted, but the
+        # boundary between chunks goes backwards.
+        arrivals = np.asarray([0.0, 1.0, 2.0, 1.5, 1.6, 1.7])
+        demands = np.full(6, 0.1)
+        with pytest.raises(TraceError, match="non-decreasing"):
+            validate_trace_arrays(arrivals, demands, chunk=3)
+
+    def test_chunking_is_result_invisible(self):
+        trace = make_trace(100)
+        for chunk in (1, 7, 100, 1000):
+            validate_trace_arrays(
+                trace.arrival_times, trace.service_demands, chunk=chunk
+            )
+
+
+class TestSharedTraceArena:
+    def test_publish_view_roundtrip(self):
+        trace = make_trace(200)
+        with SharedTraceArena("shm") as arena:
+            arrivals_desc, demands_desc = arena.publish_trace(trace)
+            assert np.array_equal(arena.view(arrivals_desc), trace.arrival_times)
+            assert np.array_equal(arena.view(demands_desc), trace.service_demands)
+            assert not arena.view(arrivals_desc).flags.writeable
+            arena.release_view()
+            arena.release_view()
+            arena.release_view()
+
+    def test_narrowed_views_are_the_slices(self):
+        data = np.arange(100, dtype=np.int64)
+        with SharedTraceArena("shm") as arena:
+            descriptor = arena.publish(data, "indices")
+            view = arena.view(descriptor.narrow(40, 10))
+            assert np.array_equal(view, np.arange(40, 50))
+            del view
+            arena.release_view()
+
+    def test_segments_unlinked_on_normal_exit(self):
+        before = shm_segments()
+        with SharedTraceArena("shm") as arena:
+            arena.publish(np.arange(10.0), "a")
+            assert shm_segments() - before
+        assert shm_segments() == before
+
+    def test_segments_unlinked_on_exception(self):
+        before = shm_segments()
+        with pytest.raises(RuntimeError, match="boom"):
+            with SharedTraceArena("shm") as arena:
+                arena.publish(np.arange(10.0), "a")
+                raise RuntimeError("boom")
+        assert shm_segments() == before
+
+    def test_close_is_idempotent(self):
+        arena = SharedTraceArena("shm")
+        arena.publish(np.arange(4.0), "a")
+        arena.close()
+        arena.close()
+        assert arena.closed
+
+    def test_close_refuses_under_live_views_unless_forced(self):
+        arena = SharedTraceArena("shm")
+        descriptor = arena.publish(np.arange(4.0), "a")
+        view = arena.view(descriptor)
+        with pytest.raises(ConfigurationError, match="open view"):
+            arena.close()
+        del view
+        arena.close(force=True)
+
+    def test_release_without_view_rejected(self):
+        with SharedTraceArena("shm") as arena:
+            with pytest.raises(ConfigurationError, match="release_view"):
+                arena.release_view()
+
+    def test_publish_after_close_rejected(self):
+        arena = SharedTraceArena("shm")
+        arena.close()
+        with pytest.raises(ConfigurationError, match="closed"):
+            arena.publish(np.arange(3.0), "late")
+
+    def test_view_of_foreign_descriptor_rejected(self):
+        foreign = ArrayDescriptor("shm", "reproshm_not_ours", "<f8", 0, 4)
+        with SharedTraceArena("shm") as arena:
+            with pytest.raises(ConfigurationError, match="not published"):
+                arena.view(foreign)
+
+    def test_empty_array_roundtrip(self):
+        with SharedTraceArena("shm") as arena:
+            descriptor = arena.publish(np.empty(0), "empty")
+            assert descriptor.length == 0
+            assert arena.view(descriptor).size == 0
+            arena.release_view()
+
+    def test_mmap_backend_needs_directory(self):
+        with pytest.raises(ConfigurationError, match="directory"):
+            SharedTraceArena("mmap")
+
+    def test_memory_is_not_an_arena_backend(self):
+        with pytest.raises(ConfigurationError, match="'shm' or 'mmap'"):
+            SharedTraceArena("memory")
+
+    def test_mmap_arena_files_deleted_on_close(self, tmp_path):
+        with SharedTraceArena("mmap", directory=tmp_path) as arena:
+            descriptor = arena.publish(np.arange(32.0), "a")
+            assert list(tmp_path.iterdir())
+            view = arena.view(descriptor.narrow(8, 4))
+            assert np.array_equal(view, np.arange(8.0, 12.0))
+            del view
+            arena.release_view()
+        assert not list(tmp_path.iterdir())
+
+
+class TestArenaReader:
+    def test_reader_resolves_shm_descriptors(self):
+        trace = make_trace(64)
+        with SharedTraceArena("shm") as arena:
+            arrivals_desc, demands_desc = arena.publish_trace(trace)
+            with ArenaReader() as reader:
+                arrivals = np.array(reader.view(arrivals_desc))
+                demands = reader.load(demands_desc)
+            assert np.array_equal(arrivals, trace.arrival_times)
+            assert np.array_equal(demands, trace.service_demands)
+
+    def test_reader_views_are_read_only(self):
+        with SharedTraceArena("shm") as arena:
+            descriptor = arena.publish(np.arange(8.0), "a")
+            with ArenaReader() as reader:
+                view = reader.view(descriptor)
+                with pytest.raises(ValueError, match="read-only"):
+                    view[0] = 1.0
+                del view
+
+    def test_reader_never_unlinks(self):
+        with SharedTraceArena("shm") as arena:
+            descriptor = arena.publish(np.arange(8.0), "a")
+            with ArenaReader() as reader:
+                reader.load(descriptor)
+            # The segment must survive the reader: ownership is the arena's.
+            with ArenaReader() as again:
+                assert again.load(descriptor).size == 8
+
+    def test_reader_resolves_mmap_descriptors(self, tmp_path):
+        with SharedTraceArena("mmap", directory=tmp_path) as arena:
+            descriptor = arena.publish(np.arange(16.0), "a")
+            with ArenaReader() as reader:
+                assert np.array_equal(
+                    reader.load(descriptor.narrow(4, 4)), np.arange(4.0, 8.0)
+                )
+
+
+class TestTraceBufferFile:
+    def test_roundtrip_exact(self, tmp_path):
+        trace = make_trace(300, seed=7)
+        path = tmp_path / "trace.npy"
+        trace.to_file(path)
+        for mmap in (True, False):
+            loaded = JobTrace.from_file(path, mmap=mmap)
+            assert np.array_equal(loaded.arrival_times, trace.arrival_times)
+            assert np.array_equal(loaded.service_demands, trace.service_demands)
+            assert is_mmap_backed(loaded.arrival_times) == mmap
+
+    @given(arrivals=arrival_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_is_bitwise_lossless(self, arrivals, tmp_path_factory):
+        # to_csv rounds to nanoseconds; the binary file must not lose a ulp.
+        demands = [1e-9 * (index + 1) for index in range(len(arrivals))]
+        trace = JobTrace(arrivals, demands)
+        path = tmp_path_factory.mktemp("traces") / "roundtrip.npy"
+        trace.to_file(path)
+        loaded = JobTrace.from_file(path)
+        assert np.array_equal(loaded.arrival_times, trace.arrival_times)
+        assert np.array_equal(loaded.service_demands, trace.service_demands)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="does not exist"):
+            JobTrace.from_file(tmp_path / "nope.npy")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.npy"
+        TraceBuffer.write_file(path, np.empty(0), np.empty(0))
+        with pytest.raises(TraceError, match="no jobs"):
+            JobTrace.from_file(path)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.arange(12.0).reshape(3, 4))
+        with pytest.raises(TraceError, match="not a trace file"):
+            JobTrace.from_file(path)
+
+    def test_validation_on_load_catches_corruption(self, tmp_path):
+        path = tmp_path / "corrupt.npy"
+        arrivals = np.asarray([0.0, 2.0, 1.0])
+        TraceBuffer.write_file(path, arrivals, np.full(3, 0.1))
+        with pytest.raises(TraceError, match="non-decreasing"):
+            JobTrace.from_file(path)
+        # validate=False is the trusted fast path for files we just wrote.
+        assert len(JobTrace.from_file(path, validate=False)) == 3
+
+    def test_mismatched_arrays_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="matching 1-D"):
+            TraceBuffer.write_file(tmp_path / "x.npy", np.arange(3.0), np.arange(2.0))
+
+
+class TestTraceBufferBackends:
+    @given(arrivals=arrival_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_all_backends_expose_identical_arrays(self, arrivals, tmp_path_factory):
+        demands = [0.001] * len(arrivals)
+        trace = JobTrace(arrivals, demands)
+        memory = TraceBuffer.in_memory(trace.arrival_times, trace.service_demands)
+        with SharedTraceArena("shm") as shm_arena:
+            shm = TraceBuffer.shared(trace, shm_arena)
+            directory = tmp_path_factory.mktemp("arena")
+            with SharedTraceArena("mmap", directory=directory) as mmap_arena:
+                mmap = TraceBuffer.shared(trace, mmap_arena)
+                for buffer in (memory, shm, mmap):
+                    assert np.array_equal(buffer.arrivals, trace.arrival_times)
+                    assert np.array_equal(buffer.demands, trace.service_demands)
+                    assert len(buffer) == len(trace)
+                    assert buffer.as_trace() == trace
+                del mmap
+                mmap_arena.release_view()
+                mmap_arena.release_view()
+            del shm
+            shm_arena.release_view()
+            shm_arena.release_view()
+
+    def test_iter_chunks_covers_the_trace_in_order(self):
+        trace = make_trace(100)
+        buffer = TraceBuffer.in_memory(trace.arrival_times, trace.service_demands)
+        pieces = list(buffer.iter_chunks(17))
+        assert sum(len(a) for a, _ in pieces) == 100
+        assert np.array_equal(
+            np.concatenate([a for a, _ in pieces]), trace.arrival_times
+        )
+        with pytest.raises(ConfigurationError, match="chunk"):
+            next(buffer.iter_chunks(0))
+
+
+class TestTrustedConstructor:
+    def test_skips_the_scans(self):
+        # Documented trust: invariant-violating arrays pass through, because
+        # the constructor is only for arrays derived from validated traces.
+        trace = JobTrace.from_validated_arrays(
+            np.asarray([2.0, 1.0]), np.asarray([0.1, 0.1])
+        )
+        assert len(trace) == 2
+
+    def test_still_checks_shape_agreement(self):
+        with pytest.raises(TraceError, match="service demands"):
+            JobTrace.from_validated_arrays(np.arange(3.0), np.arange(2.0))
+        with pytest.raises(TraceError, match="1-D"):
+            JobTrace.from_validated_arrays(
+                np.arange(4.0).reshape(2, 2), np.arange(4.0).reshape(2, 2)
+            )
+
+    def test_derived_traces_match_the_validating_path(self):
+        trace = make_trace(50)
+        head = trace.head(10)
+        tail = trace.tail(10)
+        window = trace.slice_by_time(trace.start_time, trace.end_time)
+        assert head == JobTrace(trace.arrival_times[:10], trace.service_demands[:10])
+        assert len(tail) == 10
+        assert window is not None
+        # Every derived trace still satisfies the invariants it skipped
+        # re-checking (they are preserved by construction).
+        for derived in (head, tail, window):
+            validate_trace_arrays(derived.arrival_times, derived.service_demands)
