@@ -1,0 +1,181 @@
+"""Farm-controller benchmark: energy saved by right-sizing at equal QoS.
+
+Runs the registered ``autoscale-diurnal`` scenario (an over-provisioned
+fleet of shallow-sleep Xeon servers under a day/night cycle) once per
+right-sizing policy — ``always-on`` (the reference), ``reactive`` and
+``predictive`` — with the scenario's real setup costs, and reports total
+energy, the setup bill, and the energy saved relative to always-on.
+
+Two gates, both deterministic (the simulation is seeded, so they are
+enforced on any machine):
+
+* **Parity**: a setup-free ``always-on`` controller must be bit-identical
+  to an uncontrolled run of the same farm — same total energy, same
+  per-server response-time arrays.  Any divergence aborts the benchmark.
+* **Savings at equal QoS**: the ``reactive`` policy must save at least
+  ``--min-savings`` (default 15%) of the always-on energy while still
+  meeting the farm's response-time budget, and always-on itself must meet
+  the budget (otherwise "equal QoS" would be vacuous).
+
+Run directly (sizes shrink for CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_controller.py --output BENCH_pr7.json
+    PYTHONPATH=src python benchmarks/bench_controller.py --duration-minutes 12
+
+Not a pytest module on purpose: the measurements need fixed sizes and a
+JSON artifact, not statistical repetition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from datetime import date
+
+import numpy as np
+
+from repro.cluster.controller import CONTROLLER_POLICIES, FarmController, SetupModel
+from repro.scenarios import get_scenario
+
+SCENARIO = "autoscale-diurnal"
+
+
+def _assert_parity(oracle, candidate) -> None:
+    if candidate.total_energy != oracle.total_energy:
+        raise SystemExit(
+            "FATAL: setup-free always-on controller diverged from the "
+            f"uncontrolled run (energy {candidate.total_energy!r} != "
+            f"{oracle.total_energy!r})"
+        )
+    for index, (one, other) in enumerate(
+        zip(oracle.per_server, candidate.per_server)
+    ):
+        if (one is None) != (other is None):
+            raise SystemExit(
+                f"FATAL: controller changed server {index}'s activity "
+                "(different dispatch assignments)"
+            )
+        if one is not None and not np.array_equal(
+            one.response_times, other.response_times
+        ):
+            raise SystemExit(
+                f"FATAL: controller changed server {index}'s response times"
+            )
+
+
+def check_parity(sizes: dict) -> None:
+    """Setup-free always-on vs no controller at all: bit-identical."""
+    scenario = get_scenario(SCENARIO)
+    built = scenario.build(**sizes)
+    plain = dataclasses.replace(
+        built, farm=dataclasses.replace(built.farm, controller=None)
+    )
+    controlled = scenario.build(
+        controller=FarmController(policy="always-on", setup=SetupModel.free()),
+        **sizes,
+    )
+    _assert_parity(plain.run(), controlled.run())
+    print("parity: setup-free always-on == uncontrolled (bit-identical)")
+
+
+def bench(sizes: dict) -> dict:
+    rows: dict[str, dict] = {}
+    for policy in CONTROLLER_POLICIES:
+        built = get_scenario(SCENARIO).build(policy=policy, **sizes)
+        result = built.run()
+        awake = result.awake_counts or ()
+        rows[policy] = {
+            "total_energy_j": result.total_energy,
+            "setup_energy_j": result.setup_energy,
+            "mean_response_time_s": result.mean_response_time,
+            "meets_qos": bool(result.meets_budget),
+            "mean_awake": round(sum(awake) / max(len(awake), 1), 3),
+            "wake_transitions": sum(
+                1 for _, _, kind in (result.wake_transitions or ())
+                if kind == "wake"
+            ),
+        }
+    reference = rows["always-on"]["total_energy_j"]
+    for policy in CONTROLLER_POLICIES:
+        savings = 1.0 - rows[policy]["total_energy_j"] / reference
+        rows[policy]["savings_vs_always_on"] = round(savings, 4)
+        print(
+            f"  {policy:10s} {rows[policy]['total_energy_j']:14.2f} J  "
+            f"savings {savings:7.1%}  "
+            f"qos={'ok' if rows[policy]['meets_qos'] else 'VIOLATED'}  "
+            f"mean awake {rows[policy]['mean_awake']:.2f}"
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration-minutes", type=int, default=40)
+    parser.add_argument("--servers", type=int, default=4)
+    parser.add_argument("--setup-latency", type=float, default=30.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--min-savings",
+        type=float,
+        default=0.15,
+        help="required reactive-policy energy savings vs always-on",
+    )
+    parser.add_argument("--output", type=str, default=None, metavar="FILE")
+    arguments = parser.parse_args(argv)
+
+    sizes = dict(
+        seed=arguments.seed,
+        duration_minutes=arguments.duration_minutes,
+        servers=arguments.servers,
+        setup_latency_s=arguments.setup_latency,
+    )
+    print(
+        f"{SCENARIO}: {arguments.servers} servers, "
+        f"{arguments.duration_minutes} min, "
+        f"setup {arguments.setup_latency} s, seed {arguments.seed}"
+    )
+    check_parity(sizes)
+    rows = bench(sizes)
+
+    if not rows["always-on"]["meets_qos"]:
+        raise SystemExit(
+            "FATAL: the always-on reference violates the response-time "
+            "budget; the equal-QoS comparison is vacuous at these sizes"
+        )
+    if not rows["reactive"]["meets_qos"]:
+        raise SystemExit(
+            "FATAL: the reactive policy violates the response-time budget "
+            "(savings at unequal QoS do not count)"
+        )
+    savings = rows["reactive"]["savings_vs_always_on"]
+    if savings < arguments.min_savings:
+        raise SystemExit(
+            f"FATAL: reactive right-sizing saved {savings:.1%}, below the "
+            f"required {arguments.min_savings:.0%} vs always-on"
+        )
+    print(
+        f"gate: reactive saves {savings:.1%} >= {arguments.min_savings:.0%} "
+        "at equal QoS"
+    )
+
+    report = {
+        "benchmark": "farm-controller",
+        "generated": date.today().isoformat(),
+        "scenario": SCENARIO,
+        "parity": True,
+        "savings_gate": f">= {arguments.min_savings:.0%} at equal QoS",
+        "sizes": sizes,
+        "policies": rows,
+    }
+    if arguments.output:
+        with open(arguments.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {arguments.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,23 @@
 Homogeneous farms run through :class:`ClusterRuntime`; heterogeneous farms
 (mixed platforms, per-server policy managers) through :class:`ServerFarm`
 with one :class:`ServerSpec` per server.  Dispatchers decide which server
-each arriving job lands on; see :mod:`repro.cluster.dispatch`.
+each arriving job lands on (see :mod:`repro.cluster.dispatch`), and an
+optional :class:`FarmController` right-sizes the awake server set across
+epochs (see :mod:`repro.cluster.controller`).
 """
 
+from repro.cluster.controller import (
+    CONTROLLER_POLICIES,
+    AlwaysOnPolicy,
+    ControllerSchedule,
+    FarmController,
+    PredictivePolicy,
+    ReactiveThresholdPolicy,
+    RightSizingPolicy,
+    SetupModel,
+    controller_assignment,
+    make_policy,
+)
 from repro.cluster.dispatch import (
     DISPATCH_ENGINES,
     ENGINE_HEAP,
@@ -32,22 +46,32 @@ from repro.cluster.farm import (
 )
 
 __all__ = [
+    "CONTROLLER_POLICIES",
     "DISPATCH_ENGINES",
     "ENGINE_HEAP",
     "ENGINE_LOOP",
+    "AlwaysOnPolicy",
     "ClusterRuntime",
+    "ControllerSchedule",
+    "FarmController",
     "FarmResult",
     "JobDispatcher",
     "LeastLoadedDispatcher",
     "PerIndexFactory",
     "PowerAwareDispatcher",
+    "PredictivePolicy",
     "RandomDispatcher",
+    "ReactiveThresholdPolicy",
+    "RightSizingPolicy",
     "RoundRobinDispatcher",
     "ServerFarm",
     "ServerShardTask",
     "ServerSpec",
+    "SetupModel",
     "StreamAssigner",
     "WorkTracker",
+    "controller_assignment",
+    "make_policy",
     "merge_streams",
     "prorated_idle_energy",
     "run_server_shard",

@@ -283,6 +283,19 @@ class JobDispatcher(abc.ABC):
             )
         return streams
 
+    def restrict(self, indices: Sequence[int]) -> "JobDispatcher":
+        """A dispatcher over the sub-farm ``indices`` (ascending, 0-based).
+
+        The farm controller masks dispatch to the currently serviceable
+        servers by calling the restricted dispatcher with *local* indices
+        ``0..len(indices)-1`` and mapping its assignment back to global
+        indices.  Dispatchers whose configuration is per-server
+        (:class:`RandomDispatcher` weights, :class:`PowerAwareDispatcher`
+        idle powers) override this to narrow that configuration; stateless
+        dispatchers are their own restriction.
+        """
+        return self
+
 
 # ---------------------------------------------------------------------------
 # Stateless dispatchers
@@ -384,6 +397,13 @@ class RandomDispatcher(JobDispatcher):
                 np.random.SeedSequence((self._seed, total_jobs or 0))
             )
         return _RandomAssigner(num_servers, rng, probabilities)
+
+    def restrict(self, indices: Sequence[int]) -> "RandomDispatcher":
+        if self._weights is None:
+            return self
+        return RandomDispatcher(
+            seed=self._seed, weights=self._weights[list(indices)]
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -940,6 +960,13 @@ class PowerAwareDispatcher(JobDispatcher):
             mean_service_demand=mean_demand,
         )
         return assigner.assign_chunk(jobs.arrival_times, jobs.service_demands)
+
+    def restrict(self, indices: Sequence[int]) -> "PowerAwareDispatcher":
+        return PowerAwareDispatcher(
+            self._idle_powers[list(indices)],
+            max_backlog=self._max_backlog,
+            engine=self._engine,
+        )
 
 
 def merge_streams(streams: Sequence[JobTrace | None]) -> JobTrace:

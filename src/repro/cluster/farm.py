@@ -60,6 +60,11 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.cluster.controller import (
+    ControllerSchedule,
+    FarmController,
+    controller_assignment,
+)
 from repro.cluster.dispatch import JobDispatcher, RoundRobinDispatcher
 from repro.concurrency import (
     Executor,
@@ -73,7 +78,9 @@ from repro.core.search import CharacterizationCache
 from repro.core.strategies import PowerManagementStrategy
 from repro.exceptions import ConfigurationError
 from repro.power.platform import ServerPowerModel
+from repro.power.states import C6_S3
 from repro.prediction.base import UtilizationPredictor
+from repro.units import minutes
 from repro.simulation.service_scaling import ServiceScaling, cpu_bound
 from repro.workloads.jobs import JobTrace
 from repro.workloads.spec import WorkloadSpec
@@ -91,6 +98,11 @@ from repro.workloads.storage import (
 #: state (policy-manager RNGs, LMS weights) is never shared accidentally.
 StrategyFactory = Callable[[int], PowerManagementStrategy]
 PredictorFactory = Callable[[int], UtilizationPredictor]
+
+#: Power state a controller-parked server draws in: parked spans are charged
+#: at this state's system power (C6 core + S3 platform, the deepest state the
+#: power models tabulate) instead of the server's own sleep-walk average.
+PARKED_STATE = C6_S3
 
 
 @dataclass(frozen=True)
@@ -246,7 +258,8 @@ def run_shared_server_shard(task: SharedServerShardTask) -> RuntimeResult:
 
 
 def prorated_idle_energy(
-    idle_energy: float, idle_duration: float, horizon: float
+    idle_energy: float, idle_duration: float, horizon: float,
+    already_covered: float = 0.0,
 ) -> float:
     """Charge a parked server's sleep-walk power over the farm's span.
 
@@ -255,10 +268,19 @@ def prorated_idle_energy(
     differing epoch configs then cannot overcount parked servers.  A
     zero-length idle run or a zero/negative horizon charges nothing (instead
     of dividing by zero): with no observed span there is no power to prorate.
+
+    ``already_covered`` subtracts the span whose energy is accounted
+    elsewhere before prorating.  The farm controller charges spans it
+    *parked* a server for at deep-sleep power directly; without the
+    subtraction the sleep-walk proration would bill those same seconds a
+    second time (the double-count this parameter was introduced to fix —
+    pinned by ``tests/property/test_controller_invariants.py``).  Covered
+    spans at or beyond the horizon charge nothing here.
     """
-    if horizon <= 0 or idle_duration <= 0:
+    remaining = horizon - max(already_covered, 0.0)
+    if remaining <= 0 or idle_duration <= 0:
         return 0.0
-    return idle_energy / idle_duration * horizon
+    return idle_energy / idle_duration * remaining
 
 
 @dataclass(frozen=True)
@@ -271,6 +293,13 @@ class FarmResult:
     slots) charges servers that received no jobs for walking their sleep
     sequences over the observation span, so farm power totals do not drop
     discontinuously when a dispatcher parks a server entirely.
+
+    Controlled runs (``ServerFarm.controller``) additionally record the
+    controller's plan: ``awake_counts`` is the commanded-on server count
+    per control epoch, ``setup_energy`` the total energy paid for wake
+    transitions (included in :attr:`total_energy`), and
+    ``wake_transitions`` the ``(time, server, "wake"|"park")`` log.  All
+    three stay at their defaults on controller-less runs.
     """
 
     per_server: tuple[RuntimeResult | None, ...]
@@ -278,6 +307,9 @@ class FarmResult:
     response_time_budget: float
     server_names: tuple[str, ...] | None = None
     idle_energies: tuple[float, ...] | None = None
+    awake_counts: tuple[int, ...] | None = None
+    setup_energy: float = 0.0
+    wake_transitions: tuple[tuple[float, int, str], ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.per_server:
@@ -297,6 +329,17 @@ class FarmResult:
             energy < 0 for energy in self.idle_energies
         ):
             raise ConfigurationError("idle energies must be non-negative")
+        if not math.isfinite(self.setup_energy) or self.setup_energy < 0:
+            raise ConfigurationError(
+                f"setup energy must be finite and >= 0, got {self.setup_energy}"
+            )
+        if self.awake_counts is not None and (
+            not self.awake_counts
+            or any(count < 0 for count in self.awake_counts)
+        ):
+            raise ConfigurationError(
+                "awake counts must be a non-empty tuple of counts >= 0"
+            )
 
     # -- structure ----------------------------------------------------------------
 
@@ -362,9 +405,15 @@ class FarmResult:
 
     @property
     def total_energy(self) -> float:
-        """Total energy drawn by the farm, joules (idle servers included)."""
+        """Total energy drawn by the farm, joules.
+
+        Active servers' epoch loops, plus parked/idle servers' accounted
+        idle energy, plus the controller's wake setup energy (zero on
+        controller-less runs) — the closed accounting the property suite
+        asserts.
+        """
         active = sum(result.total_energy for result in self.active_servers)
-        return active + sum(self.idle_energies or ())
+        return active + sum(self.idle_energies or ()) + self.setup_energy
 
     @property
     def duration(self) -> float:
@@ -577,6 +626,17 @@ class ServerFarm:
         identity — and pays off for servers with identical spec, QoS and
         candidate space, whose repeated characterisations collapse to one.
         The cache is thread-safe, so it composes with ``max_workers``.
+    controller:
+        Optional :class:`~repro.cluster.controller.FarmController` for
+        farm-level dynamic right-sizing: before dispatch, the controller
+        plans which servers are awake / waking / parked per control epoch,
+        dispatch is masked to the serviceable set of each regime, and the
+        result carries awake counts, wake transitions and setup energy.
+        A setup-free ``always-on`` controller is bit-identical to no
+        controller at all (pinned by
+        ``tests/cluster/test_controller_parity.py``).  Controlled runs
+        always dispatch one-shot; ``chunk_jobs`` is ignored (chunked and
+        one-shot runs are pinned identical, so nothing is lost).
     """
 
     servers: Sequence[ServerSpec]
@@ -587,10 +647,18 @@ class ServerFarm:
     chunk_jobs: int | None = None
     trace_backend: str = TRACE_BACKEND_MEMORY
     search_cache: CharacterizationCache | None = None
+    controller: FarmController | None = None
 
     def __post_init__(self) -> None:
         if not self.servers:
             raise ConfigurationError("a farm needs at least one server")
+        if self.controller is not None and not isinstance(
+            self.controller, FarmController
+        ):
+            raise ConfigurationError(
+                "controller must be a FarmController or None, got "
+                f"{type(self.controller).__name__}"
+            )
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be at least 1, got {self.max_workers}"
@@ -669,17 +737,31 @@ class ServerFarm:
         per_server: Sequence[RuntimeResult | None],
         horizon: float,
         spare_runtimes: Sequence[SleepScaleRuntime] | None = None,
+        parked_seconds: Sequence[float] | None = None,
     ) -> list[float]:
         """Sleep-walk energy for servers the dispatcher parked entirely.
 
         *spare_runtimes* lets the chunked path reuse the (never-fed, hence
         still fresh) runtimes it already built instead of invoking the
         factories a second time.
+
+        *parked_seconds* (controlled runs) is the span the controller held
+        each server in the deep-parked state: that span is charged once at
+        :data:`PARKED_STATE` system power, and the sleep-walk proration
+        covers only the remaining awake-but-jobless span
+        (``already_covered`` keeps the two spans disjoint — charging the
+        parked span under both rates was the double-count bug this
+        parameter fixed).
         """
         idle_energies = [0.0] * len(per_server)
         for index, result in enumerate(per_server):
             if result is not None:
                 continue
+            covered = (
+                min(max(parked_seconds[index], 0.0), horizon)
+                if parked_seconds is not None
+                else 0.0
+            )
             runtime = (
                 spare_runtimes[index]
                 if spare_runtimes is not None
@@ -687,14 +769,25 @@ class ServerFarm:
             )
             idle_run = runtime.run(JobTrace.empty(), horizon=horizon)
             idle_energies[index] = prorated_idle_energy(
-                idle_run.total_energy, idle_run.total_duration, horizon
+                idle_run.total_energy,
+                idle_run.total_duration,
+                horizon,
+                already_covered=covered,
             )
+            if covered > 0:
+                parked_power = self.servers[index].power_model.system_power(
+                    PARKED_STATE
+                )
+                idle_energies[index] += parked_power * covered
         return idle_energies
 
     def _assemble_result(
         self,
         per_server: list[RuntimeResult | None],
         spare_runtimes: Sequence[SleepScaleRuntime] | None = None,
+        *,
+        schedule: ControllerSchedule | None = None,
+        setup_energy: float = 0.0,
     ) -> FarmResult:
         if all(result is None for result in per_server):
             raise ConfigurationError("no server received any job")
@@ -717,7 +810,19 @@ class ServerFarm:
             response_time_budget=budget,
             server_names=tuple(server.name for server in self.servers),
             idle_energies=tuple(
-                self._idle_energies(per_server, horizon, spare_runtimes)
+                self._idle_energies(
+                    per_server,
+                    horizon,
+                    spare_runtimes,
+                    parked_seconds=(
+                        schedule.parked_seconds if schedule is not None else None
+                    ),
+                )
+            ),
+            awake_counts=schedule.awake_counts if schedule is not None else None,
+            setup_energy=setup_energy,
+            wake_transitions=(
+                schedule.transitions if schedule is not None else None
             ),
         )
 
@@ -759,6 +864,11 @@ class ServerFarm:
         return self._run_resolved(jobs, chunk_jobs)
 
     def _run_resolved(self, jobs: JobTrace, chunk_jobs: int | None) -> FarmResult:
+        if self.controller is not None:
+            # The controller's schedule is a pure function of the full
+            # trace, and chunked runs are pinned identical to one-shot runs
+            # anyway, so controlled runs always take the one-shot path.
+            return self._run_controlled(jobs)
         if chunk_jobs is not None and chunk_jobs < len(jobs):
             if isinstance(self._resolve_executor(), ProcessExecutor):
                 # Process sharding ships each server's whole sub-stream
@@ -770,14 +880,92 @@ class ServerFarm:
             return self._run_chunked(jobs, chunk_jobs)
         return self._run_one_shot(jobs)
 
+    def _run_controlled(self, jobs: JobTrace) -> FarmResult:
+        """One-shot run under the farm controller's awake/park schedule.
+
+        Plan first (pure function of the trace), mask dispatch to the
+        schedule's serviceable regimes, then execute the per-server shards
+        exactly as an uncontrolled run would — the same
+        :meth:`_per_server_results` machinery serves every executor and
+        trace backend, which is what makes the setup-free always-on
+        controller bit-identical to no controller at all.
+        """
+        controller = self.controller
+        assert controller is not None
+        if controller.epoch_minutes is not None:
+            epoch_seconds = minutes(controller.epoch_minutes)
+        else:
+            # Default to the coarsest per-server epoch so one control
+            # decision never slices a server's own policy-search epoch.
+            epoch_seconds = max(
+                server.config.epoch_seconds for server in self.servers
+            )
+        efficiency_order = [
+            int(index)
+            for index in np.argsort(
+                [s.power_model.idle_power(1.0) for s in self.servers],
+                kind="stable",
+            )
+        ]
+        schedule = controller.plan(
+            jobs.arrival_times,
+            jobs.service_demands,
+            num_servers=self.num_servers,
+            epoch_seconds=epoch_seconds,
+            efficiency_order=efficiency_order,
+        )
+        assignment = controller_assignment(
+            jobs,
+            self.dispatcher,
+            schedule,
+            num_servers=self.num_servers,
+            server_speeds=self.dispatch_speeds,
+        )
+        per_server = self._per_server_results(jobs, assignment)
+        setup_energy = sum(
+            schedule.wake_counts[index]
+            * controller.setup.transition_energy(
+                self.servers[index].power_model.peak_power()
+            )
+            for index in range(self.num_servers)
+        )
+        return self._assemble_result(
+            per_server, schedule=schedule, setup_energy=setup_energy
+        )
+
     def _run_one_shot(self, jobs: JobTrace) -> FarmResult:
+        assignment = self.dispatcher.validated_assignment(
+            jobs, self.num_servers, server_speeds=self.dispatch_speeds
+        )
+        return self._assemble_result(self._per_server_results(jobs, assignment))
+
+    def _per_server_results(
+        self, jobs: JobTrace, assignment: np.ndarray
+    ) -> list[RuntimeResult | None]:
+        """Run every server's epoch loop for one validated assignment.
+
+        The assignment → execution split lets the controlled and
+        uncontrolled paths share every executor/backend combination: only
+        *how the assignment is computed* differs between them.
+        """
         if self.trace_backend != TRACE_BACKEND_MEMORY and isinstance(
             self._resolve_executor(), ProcessExecutor
         ):
-            return self._run_process_zero_copy(jobs)
-        streams: Sequence[JobTrace | None] = self.dispatcher.dispatch(
-            jobs, self.num_servers, server_speeds=self.dispatch_speeds
-        )
+            return self._process_zero_copy_results(jobs, assignment)
+        # A boolean mask preserves order, so the masked views of a
+        # validated trace still satisfy every invariant: trusted ctor.
+        # (This is exactly the split JobDispatcher.dispatch performs.)
+        streams: list[JobTrace | None] = []
+        for server in range(self.num_servers):
+            mask = assignment == server
+            if not np.any(mask):
+                streams.append(None)
+                continue
+            streams.append(
+                JobTrace.from_validated_arrays(
+                    jobs.arrival_times[mask], jobs.service_demands[mask]
+                )
+            )
         per_server: list[RuntimeResult | None] = [None] * len(streams)
         active = [
             (index, stream)
@@ -807,9 +995,11 @@ class ServerFarm:
             )
         for (index, _), result in zip(active, results):
             per_server[index] = result
-        return self._assemble_result(per_server)
+        return per_server
 
-    def _run_process_zero_copy(self, jobs: JobTrace) -> FarmResult:
+    def _process_zero_copy_results(
+        self, jobs: JobTrace, assignment: np.ndarray
+    ) -> list[RuntimeResult | None]:
         """One-shot process sharding through a shared-trace arena.
 
         Instead of materialising per-server :class:`JobTrace` copies and
@@ -823,9 +1013,6 @@ class ServerFarm:
         contiguous copies bit-identical to the memory path's masked copies
         (hence bit-identical ``FarmResult``\\ s).
         """
-        assignment = self.dispatcher.validated_assignment(
-            jobs, self.num_servers, server_speeds=self.dispatch_speeds
-        )
         counts = np.bincount(assignment, minlength=self.num_servers)
         active = [
             index for index in range(self.num_servers) if counts[index] > 0
@@ -871,7 +1058,7 @@ class ServerFarm:
         per_server: list[RuntimeResult | None] = [None] * self.num_servers
         for index, result in zip(active, results):
             per_server[index] = result
-        return self._assemble_result(per_server)
+        return per_server
 
     def _run_chunked(self, jobs: JobTrace, chunk_jobs: int) -> FarmResult:
         assigner = self.dispatcher.assigner(
@@ -986,6 +1173,10 @@ class ClusterRuntime:
         Optional characterisation cache shared by every server's strategy
         (see :class:`ServerFarm`); in a homogeneous cluster all servers
         have identical spec/QoS/space, the best case for sharing.
+    controller:
+        Optional farm-level right-sizing controller threaded into the
+        built farm (see :class:`ServerFarm` and
+        :mod:`repro.cluster.controller`).
     """
 
     num_servers: int
@@ -1002,6 +1193,7 @@ class ClusterRuntime:
     chunk_jobs: int | None = None
     trace_backend: str = TRACE_BACKEND_MEMORY
     search_cache: CharacterizationCache | None = None
+    controller: FarmController | None = None
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -1047,6 +1239,7 @@ class ClusterRuntime:
             chunk_jobs=self.chunk_jobs,
             trace_backend=self.trace_backend,
             search_cache=self.search_cache,
+            controller=self.controller,
         )
 
     def run(self, jobs: JobTrace, *, chunk_jobs: int | None = None) -> FarmResult:

@@ -6,11 +6,12 @@ prints one JSON document whose schema is identical across scenarios, so
 energy and latency numbers can be compared between e.g. ``diurnal`` and
 ``flash-crowd`` runs without any per-scenario glue.
 
-Report schema (``repro.scenario-report/v2``; v2 added the ``search``
-key recording the policy-search mode)::
+Report schema (``repro.scenario-report/v3``; v2 added the ``search``
+key recording the policy-search mode, v3 the ``controller`` block
+recording farm-level right-sizing)::
 
     {
-      "schema": "repro.scenario-report/v2",
+      "schema": "repro.scenario-report/v3",
       "scenario": str,            # registered scenario name
       "description": str,
       "seed": int,
@@ -40,6 +41,14 @@ key recording the policy-search mode)::
         "budget": float,                       # normalised budget in force
         "meets_budget": bool
       },
+      "controller": null | {              # farm-level right-sizing, if any
+        "policy": "always-on" | "reactive" | "predictive",
+        "min_awake": int,
+        "setup_latency_s": float,
+        "setup_energy_joules": float,      # total paid for wake transitions
+        "awake_counts": [int, ...],        # commanded-on servers per epoch
+        "wake_transitions": int            # number of paid wakes
+      },
       "state_selection_fractions": {state: fraction, ...},   # sums to 1
       "per_server": [
         {"server": str, "num_jobs": int,
@@ -64,6 +73,11 @@ import math
 import sys
 from typing import Any, Mapping
 
+from repro.cluster.controller import (
+    CONTROLLER_POLICIES,
+    FarmController,
+    SetupModel,
+)
 from repro.cluster.farm import FarmResult
 from repro.concurrency import EXECUTORS, Executor
 from repro.exceptions import ExperimentError
@@ -78,7 +92,7 @@ from repro.simulation.kernel import BACKENDS, BACKEND_VECTORIZED
 from repro.workloads.storage import TRACE_BACKENDS
 
 #: Version tag stamped into (and required from) every scenario report.
-REPORT_SCHEMA = "repro.scenario-report/v2"
+REPORT_SCHEMA = "repro.scenario-report/v3"
 
 
 def _finite_or_none(value: float) -> float | None:
@@ -141,8 +155,27 @@ def report_from_result(built: BuiltScenario, result: FarmResult) -> dict[str, An
             "budget": result.response_time_budget,
             "meets_budget": bool(result.meets_budget),
         },
+        "controller": _controller_block(built, result),
         "state_selection_fractions": result.state_selection_fractions(),
         "per_server": per_server,
+    }
+
+
+def _controller_block(
+    built: BuiltScenario, result: FarmResult
+) -> dict[str, Any] | None:
+    """The v3 ``controller`` report section (``None`` on uncontrolled runs)."""
+    controller = built.farm.controller
+    if controller is None:
+        return None
+    transitions = result.wake_transitions or ()
+    return {
+        "policy": controller.policy_name,
+        "min_awake": controller.min_awake,
+        "setup_latency_s": controller.setup.latency_s,
+        "setup_energy_joules": result.setup_energy,
+        "awake_counts": [int(count) for count in (result.awake_counts or ())],
+        "wake_transitions": sum(1 for _t, _s, kind in transitions if kind == "wake"),
     }
 
 
@@ -156,6 +189,10 @@ def run_scenario(
     max_workers: int | None = None,
     chunk_jobs: int | None = None,
     trace_backend: str | None = None,
+    controller: FarmController | str | None = None,
+    setup_latency_s: float | None = None,
+    setup_energy_j: float | None = None,
+    min_awake: int | None = None,
     overrides: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build, run and report one registered scenario.
@@ -169,22 +206,48 @@ def run_scenario(
     ``"mmap"``; storage is result-invisible like the executor, so the schema
     carries no backend field either).  *chunk_jobs* overrides the farm's
     streaming chunk size (``0`` forces a one-shot run even if the scenario
-    configured chunking).  The returned report is already validated against
-    :data:`REPORT_SCHEMA`.
+    configured chunking).  *controller* attaches a farm-level right-sizing
+    controller (a :class:`~repro.cluster.controller.FarmController` or a
+    policy name — with a name, *setup_latency_s*, *setup_energy_j* and
+    *min_awake* flesh out its :class:`~repro.cluster.controller.SetupModel`),
+    replacing any controller the scenario embedded.  The returned report is
+    already validated against :data:`REPORT_SCHEMA`.
     """
     overrides = dict(overrides or {})
     # 'seed'/'backend' are build() keywords, not scenario parameters; caught
     # here they produce a pointer to the right flag instead of a TypeError
     # from the keyword splat below.
     reserved = sorted(
-        set(overrides) & {"seed", "backend", "search", "executor", "trace_backend"}
+        set(overrides)
+        & {"seed", "backend", "search", "executor", "trace_backend", "controller"}
     )
     if reserved:
         raise ExperimentError(
             f"{', '.join(reserved)} cannot be set via overrides; use the "
-            "dedicated seed/backend/search/executor/trace_backend arguments "
-            "(CLI: --seed / --backend / --search-mode / --executor / "
-            "--trace-backend)"
+            "dedicated seed/backend/search/executor/trace_backend/controller "
+            "arguments (CLI: --seed / --backend / --search-mode / --executor / "
+            "--trace-backend / --controller)"
+        )
+    setup_flags = (setup_latency_s, setup_energy_j, min_awake)
+    if controller is None and any(flag is not None for flag in setup_flags):
+        raise ExperimentError(
+            "--setup-latency / --setup-energy / --min-awake configure the "
+            "controller and require --controller"
+        )
+    if isinstance(controller, str):
+        controller = FarmController(
+            policy=controller,
+            setup=SetupModel(
+                latency_s=setup_latency_s if setup_latency_s is not None else 0.0,
+                energy_j=setup_energy_j,
+            ),
+            min_awake=min_awake if min_awake is not None else 1,
+        )
+    elif controller is not None and any(flag is not None for flag in setup_flags):
+        raise ExperimentError(
+            "setup_latency_s / setup_energy_j / min_awake only apply when "
+            "the controller is given as a policy name; configure the "
+            "FarmController instance directly instead"
         )
     built = get_scenario(name).build(
         seed=seed,
@@ -192,6 +255,7 @@ def run_scenario(
         search=search,
         executor=executor,
         trace_backend=trace_backend,
+        controller=controller,
         **overrides,
     )
     farm = built.farm
@@ -238,7 +302,7 @@ def _require_finite_number(value: Any, where: str) -> None:
 
 
 def validate_report(report: Any) -> None:
-    """Check *report* against the ``repro.scenario-report/v2`` schema.
+    """Check *report* against the ``repro.scenario-report/v3`` schema.
 
     Raises :class:`~repro.exceptions.ExperimentError` on the first violation;
     returns ``None`` on success.  The check is structural (keys, types,
@@ -258,6 +322,7 @@ def validate_report(report: Any) -> None:
             "farm",
             "energy",
             "response_time",
+            "controller",
             "state_selection_fractions",
             "per_server",
         },
@@ -341,6 +406,53 @@ def validate_report(report: Any) -> None:
         response["p50_s"] <= response["p95_s"] <= response["p99_s"],
         "response-time percentiles must be non-decreasing",
     )
+
+    controller = report["controller"]
+    if controller is not None:
+        _require_keys(
+            controller,
+            {
+                "policy",
+                "min_awake",
+                "setup_latency_s",
+                "setup_energy_joules",
+                "awake_counts",
+                "wake_transitions",
+            },
+            "controller",
+        )
+        _require(
+            controller["policy"] in CONTROLLER_POLICIES,
+            f"controller.policy must be one of {CONTROLLER_POLICIES}",
+        )
+        _require(
+            isinstance(controller["min_awake"], int)
+            and not isinstance(controller["min_awake"], bool)
+            and controller["min_awake"] >= 1,
+            "controller.min_awake must be a positive integer",
+        )
+        for key in ("setup_latency_s", "setup_energy_joules"):
+            _require_finite_number(controller[key], f"controller.{key}")
+            _require(controller[key] >= 0, f"controller.{key} must be non-negative")
+        counts = controller["awake_counts"]
+        _require(
+            isinstance(counts, list) and counts,
+            "controller.awake_counts must be a non-empty list",
+        )
+        for count in counts:
+            _require(
+                isinstance(count, int)
+                and not isinstance(count, bool)
+                and 0 <= count <= len(farm["servers"]),
+                "controller.awake_counts entries must be integers in "
+                "[0, num_servers]",
+            )
+        _require(
+            isinstance(controller["wake_transitions"], int)
+            and not isinstance(controller["wake_transitions"], bool)
+            and controller["wake_transitions"] >= 0,
+            "controller.wake_transitions must be a non-negative integer",
+        )
 
     fractions = report["state_selection_fractions"]
     _require(
@@ -483,6 +595,46 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--controller",
+        choices=list(CONTROLLER_POLICIES),
+        default=None,
+        help=(
+            "attach a farm-level right-sizing controller with this policy "
+            "(replacing any controller the scenario embeds); 'always-on' with "
+            "zero setup costs reproduces the controller-less run bit for bit"
+        ),
+    )
+    parser.add_argument(
+        "--setup-latency",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "seconds a woken server needs before it can serve (requires "
+            "--controller; default 0)"
+        ),
+    )
+    parser.add_argument(
+        "--setup-energy",
+        type=float,
+        default=None,
+        metavar="JOULES",
+        help=(
+            "energy charged per wake transition (requires --controller; "
+            "default: setup latency at the woken server's peak power)"
+        ),
+    )
+    parser.add_argument(
+        "--min-awake",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "servers the controller must keep serviceable at all times "
+            "(requires --controller; default 1)"
+        ),
+    )
+    parser.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -515,6 +667,10 @@ def main(argv: list[str] | None = None) -> int:
         max_workers=arguments.workers,
         chunk_jobs=arguments.chunk_jobs,
         trace_backend=arguments.trace_backend,
+        controller=arguments.controller,
+        setup_latency_s=arguments.setup_latency,
+        setup_energy_j=arguments.setup_energy,
+        min_awake=arguments.min_awake,
         overrides=overrides,
     )
     text = json.dumps(report, indent=2, sort_keys=False)

@@ -30,6 +30,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.cluster.controller import FarmController
 from repro.cluster.farm import ServerFarm
 from repro.concurrency import Executor, validate_executor
 from repro.core.search import SEARCH_FULL, validate_search
@@ -118,7 +119,7 @@ class Scenario:
     #: Builder keywords owned by :meth:`build` itself; a declared parameter
     #: (or an override splatted into ``build``) must never collide with them.
     RESERVED_NAMES = frozenset(
-        {"seed", "backend", "search", "executor", "trace_backend"}
+        {"seed", "backend", "search", "executor", "trace_backend", "controller"}
     )
 
     def __post_init__(self) -> None:
@@ -133,8 +134,8 @@ class Scenario:
         if reserved:
             raise ScenarioError(
                 f"scenario {self.name!r} declares reserved parameter name(s) "
-                f"{reserved}; 'seed', 'backend', 'search', 'executor' and "
-                "'trace_backend' are handled by build() itself"
+                f"{reserved}; 'seed', 'backend', 'search', 'executor', "
+                "'trace_backend' and 'controller' are handled by build() itself"
             )
 
     def parameter_defaults(self) -> dict[str, Any]:
@@ -149,6 +150,7 @@ class Scenario:
         search: str = SEARCH_FULL,
         executor: Executor | str | None = None,
         trace_backend: str | None = None,
+        controller: FarmController | str | None = None,
         **overrides: Any,
     ) -> BuiltScenario:
         """Materialise the scenario with *overrides* applied over the defaults.
@@ -164,13 +166,26 @@ class Scenario:
         (``"memory"``/``"shm"``/``"mmap"``; see
         :mod:`repro.workloads.storage`); neither changes results — the
         parity suites pin this — so builders never see them; both are
-        applied to the built farm directly.
+        applied to the built farm directly.  ``controller`` attaches a
+        farm-level right-sizing controller (a
+        :class:`~repro.cluster.controller.FarmController` instance, or a
+        policy name building one with default — free — setup costs) to the
+        built farm, replacing any controller the builder embedded; unlike
+        the executor and trace backend it *does* change results, except for
+        the setup-free ``"always-on"`` identity the parity suite pins.
         """
         validate_backend(backend)
         validate_search(search)
         validate_executor(executor)
         if trace_backend is not None:
             validate_trace_backend(trace_backend)
+        if isinstance(controller, str):
+            controller = FarmController(policy=controller)
+        elif controller is not None and not isinstance(controller, FarmController):
+            raise ScenarioError(
+                "controller must be a FarmController, a policy name or None, "
+                f"got {type(controller).__name__}"
+            )
         declared = {parameter.name for parameter in self.parameters}
         unknown = sorted(set(overrides) - declared)
         if unknown:
@@ -214,6 +229,11 @@ class Scenario:
             built = dataclasses.replace(
                 built,
                 farm=dataclasses.replace(built.farm, trace_backend=trace_backend),
+            )
+        if controller is not None:
+            built = dataclasses.replace(
+                built,
+                farm=dataclasses.replace(built.farm, controller=controller),
             )
         return built
 

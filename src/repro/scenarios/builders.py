@@ -1,6 +1,6 @@
 """The built-in scenario library.
 
-Eight scenarios ship with the reproduction, each stressing a different axis
+Eleven scenarios ship with the reproduction, each stressing a different axis
 of the joint speed-scaling + sleep-state problem:
 
 ========================  ====================================================
@@ -24,6 +24,13 @@ of the joint speed-scaling + sleep-state problem:
 ``mega-farm``             64 mixed Xeon/Atom servers with short epochs — the
                           multi-core regime the process executor targets
                           (``run-scenario mega-farm --executor process``)
+``autoscale-diurnal``     farm-level right-sizing over a day/night cycle: a
+                          ``FarmController`` parks shallow-sleep servers
+                          through the trough and wakes them (paying setup
+                          costs) as the day ramps up
+``autoscale-surge``       right-sizing under a load step: quiet baseline,
+                          sudden sustained surge, quiet again — scale-up
+                          through the surge, park back down after
 ========================  ====================================================
 
 Every builder is deterministic given ``seed``, sizes itself from
@@ -44,6 +51,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cluster.controller import (
+    CONTROLLER_POLICIES,
+    FarmController,
+    SetupModel,
+)
 from repro.cluster.dispatch import (
     JobDispatcher,
     LeastLoadedDispatcher,
@@ -55,9 +67,14 @@ from repro.cluster.farm import ServerFarm, ServerSpec
 from repro.core.qos import QosConstraint, mean_qos_from_baseline
 from repro.core.runtime import RuntimeConfig
 from repro.core.search import SEARCH_FRONTIER, CharacterizationCache
-from repro.core.strategies import PolicySearchStrategy, sleepscale_strategy
+from repro.core.strategies import (
+    PolicySearchStrategy,
+    RaceToHaltStrategy,
+    sleepscale_strategy,
+)
 from repro.exceptions import ScenarioError
 from repro.power.platform import ServerPowerModel, atom_power_model, xeon_power_model
+from repro.power.states import C1_S0I, SystemState
 from repro.prediction.lms_cusum import LmsCusumPredictor
 from repro.scenarios.base import (
     BuiltScenario,
@@ -1021,6 +1038,235 @@ def build_mega_farm(
             "atom_servers": atom_servers,
             "atom_frequency_ceiling": atom_frequency_ceiling,
             "epoch_minutes": epoch_minutes,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+        search=search,
+    )
+
+
+# ---------------------------------------------------------------------------
+# autoscale-diurnal / autoscale-surge
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RaceToHaltStrategyFactory:
+    """Picklable zero-argument factory for a race-to-halt strategy.
+
+    The autoscale scenarios model a latency-sensitive fleet that keeps its
+    servers in the shallow ``C1S0(i)`` sleep when idle (instant wake-up, no
+    per-job latency risk) and leaves energy savings to the *farm* controller
+    parking whole servers — the AutoScale premise, and the regime where
+    farm-level right-sizing is the dominant knob.
+    """
+
+    power_model: ServerPowerModel
+    state: SystemState = C1_S0I
+
+    def __call__(self) -> RaceToHaltStrategy:
+        return RaceToHaltStrategy(self.power_model, self.state)
+
+
+def _autoscale_server(
+    name: str,
+    power_model: ServerPowerModel,
+    *,
+    epoch_minutes: float = 1.0,
+) -> ServerSpec:
+    """A shallow-sleep race-to-halt server for the autoscale scenarios."""
+    config = RuntimeConfig(
+        epoch_minutes=epoch_minutes, rho_b=_RHO_B, over_provisioning=0.35
+    )
+    return ServerSpec(
+        name=name,
+        power_model=power_model,
+        strategy_factory=RaceToHaltStrategyFactory(power_model=power_model),
+        predictor_factory=LmsCusumPredictorFactory(history=10),
+        config=config,
+    )
+
+
+def _autoscale_farm_and_controller(
+    servers: int,
+    spec: WorkloadSpec,
+    *,
+    policy: str,
+    setup_latency_s: float,
+    min_awake: float,
+    epoch_minutes: float = 1.0,
+) -> ServerFarm:
+    """A homogeneous shallow-sleep Xeon farm with an embedded controller."""
+    if policy not in CONTROLLER_POLICIES:
+        raise ScenarioError(
+            f"policy must be one of {', '.join(CONTROLLER_POLICIES)}, "
+            f"got {policy!r}"
+        )
+    if setup_latency_s < 0:
+        raise ScenarioError(
+            f"setup_latency_s must be >= 0, got {setup_latency_s}"
+        )
+    if min_awake != int(min_awake) or not 1 <= int(min_awake) <= servers:
+        raise ScenarioError(
+            f"min_awake must be a whole number in [1, {servers}], "
+            f"got {min_awake}"
+        )
+    power_model = xeon_power_model()
+    specs = tuple(
+        _autoscale_server(
+            f"xeon-{index}", power_model, epoch_minutes=epoch_minutes
+        )
+        for index in range(servers)
+    )
+    controller = FarmController(
+        policy=policy,
+        setup=SetupModel(latency_s=setup_latency_s),
+        min_awake=int(min_awake),
+        epoch_minutes=epoch_minutes,
+    )
+    return ServerFarm(
+        servers=specs,
+        spec=spec,
+        dispatcher=LeastLoadedDispatcher(),
+        controller=controller,
+    )
+
+
+@scenario(
+    name="autoscale-diurnal",
+    description=(
+        "Farm-level right-sizing over a day/night cycle: an over-provisioned "
+        "fleet of shallow-sleep (race-to-halt C1) Xeon servers under a "
+        "FarmController that parks servers through the trough and wakes them "
+        "(paying setup latency and energy) as the day ramps up."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 40, "length of the run; one full day/night cycle is compressed into it"),
+        ScenarioParameter("trough_utilization", 0.06, "night-time offered load (relative to one server)"),
+        ScenarioParameter("peak_utilization", 0.85, "mid-day offered load (relative to one server)"),
+        ScenarioParameter("servers", 4, "fleet size (provisioned for redundancy, not for mean load)"),
+        ScenarioParameter("policy", "reactive", "right-sizing policy: always-on, reactive or predictive"),
+        ScenarioParameter("setup_latency_s", 30.0, "seconds a woken server needs before it can serve"),
+        ScenarioParameter("min_awake", 1, "servers the controller must keep serviceable at all times"),
+        ScenarioParameter("workload", "dns", "Table 5 workload class: dns, google or mail"),
+    ),
+)
+def build_autoscale_diurnal(
+    *,
+    seed: int,
+    backend: str,
+    search: str,
+    duration_minutes: float,
+    trough_utilization: float,
+    peak_utilization: float,
+    servers: int,
+    policy: str,
+    setup_latency_s: float,
+    min_awake: int,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    spec = workload_by_name(workload)
+    values = _diurnal_values(num_samples, trough_utilization, peak_utilization)
+    trace = UtilizationTrace(values, interval=minutes(1), name="autoscale-diurnal")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
+    farm = _autoscale_farm_and_controller(
+        servers,
+        spec,
+        policy=policy,
+        setup_latency_s=setup_latency_s,
+        min_awake=min_awake,
+    )
+    return BuiltScenario(
+        name="autoscale-diurnal",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "trough_utilization": trough_utilization,
+            "peak_utilization": peak_utilization,
+            "servers": servers,
+            "policy": policy,
+            "setup_latency_s": setup_latency_s,
+            "min_awake": int(min_awake),
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+        search=search,
+    )
+
+
+@scenario(
+    name="autoscale-surge",
+    description=(
+        "Farm-level right-sizing under a load step: a quiet baseline, a "
+        "sudden sustained surge through the middle third of the run, then "
+        "quiet again — the controller must scale up through the surge "
+        "(absorbing the setup latency) and park back down afterwards."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 30, "length of the run; the surge occupies the middle third"),
+        ScenarioParameter("base_utilization", 0.08, "offered load outside the surge (relative to one server)"),
+        ScenarioParameter("surge_utilization", 0.85, "offered load during the surge (relative to one server)"),
+        ScenarioParameter("servers", 4, "fleet size (provisioned for the surge, idle in the baseline)"),
+        ScenarioParameter("policy", "reactive", "right-sizing policy: always-on, reactive or predictive"),
+        ScenarioParameter("setup_latency_s", 30.0, "seconds a woken server needs before it can serve"),
+        ScenarioParameter("min_awake", 1, "servers the controller must keep serviceable at all times"),
+        ScenarioParameter("workload", "dns", "Table 5 workload class: dns, google or mail"),
+    ),
+)
+def build_autoscale_surge(
+    *,
+    seed: int,
+    backend: str,
+    search: str,
+    duration_minutes: float,
+    base_utilization: float,
+    surge_utilization: float,
+    servers: int,
+    policy: str,
+    setup_latency_s: float,
+    min_awake: int,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    if not 0.0 < base_utilization <= surge_utilization <= 0.95:
+        raise ScenarioError(
+            "need 0 < base_utilization <= surge_utilization <= 0.95, got "
+            f"[{base_utilization}, {surge_utilization}]"
+        )
+    spec = workload_by_name(workload)
+    values = np.full(num_samples, base_utilization)
+    values[num_samples // 3 : max(2 * num_samples // 3, num_samples // 3 + 1)] = (
+        surge_utilization
+    )
+    trace = UtilizationTrace(values, interval=minutes(1), name="autoscale-surge")
+    jobs = generate_trace_driven_jobs(spec, trace, seed=seed).jobs
+    farm = _autoscale_farm_and_controller(
+        servers,
+        spec,
+        policy=policy,
+        setup_latency_s=setup_latency_s,
+        min_awake=min_awake,
+    )
+    return BuiltScenario(
+        name="autoscale-surge",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "base_utilization": base_utilization,
+            "surge_utilization": surge_utilization,
+            "servers": servers,
+            "policy": policy,
+            "setup_latency_s": setup_latency_s,
+            "min_awake": int(min_awake),
             "workload": workload,
         },
         backend=backend,
