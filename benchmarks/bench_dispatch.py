@@ -22,6 +22,7 @@ a JSON artifact, not statistical repetition.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -136,13 +137,28 @@ def bench_dispatchers(num_jobs: int, seed: int) -> dict:
     return results
 
 
+@dataclasses.dataclass(frozen=True)
+class _FixedPolicyStrategyFactory:
+    """Picklable factory so the benchmark farm stays process-ready (REP002)."""
+
+    power_model: object
+
+    def __call__(self) -> FixedPolicyStrategy:
+        return FixedPolicyStrategy(race_to_halt_policy(self.power_model, C6_S0I))
+
+
+@dataclasses.dataclass(frozen=True)
+class _NaivePredictorFactory:
+    def __call__(self) -> NaivePreviousPredictor:
+        return NaivePreviousPredictor()
+
+
 def _fixed_policy_server(name, power_model, max_frequency=1.0) -> ServerSpec:
-    policy = race_to_halt_policy(power_model, C6_S0I)
     return ServerSpec(
         name=name,
         power_model=power_model,
-        strategy_factory=lambda: FixedPolicyStrategy(policy),
-        predictor_factory=lambda: NaivePreviousPredictor(),
+        strategy_factory=_FixedPolicyStrategyFactory(power_model),
+        predictor_factory=_NaivePredictorFactory(),
         config=RuntimeConfig(epoch_minutes=5.0, rho_b=0.8, over_provisioning=0.0),
         max_frequency=max_frequency,
     )
@@ -222,6 +238,7 @@ def main(argv: list[str] | None = None) -> int:
             "Farm-scale dispatch engine: speed-aware heap dispatchers + "
             "streaming farm runs"
         ),
+        # repro: ignore[REP001] -- report metadata stamp, not simulation input.
         "date": date.today().isoformat(),
         "benchmark_file": "benchmarks/bench_dispatch.py",
         "workload": (

@@ -46,6 +46,7 @@ from repro.core.search import SEARCH_FRONTIER, SEARCH_FULL, CharacterizationCach
 from repro.core.strategies import sleepscale_strategy
 from repro.power.platform import atom_power_model, xeon_power_model
 from repro.prediction.lms_cusum import LmsCusumPredictor
+from repro.scenarios.builders import LmsCusumPredictorFactory
 from repro.units import minutes
 from repro.workloads.generator import generate_trace_driven_jobs
 from repro.workloads.spec import google_workload
@@ -68,6 +69,9 @@ def _epoch_signature(result):
 
 
 def _assert_parity(name, full_results, frontier_results, full_energy, frontier_energy):
+    # repro: ignore[REP004] -- in-benchmark oracle-parity gate: the frontier
+    # search selects the identical policy to the full grid, so energies must
+    # be bit-identical by contract; an approximate check would mask drift.
     if full_energy != frontier_energy:
         raise SystemExit(
             f"FATAL: {name}: frontier run diverged from the full grid "
@@ -172,8 +176,12 @@ def bench_heterogeneous_farm(
             return ServerSpec(
                 name=name,
                 power_model=power_model,
+                # repro: ignore[REP002] -- serial-only benchmark
+                # instrumentation: the local factory appends every built
+                # strategy to a closure list for the cache-stats report and
+                # never crosses a process boundary.
                 strategy_factory=factory,
-                predictor_factory=lambda: LmsCusumPredictor(history=10),
+                predictor_factory=LmsCusumPredictorFactory(history=10),
                 config=RuntimeConfig(
                     epoch_minutes=EPOCH_MINUTES,
                     rho_b=RHO_B,
@@ -278,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
             "Epoch-scale policy-search engine: cached + frontier "
             "characterization with full-grid parity"
         ),
+        # repro: ignore[REP001] -- report metadata stamp, not simulation input.
         "date": date.today().isoformat(),
         "benchmark_file": "benchmarks/bench_policy_search.py",
         "workload": (

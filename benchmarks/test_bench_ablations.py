@@ -8,6 +8,8 @@ multi-server scale-out sketch from the conclusion.
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from conftest import run_once
@@ -52,7 +54,11 @@ def test_bench_ablation_over_provisioning(benchmark, experiment_config, record_r
     assert all(a <= b + 1e-6 for a, b in zip(frequencies, frequencies[1:]))
     assert powers[-1] < powers[0] * 1.25
     # The paper's headline setting meets the budget.
-    paper_row = next(row for row in rows if row["alpha"] == 0.35)
+    paper_row = next(
+        row
+        for row in rows
+        if math.isclose(row["alpha"], 0.35, rel_tol=0.0, abs_tol=1e-12)
+    )
     assert paper_row["meets_budget"]
 
 

@@ -41,6 +41,11 @@ from repro.experiments.base import format_rows
 from repro.workloads import constant_trace
 
 
+def make_predictor(index: int) -> LmsCusumPredictor:
+    """Per-server predictor factory — module-level so it stays picklable."""
+    return LmsCusumPredictor(history=10)
+
+
 def parse_args() -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--servers", type=int, default=3)
@@ -80,7 +85,7 @@ def main() -> None:
             power_model=power_model,
             spec=spec,
             strategy_factory=strategy_factory,
-            predictor_factory=lambda index: LmsCusumPredictor(history=10),
+            predictor_factory=make_predictor,
             config=config,
             dispatcher=RoundRobinDispatcher(),
         )

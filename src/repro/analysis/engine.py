@@ -1,0 +1,441 @@
+"""The invariant lint engine: AST rules, suppressions, reports.
+
+Every PR since the seed has leaned on the same correctness discipline —
+fast paths verified bit-identical against a reference oracle, seeded RNG
+everywhere, picklable shard tasks — but until now those contracts lived
+only in test files and reviewer memory.  This module is the framework
+that makes them machine-checkable: rules walk Python ASTs and report
+:class:`Finding`\\ s; the CLI (``python -m repro.analysis``) exits nonzero
+when any finding survives suppression.
+
+Vocabulary
+----------
+* A **rule** is a class with a ``REP``-prefixed :attr:`~Rule.code` that
+  inspects one file's AST (:class:`Rule`) or the whole analyzed file set
+  at once (:class:`ProjectRule`, used by the oracle-parity registry).
+  Rules self-register via :func:`register_rule`.
+* A **finding** is one violation at one location.  Findings are plain
+  data (:class:`Finding`) so they serialise to the JSON report CI
+  uploads as an artifact.
+* A **suppression** is an inline comment::
+
+      risky_call()  # repro: ignore[REP001] -- why this one is sound
+
+  The justification text after ``--`` is *required*: a suppression
+  without one does not suppress anything and is itself reported as
+  ``REP000``.  A suppression covers findings on its own line, on any
+  line of a multi-line statement that ends on its line, or on the line
+  directly below its comment block — justifications may wrap across
+  several comment-only lines and the block still anchors to the code
+  beneath it.
+
+File categories
+---------------
+Rules scope themselves by :attr:`FileContext.category` — ``"src"``
+(library code under ``src/repro``), ``"tests"``, ``"benchmarks"``,
+``"examples"`` or ``"other"`` — so determinism rules can bind tightly to
+library and result-bearing code while leaving tests free to, say,
+construct intentionally unpicklable work for error-path coverage (those
+carry justified suppressions instead).
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import dataclasses
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+from typing import ClassVar
+
+__all__ = [
+    "AnalysisReport",
+    "FileContext",
+    "Finding",
+    "ProjectRule",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "analyze_paths",
+    "iter_python_files",
+    "register_rule",
+    "rule_catalog",
+]
+
+#: Code used for suppression-hygiene findings emitted by the engine
+#: itself (missing justification, unknown rule code).  Not a registered
+#: rule and not suppressible.
+SUPPRESSION_HYGIENE_CODE = "REP000"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]"
+    r"(?:\s*--\s*(?P<why>\S.*))?"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+    #: Last line of the offending node — suppressions anywhere in the
+    #: span (plus the line above the first) cover the finding.
+    end_line: int | None = None
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column + 1}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """An inline ``# repro: ignore[...]`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str
+    #: Last line of the contiguous comment block the suppression starts
+    #: (equals :attr:`line` for a trailing or single-line comment).  The
+    #: suppression anchors to the code directly below this line, so a
+    #: justification may wrap across several comment-only lines.
+    anchor_line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.anchor_line < self.line:
+            object.__setattr__(self, "anchor_line", self.line)
+
+    @property
+    def valid(self) -> bool:
+        """Suppressions only count with a non-empty justification."""
+        return bool(self.justification.strip())
+
+
+def _categorize(path: Path) -> str:
+    parts = path.parts
+    if "tests" in parts:
+        return "tests"
+    if "benchmarks" in parts:
+        return "benchmarks"
+    if "examples" in parts:
+        return "examples"
+    if "repro" in parts or "src" in parts:
+        return "src"
+    return "other"
+
+
+@dataclasses.dataclass
+class FileContext:
+    """One parsed file handed to every applicable rule."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    category: str
+    suppressions: tuple[Suppression, ...]
+
+    @classmethod
+    def parse(cls, path: Path, source: str | None = None) -> "FileContext":
+        text = path.read_text() if source is None else source
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            source=text,
+            tree=tree,
+            category=_categorize(path),
+            suppressions=tuple(_parse_suppressions(text)),
+        )
+
+    def finding(
+        self, code: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at *node* in this file."""
+        return Finding(
+            code=code,
+            message=message,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            end_line=getattr(node, "end_lineno", None),
+        )
+
+
+def _parse_suppressions(source: str) -> Iterable[Suppression]:
+    """Extract ``# repro: ignore[...]`` comments via the tokenizer.
+
+    Tokenizing (rather than regexing raw lines) keeps string literals
+    that merely *mention* the syntax — like the ones in this module and
+    in the self-tests — from acting as suppressions.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse() fails first
+        return
+    comment_only_lines = {
+        token.start[0]
+        for token in tokens
+        if token.type == tokenize.COMMENT and token.line.strip().startswith("#")
+    }
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESSION_RE.search(token.string)
+        if match is None:
+            continue
+        codes = tuple(code.strip() for code in match.group("codes").split(","))
+        # A wrapped justification extends the block; the suppression
+        # anchors to the code directly below its last comment line.
+        anchor = token.start[0]
+        while anchor + 1 in comment_only_lines:
+            anchor += 1
+        yield Suppression(
+            line=token.start[0],
+            codes=codes,
+            justification=(match.group("why") or "").strip(),
+            anchor_line=anchor,
+        )
+
+
+class Rule(abc.ABC):
+    """A per-file AST check.
+
+    Subclasses set :attr:`code` (``REPnnn``), :attr:`name` and
+    :attr:`description`, restrict themselves via :attr:`categories`, and
+    implement :meth:`check`.
+    """
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    description: ClassVar[str]
+    #: File categories the rule runs on; ``None`` means every category.
+    categories: ClassVar[tuple[str, ...] | None] = None
+
+    def applies_to(self, context: FileContext) -> bool:
+        return self.categories is None or context.category in self.categories
+
+    @abc.abstractmethod
+    def check(self, context: FileContext) -> Iterable[Finding]:
+        """Yield findings for one file."""
+
+
+class ProjectRule(abc.ABC):
+    """A whole-file-set check (cross-references between files).
+
+    Used by the oracle-parity registry, which must see both the library
+    modules (for the selector tuples) and the test corpus (for the
+    parity-test evidence) in a single pass.
+    """
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    description: ClassVar[str]
+
+    @abc.abstractmethod
+    def check_project(self, files: Sequence[FileContext]) -> Iterable[Finding]:
+        """Yield findings for the analyzed file set as a whole."""
+
+
+_REGISTRY: dict[str, type[Rule] | type[ProjectRule]] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: add a rule to the engine's registry by code."""
+    code = cls.code
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule code {code!r}: {existing.__name__} and {cls.__name__}")
+    _REGISTRY[code] = cls
+    return cls
+
+
+def all_rules(codes: Sequence[str] | None = None) -> list[Rule | ProjectRule]:
+    """Instantiate the registered rules (optionally a subset by code)."""
+    _load_builtin_rules()
+    selected = sorted(_REGISTRY) if codes is None else list(codes)
+    rules: list[Rule | ProjectRule] = []
+    for code in selected:
+        if code not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ValueError(f"unknown rule code {code!r}; known codes: {known}")
+        rules.append(_REGISTRY[code]())
+    return rules
+
+
+def rule_catalog() -> list[tuple[str, str, str]]:
+    """``(code, name, description)`` for every registered rule."""
+    _load_builtin_rules()
+    return [
+        (code, _REGISTRY[code].name, _REGISTRY[code].description)
+        for code in sorted(_REGISTRY)
+    ]
+
+
+def _load_builtin_rules() -> None:
+    # Import for the registration side effect; deferred so engine.py has
+    # no import cycle with rules.py/parity.py.
+    from repro.analysis import parity, rules  # noqa: F401
+
+
+def iter_python_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated ``.py`` list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = path.rglob("*.py")
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            seen.add(candidate)
+    return sorted(seen)
+
+
+@dataclasses.dataclass
+class AnalysisReport:
+    """The outcome of one analysis run (what the CLI prints/serialises)."""
+
+    findings: list[Finding]
+    suppressed: list[tuple[Finding, Suppression]]
+    files_analyzed: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "schema": "repro.analysis-report/v1",
+            "files_analyzed": self.files_analyzed,
+            "rules": list(self.rules_run),
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": [
+                {**finding.to_json(), "justification": suppression.justification}
+                for finding, suppression in self.suppressed
+            ],
+        }
+
+    def format_human(self) -> str:
+        lines = [finding.format() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s), {len(self.suppressed)} suppressed, "
+            f"{self.files_analyzed} file(s) analyzed, "
+            f"rules: {', '.join(self.rules_run)}"
+        )
+        return "\n".join(lines)
+
+
+def _match_suppression(
+    finding: Finding, suppressions: Sequence[Suppression]
+) -> Suppression | None:
+    last = finding.end_line if finding.end_line is not None else finding.line
+    for suppression in suppressions:
+        if finding.code not in suppression.codes:
+            continue
+        if finding.line - 1 <= suppression.anchor_line <= last:
+            return suppression
+    return None
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule | ProjectRule] | None = None,
+) -> AnalysisReport:
+    """Run *rules* (default: all registered) over the ``.py`` files in *paths*."""
+    active = list(rules) if rules is not None else all_rules()
+    files = iter_python_files(paths)
+    contexts: list[FileContext] = []
+    findings: list[Finding] = []
+    for path in files:
+        try:
+            context = FileContext.parse(path)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    code="REP999",
+                    message=f"file does not parse: {error.msg}",
+                    path=str(path),
+                    line=error.lineno or 1,
+                )
+            )
+            continue
+        contexts.append(context)
+
+    per_file_rules = [rule for rule in active if isinstance(rule, Rule)]
+    project_rules = [rule for rule in active if isinstance(rule, ProjectRule)]
+
+    raw: list[tuple[Finding, FileContext | None]] = [(f, None) for f in findings]
+    by_path = {str(context.path): context for context in contexts}
+    for context in contexts:
+        for rule in per_file_rules:
+            if not rule.applies_to(context):
+                continue
+            for finding in rule.check(context):
+                raw.append((finding, context))
+    for rule in project_rules:
+        for finding in rule.check_project(contexts):
+            raw.append((finding, by_path.get(finding.path)))
+
+    # Suppression-hygiene pass: a suppression without justification is
+    # itself a finding (and suppresses nothing).
+    for context in contexts:
+        for suppression in context.suppressions:
+            if not suppression.valid:
+                raw.append(
+                    (
+                        Finding(
+                            code=SUPPRESSION_HYGIENE_CODE,
+                            message=(
+                                "suppression is missing its justification; write "
+                                "'# repro: ignore[CODE] -- why this is sound'"
+                            ),
+                            path=str(context.path),
+                            line=suppression.line,
+                        ),
+                        context,
+                    )
+                )
+
+    reported: list[Finding] = []
+    suppressed: list[tuple[Finding, Suppression]] = []
+    for finding, context in raw:
+        if context is not None and finding.code != SUPPRESSION_HYGIENE_CODE:
+            valid = [s for s in context.suppressions if s.valid]
+            match = _match_suppression(finding, valid)
+            if match is not None:
+                suppressed.append((finding, match))
+                continue
+        reported.append(finding)
+
+    reported.sort(key=lambda f: (f.path, f.line, f.code))
+    return AnalysisReport(
+        findings=reported,
+        suppressed=suppressed,
+        files_analyzed=len(files),
+        rules_run=tuple(
+            sorted({rule.code for rule in active})
+        ),
+    )
+
+
+def format_json(report: AnalysisReport) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

@@ -10,7 +10,7 @@ be asserted in tests and reported in the benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -46,7 +46,8 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 

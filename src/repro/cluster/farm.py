@@ -56,7 +56,7 @@ import math
 import tempfile
 from dataclasses import dataclass, field, replace
 from functools import cached_property
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -255,6 +255,27 @@ def run_shared_server_shard(task: SharedServerShardTask) -> RuntimeResult:
         demands = reader.load(task.demands)
     jobs = JobTrace.from_validated_arrays(arrivals, demands)
     return _run_shard(task.server, task.spec, jobs, task.use_cache)
+
+
+def _run_runtime_on_stream(
+    pair: "tuple[SleepScaleRuntime, JobTrace]",
+) -> RuntimeResult:
+    """Thread/serial fan-out work fn: run one prebuilt runtime on its stream."""
+    runtime, stream = pair
+    return runtime.run(stream)
+
+
+def _feed_session(
+    item: "tuple[RuntimeSession, np.ndarray, np.ndarray]",
+) -> None:
+    """Chunked-run fan-out work fn: feed one chunk into one session."""
+    session, chunk_arrivals, chunk_demands = item
+    session.feed(chunk_arrivals, chunk_demands)
+
+
+def _finish_session(session: RuntimeSession) -> RuntimeResult:
+    """Chunked-run fan-out work fn: close one streaming session."""
+    return session.finish()
 
 
 def prorated_idle_energy(
@@ -990,10 +1011,13 @@ class ServerFarm:
             if not isinstance(executor, SerialExecutor):
                 self._validate_fresh_instances(runtimes)
             results = executor.map(
-                lambda pair: pair[0].run(pair[1]),
-                list(zip(runtimes, (stream for _, stream in active))),
+                _run_runtime_on_stream,
+                [
+                    (runtime, stream)
+                    for runtime, (_, stream) in zip(runtimes, active, strict=True)
+                ],
             )
-        for (index, _), result in zip(active, results):
+        for (index, _), result in zip(active, results, strict=True):
             per_server[index] = result
         return per_server
 
@@ -1056,7 +1080,7 @@ class ServerFarm:
             ]
             results = executor.map(run_shared_server_shard, tasks)
         per_server: list[RuntimeResult | None] = [None] * self.num_servers
-        for index, result in zip(active, results):
+        for index, result in zip(active, results, strict=True):
             per_server[index] = result
         return per_server
 
@@ -1100,26 +1124,22 @@ class ServerFarm:
                     "dispatcher assigned a job to a non-existent server"
                 )
             targets = np.unique(assignment)
-            work: list[tuple[int, np.ndarray, np.ndarray]] = []
+            work: list[tuple[RuntimeSession, np.ndarray, np.ndarray]] = []
             for server in targets.tolist():
                 mask = assignment == server
                 work.append(
-                    (server, chunk_arrivals[mask], chunk_demands[mask])
+                    (sessions[server], chunk_arrivals[mask], chunk_demands[mask])
                 )
                 fed_jobs[server] += int(np.count_nonzero(mask))
-            executor.map(
-                lambda item: sessions[item[0]].feed(item[1], item[2]),
-                work,
-            )
+            executor.map(_feed_session, work)
         if not any(fed_jobs):
             raise ConfigurationError("no server received any job")
         per_server: list[RuntimeResult | None] = [None] * self.num_servers
         active = [index for index, count in enumerate(fed_jobs) if count > 0]
         results = executor.map(
-            lambda index: sessions[index].finish(),
-            active,
+            _finish_session, [sessions[index] for index in active]
         )
-        for index, result in zip(active, results):
+        for index, result in zip(active, results, strict=True):
             per_server[index] = result
         # Parked servers' runtimes were built but never fed — reuse them for
         # the idle accounting instead of invoking the factories again.

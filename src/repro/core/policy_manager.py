@@ -46,7 +46,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.exceptions import PolicySelectionError
 from repro.core.qos import QosConstraint

@@ -21,6 +21,8 @@ passing, plus the extensions this reproduction adds:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.cluster.dispatch import RoundRobinDispatcher
@@ -267,6 +269,50 @@ def run_atom_platform(
     )
 
 
+@dataclass(frozen=True)
+class _FarmSleepScaleFactory:
+    """Picklable per-server SleepScale factory for the farm ablation.
+
+    Module-level (not a closure) so the ablation farm stays correct under
+    ``executor="process"`` — the shard tasks pickle their factories.
+    """
+
+    power_model: object
+    qos: object
+    characterization_jobs: int
+    max_logged_jobs: int
+    seed: int
+
+    def __call__(self, server_index: int):
+        return sleepscale_strategy(
+            self.power_model,
+            self.qos,
+            characterization_jobs=self.characterization_jobs,
+            max_logged_jobs=self.max_logged_jobs,
+            seed=self.seed + server_index,
+        )
+
+
+@dataclass(frozen=True)
+class _FarmRaceToHaltFactory:
+    """Picklable per-server race-to-halt factory for the farm ablation."""
+
+    power_model: object
+
+    def __call__(self, server_index: int):
+        return race_to_halt_c6(self.power_model)
+
+
+@dataclass(frozen=True)
+class _FarmPredictorFactory:
+    """Picklable per-server LMS+CUSUM predictor factory."""
+
+    history: int = 10
+
+    def __call__(self, server_index: int) -> LmsCusumPredictor:
+        return LmsCusumPredictor(history=self.history)
+
+
 def run_server_farm(
     config: ExperimentConfig | None = None,
     workload: str = "dns",
@@ -287,17 +333,14 @@ def run_server_farm(
         epoch_minutes=5.0, rho_b=rho_b, over_provisioning=0.35
     )
 
-    def sleepscale_factory(server_index: int):
-        return sleepscale_strategy(
-            scenario.power_model,
-            qos,
-            characterization_jobs=config.characterization_jobs,
-            max_logged_jobs=2_000 if config.fast else 5_000,
-            seed=config.seed + server_index,
-        )
-
-    def race_factory(server_index: int):
-        return race_to_halt_c6(scenario.power_model)
+    sleepscale_factory = _FarmSleepScaleFactory(
+        power_model=scenario.power_model,
+        qos=qos,
+        characterization_jobs=config.characterization_jobs,
+        max_logged_jobs=2_000 if config.fast else 5_000,
+        seed=config.seed,
+    )
+    race_factory = _FarmRaceToHaltFactory(scenario.power_model)
 
     rows: list[dict[str, object]] = []
     for label, factory in (("SleepScale farm", sleepscale_factory), ("R2H(C6) farm", race_factory)):
@@ -306,7 +349,7 @@ def run_server_farm(
             power_model=scenario.power_model,
             spec=scenario.spec,
             strategy_factory=factory,
-            predictor_factory=lambda index: LmsCusumPredictor(history=10),
+            predictor_factory=_FarmPredictorFactory(history=10),
             config=runtime_config,
             dispatcher=RoundRobinDispatcher(),
         )

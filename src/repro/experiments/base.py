@@ -17,7 +17,8 @@ fine frequency grids, 2 AM–8 PM evaluation windows).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.exceptions import ExperimentError
 
@@ -138,10 +139,10 @@ def format_rows(
         max(len(str(column)), *(len(line[index]) for line in rendered))
         for index, column in enumerate(columns)
     ]
-    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    header = "  ".join(str(c).ljust(w) for c, w in zip(columns, widths, strict=True))
     separator = "  ".join("-" * w for w in widths)
     body = "\n".join(
-        "  ".join(cell.ljust(w) for cell, w in zip(line, widths)) for line in rendered
+        "  ".join(cell.ljust(w) for cell, w in zip(line, widths, strict=True)) for line in rendered
     )
     return f"{header}\n{separator}\n{body}"
 

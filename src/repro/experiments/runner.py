@@ -25,7 +25,7 @@ import argparse
 import functools
 import sys
 import time
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.concurrency import EXECUTORS, Executor, fan_out
 from repro.exceptions import ExperimentError
@@ -116,7 +116,7 @@ def run_experiments(
     # process executor (experiment names and configs are plain data).
     run_one = functools.partial(run_experiment, config=config)
     results = fan_out(names, run_one, max_workers, executor)
-    return dict(zip(names, results))
+    return dict(zip(names, results, strict=True))
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -71,7 +71,8 @@ import dataclasses
 import json
 import math
 import sys
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.cluster.controller import (
     CONTROLLER_POLICIES,

@@ -21,7 +21,7 @@ Two presets are provided: :func:`xeon_power_model` built from Table 2, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.power.components import (
@@ -183,7 +183,7 @@ class ServerPowerModel:
             )
         specs = [
             self.sleep_state_spec(state, delay, frequency)
-            for state, delay in zip(states, entry_delays)
+            for state, delay in zip(states, entry_delays, strict=True)
         ]
         return SleepSequence(specs)
 

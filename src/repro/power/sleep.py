@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.power.states import SystemState
@@ -116,7 +116,7 @@ class SleepSequence:
         self._name = name or "->".join(s.name for s in self._states)
 
     def _validate(self) -> None:
-        for earlier, later in zip(self._states, self._states[1:]):
+        for earlier, later in zip(self._states, self._states[1:], strict=False):
             if later.entry_delay <= earlier.entry_delay:
                 raise ConfigurationError(
                     "sleep sequence entry delays must be strictly increasing: "
@@ -236,7 +236,7 @@ class SleepSequence:
                 f"expected {len(self._states)} delays, got {len(delays)}"
             )
         return SleepSequence(
-            (spec.with_entry_delay(delay) for spec, delay in zip(self._states, delays)),
+            (spec.with_entry_delay(delay) for spec, delay in zip(self._states, delays, strict=True)),
         )
 
 

@@ -9,7 +9,7 @@ ablation benchmark that relates prediction accuracy to response time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

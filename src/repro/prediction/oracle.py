@@ -8,7 +8,7 @@ previous, LMS, LMS+CUSUM) are compared in Figure 8.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

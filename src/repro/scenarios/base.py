@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro.cluster.controller import FarmController
 from repro.cluster.farm import ServerFarm

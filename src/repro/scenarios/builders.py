@@ -549,11 +549,11 @@ def _mixture_spec(
     weights = [rate / total_rate for _, rate in specs_and_rates]
     mean = sum(
         weight * spec.service.mean
-        for (spec, _), weight in zip(specs_and_rates, weights)
+        for (spec, _), weight in zip(specs_and_rates, weights, strict=True)
     )
     second_moment = sum(
         weight * spec.service.second_moment
-        for (spec, _), weight in zip(specs_and_rates, weights)
+        for (spec, _), weight in zip(specs_and_rates, weights, strict=True)
     )
     variance = max(second_moment - mean**2, 0.0)
     cv = math.sqrt(variance) / mean

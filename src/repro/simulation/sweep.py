@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence, Union
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -123,9 +123,7 @@ def _point_from_result(result, sleep_state: str) -> TradeoffPoint:
 #: Accepted ways of specifying the sleep behaviour of a sweep: a fixed
 #: sequence, a single state (rebuilt per frequency, so that the power of the
 #: shallow C0(i)/C1 states tracks the DVFS setting), or an explicit factory.
-SleepLike = Union[
-    SleepSequence, SystemState, Callable[[float], SleepSequence]
-]
+SleepLike = SleepSequence | SystemState | Callable[[float], SleepSequence]
 
 
 def resolve_sleep(
@@ -296,7 +294,7 @@ def sweep_states(
         **kwargs,
     )
     curves = fan_out(list(labelled.values()), sweep_one, max_workers, executor)
-    return dict(zip(labelled.keys(), curves))
+    return dict(zip(labelled.keys(), curves, strict=True))
 
 
 def best_policy_across_states(

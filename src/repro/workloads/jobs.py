@@ -18,7 +18,7 @@ import csv
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -361,7 +361,7 @@ class JobTrace:
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(["arrival_s", "service_demand_s"])
-            for arrival, demand in zip(self._arrivals, self._demands):
+            for arrival, demand in zip(self._arrivals, self._demands, strict=True):
                 writer.writerow([f"{arrival:.9f}", f"{demand:.9f}"])
 
     def to_file(self, path: str | Path) -> None:

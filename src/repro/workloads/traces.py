@@ -28,7 +28,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -244,7 +244,7 @@ class UtilizationTrace:
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(["time_s", "utilization"])
-            for time, value in zip(self.times, self._values):
+            for time, value in zip(self.times, self._values, strict=True):
                 writer.writerow([f"{time:.6f}", f"{value:.6f}"])
 
     @classmethod

@@ -82,6 +82,36 @@ class TestAlwaysOnParityEverywhere:
             assert result.wake_transitions == ()
 
 
+class TestPredictivePolicyParity:
+    """The ``predictive`` policy is deterministic and executor-invariant.
+
+    Unlike ``always-on``, a predictive controller actually re-sizes the
+    fleet, so there is no uncontrolled oracle to compare against; the
+    contract is instead that the serial/memory run *is* the oracle and the
+    thread and process fast paths reproduce it bit-identically.
+    """
+
+    def _run(self, executor: str):
+        overrides = _tiny_overrides("diurnal")
+        built = get_scenario("diurnal").build(
+            seed=9,
+            executor=executor,
+            controller=FarmController(policy="predictive", setup=SetupModel.free()),
+            **overrides,
+        )
+        built.farm.max_workers = 2
+        return built.run()
+
+    def test_predictive_matches_serial_oracle_on_every_executor(self):
+        oracle = self._run("serial")
+        assert oracle.awake_counts is not None
+        for executor in ("thread", "process"):
+            assert_farm_results_identical(oracle, self._run(executor))
+
+    def test_predictive_repeat_run_is_bit_identical(self):
+        assert_farm_results_identical(self._run("serial"), self._run("serial"))
+
+
 class TestControllerPlumbing:
     def test_build_policy_name_means_free_setup(self):
         built = get_scenario("diurnal").build(

@@ -131,6 +131,8 @@ class TestProcessPicklability:
 
     def test_unpicklable_work_function(self):
         with pytest.raises(ExecutorError, match="work function"):
+            # repro: ignore[REP002] -- intentionally unpicklable work: this
+            # test pins the eager, clearly-worded rejection of lambdas.
             ProcessExecutor(2).map(lambda value: value, [1, 2])
 
     def test_unpicklable_work_item_is_named(self):
@@ -142,6 +144,8 @@ class TestProcessPicklability:
         """The rejection happens up front, not after a pool timeout."""
         started = time.perf_counter()
         with pytest.raises(ExecutorError):
+            # repro: ignore[REP002] -- intentionally unpicklable work item:
+            # this test pins the prompt (not pool-timeout) failure path.
             ProcessExecutor(2).map(square, [lambda: None])
         assert time.perf_counter() - started < 5.0
 
