@@ -119,6 +119,15 @@ PARITY_REGISTRY: tuple[ParityContract, ...] = (
         import_evidence=("repro.cluster.controller", "FarmController"),
         description="reactive/predictive right-sizing vs always-on identity",
     ),
+    ParityContract(
+        name="campaign-executor",
+        module="repro.campaigns.engine",
+        selector="CAMPAIGN_EXECUTORS",
+        oracle="serial",
+        members=("serial", "thread", "process"),
+        import_evidence=("repro.campaigns",),
+        description="campaign cell fan-out executors vs serial oracle",
+    ),
 )
 
 

@@ -71,6 +71,15 @@ class ExperimentError(ReproError):
     """An experiment harness was invoked with an unknown or invalid target."""
 
 
+class CampaignError(ExperimentError):
+    """A campaign was declared, stored or resumed incorrectly.
+
+    Examples: a spec whose axes are not JSON-representable, a store
+    directory holding a different campaign's records, or a resume against
+    a spec that no longer matches the persisted one.
+    """
+
+
 class ScenarioError(ReproError):
     """A scenario was requested or parameterised incorrectly.
 

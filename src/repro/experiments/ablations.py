@@ -21,11 +21,14 @@ passing, plus the extensions this reproduction adds:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaigns.spec import CampaignSpec
 from repro.cluster.dispatch import RoundRobinDispatcher
+from repro.exceptions import ExperimentError
 from repro.cluster.farm import ClusterRuntime
 from repro.core.analytic_manager import analytic_sleepscale_strategy
 from repro.core.qos import baseline_normalized_mean_budget, mean_qos_from_baseline
@@ -221,20 +224,33 @@ def run_analytic_vs_simulation(
     )
 
 
+#: Platform model factories for the Atom ablation's ``platforms`` selector.
+_PLATFORM_MODELS = {"xeon": xeon_power_model, "atom": atom_power_model}
+
+
 def run_atom_platform(
     config: ExperimentConfig | None = None,
     workload: str = "dns",
     utilization: float = 0.1,
+    platforms: Sequence[str] = ("xeon", "atom"),
 ) -> ExperimentResult:
-    """Section 4.2: on an Atom-class platform, running fast and sleeping is near-optimal."""
+    """Section 4.2: on an Atom-class platform, running fast and sleeping is near-optimal.
+
+    *platforms* selects which platform models to sweep (``"xeon"``,
+    ``"atom"``); each sweep reseeds from the config, so a subset reproduces
+    the corresponding rows of the two-platform comparison.
+    """
     config = config or ExperimentConfig()
     spec = workload_by_name(workload, empirical=False)
 
+    unknown = sorted(set(platforms) - set(_PLATFORM_MODELS))
+    if unknown:
+        raise ExperimentError(
+            f"unknown platforms {unknown}; available: {', '.join(_PLATFORM_MODELS)}"
+        )
     rows: list[dict[str, object]] = []
-    for platform_name, power_model in (
-        ("xeon", xeon_power_model()),
-        ("atom", atom_power_model()),
-    ):
+    for platform_name in platforms:
+        power_model = _PLATFORM_MODELS[platform_name]()
         curve = sweep_frequencies(
             spec,
             C6_S0I,
@@ -376,3 +392,43 @@ def run_server_farm(
         metadata={"num_servers": num_servers},
         notes=notes,
     )
+
+
+#: The five ablations as campaigns.  Axes follow the same decomposition
+#: rule as the figure campaigns: an axis exists only where the loop
+#: iteration reseeds independently, so cells concatenate to the direct run.
+CAMPAIGNS = (
+    CampaignSpec(
+        name="ablation-throttle-back",
+        kind="experiment",
+        target="ablation-throttle-back",
+        description="Sequential throttle-back ablation, one cell per utilisation",
+        grid={"utilizations": ((0.1,), (0.5,))},
+    ),
+    CampaignSpec(
+        name="ablation-over-provisioning",
+        kind="experiment",
+        target="ablation-over-provisioning",
+        description="Over-provisioning sweep, one cell per alpha",
+        grid={"alphas": ((0.0,), (0.15,), (0.35,), (0.5,))},
+    ),
+    CampaignSpec(
+        name="ablation-analytic-vs-simulation",
+        kind="experiment",
+        target="ablation-analytic-vs-simulation",
+        description="Analytic vs simulation policy search (single cell)",
+    ),
+    CampaignSpec(
+        name="ablation-atom-platform",
+        kind="experiment",
+        target="ablation-atom-platform",
+        description="Xeon vs Atom platform ablation, one cell per platform",
+        grid={"platforms": (("xeon",), ("atom",))},
+    ),
+    CampaignSpec(
+        name="ablation-server-farm",
+        kind="experiment",
+        target="ablation-server-farm",
+        description="Server-farm ablation (single cell)",
+    ),
+)

@@ -15,6 +15,7 @@ time.  The engineering lessons this figure carries:
 
 from __future__ import annotations
 
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.power.platform import xeon_power_model
 from repro.power.states import C0I_S0I, C6_S0I, C6_S3
@@ -107,3 +108,14 @@ def curve(result: ExperimentResult, workload: str, state: str) -> list[dict[str,
     """The swept points of one (workload, state) curve, ascending in frequency."""
     points = result.filtered(workload=workload, state=state)
     return sorted(points, key=lambda row: row["frequency"])
+
+
+#: One cell per workload: each workload's sweep reseeds from the config, so
+#: the cells concatenate to exactly the two-workload run.
+CAMPAIGN = CampaignSpec(
+    name="figure1",
+    kind="experiment",
+    target="figure1",
+    description="Figure 1 frequency sweeps, one cell per workload",
+    grid={"workloads": (("dns",), ("google",))},
+)

@@ -16,6 +16,9 @@ low-power state was selected is reported.  Expected shape:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+from repro.campaigns.spec import CampaignSpec
 from repro.core.strategies import sleepscale_strategy
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments.runtime_common import (
@@ -36,12 +39,19 @@ def run(
     rho_bs: tuple[float, ...] = (0.6, 0.8),
     epoch_minutes: float = 5.0,
     over_provisioning: float = 0.35,
+    traces: Sequence[Sequence[str]] = FIGURE10_TRACES,
 ) -> ExperimentResult:
-    """Collect the per-state selection fractions for every configuration."""
+    """Collect the per-state selection fractions for every configuration.
+
+    *traces* selects the (short name, trace name) pairs to evaluate
+    (default: both Figure 10 traces); each (trace, workload) scenario is
+    built and seeded independently, so any subset reproduces the
+    corresponding rows of the full grid.
+    """
     config = config or ExperimentConfig()
 
     rows: list[dict[str, object]] = []
-    for trace_short, trace_name in FIGURE10_TRACES:
+    for trace_short, trace_name in traces:
         for workload_name in workloads:
             # The Google-like workload generates hundreds of jobs per second,
             # so in fast mode its evaluation window is kept short.
@@ -112,3 +122,20 @@ def state_fraction(result: ExperimentResult, configuration: str, state: str) -> 
     if not rows:
         raise KeyError(f"no row for configuration {configuration!r}")
     return float(rows[0].get(state, 0.0))
+
+
+#: One cell per (trace, workload): each configuration builds its own
+#: scenario from the config seed; both rho_b values run inside the cell.
+CAMPAIGN = CampaignSpec(
+    name="figure10",
+    kind="experiment",
+    target="figure10",
+    description="Figure 10 state-selection grid, one cell per (trace, workload)",
+    grid={
+        "traces": (
+            (("fs", "file-server"),),
+            (("es", "email-store"),),
+        ),
+        "workloads": (("dns",), ("google",)),
+    },
+)

@@ -13,6 +13,7 @@ size relative to the wake-up latencies:
 
 from __future__ import annotations
 
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.power.platform import xeon_power_model
 from repro.power.states import C3_S0I, C6_S0I, C6_S3
@@ -84,3 +85,13 @@ def run(
         },
         notes=notes,
     )
+
+
+#: One cell per workload (independent sweeps, same reseeding as Figure 1).
+CAMPAIGN = CampaignSpec(
+    name="figure2",
+    kind="experiment",
+    target="figure2",
+    description="Figure 2 high-utilisation state comparison, one cell per workload",
+    grid={"workloads": (("dns",), ("google",))},
+)

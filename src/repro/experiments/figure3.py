@@ -11,6 +11,7 @@ mild response-time budgets.
 
 from __future__ import annotations
 
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.power.platform import xeon_power_model
 from repro.power.states import C0I_S0I, C6_S3
@@ -104,3 +105,15 @@ def power_at_frequency(
             f"no swept frequency within {tolerance} of {frequency} for {policy!r}"
         )
     return float(best["average_power_w"])
+
+
+#: The delayed-entry curves share the two pure-policy curves, so the figure
+#: cannot be split along ``delay_multipliers`` without duplicating rows; the
+#: campaign pins the single-workload run as one cell.
+CAMPAIGN = CampaignSpec(
+    name="figure3",
+    kind="experiment",
+    target="figure3",
+    description="Figure 3 delayed deep-sleep entry (single cell)",
+    grid={"workload": ("google",)},
+)

@@ -11,6 +11,7 @@ busy periods.
 
 from __future__ import annotations
 
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.power.dvfs import frequency_grid
 from repro.power.platform import xeon_power_model
@@ -85,3 +86,13 @@ def run(
         },
         notes=notes,
     )
+
+
+#: One cell per service-scaling exponent (each beta sweep reseeds).
+CAMPAIGN = CampaignSpec(
+    name="figure4",
+    kind="experiment",
+    target="figure4",
+    description="Figure 4 service-scaling sweeps, one cell per beta",
+    grid={"betas": ((1.0,), (0.5,), (0.2,), (0.0,))},
+)

@@ -16,6 +16,7 @@ mean response time ``1/(1 - rho_b) = 5``.  Two behaviours are illustrated:
 from __future__ import annotations
 
 from repro.core.qos import baseline_normalized_mean_budget
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.power.platform import xeon_power_model
 from repro.power.states import C0I_S0I
@@ -92,3 +93,13 @@ def run(
         },
         notes=notes,
     )
+
+
+#: One cell per utilisation (each sweep reseeds from the config).
+CAMPAIGN = CampaignSpec(
+    name="figure5",
+    kind="experiment",
+    target="figure5",
+    description="Figure 5 per-utilisation sweeps, one cell per utilisation",
+    grid={"utilizations": ((0.1,), (0.2,), (0.3,), (0.4,))},
+)

@@ -32,6 +32,7 @@ from repro.core.qos import (
     baseline_normalized_mean_budget,
     baseline_percentile_deadline,
 )
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.exceptions import ExperimentError
 from repro.policies.space import PolicySpace
@@ -244,3 +245,18 @@ def frequency_series(
         for row in rows
     ]
     return sorted(series, key=lambda item: item[0])
+
+
+#: The job streams are drawn from one generator shared across the
+#: workload x utilisation loops, so those axes do not decompose; the
+#: constraint and rho_b selections reuse the same characterisation and do.
+CAMPAIGN = CampaignSpec(
+    name="figure6",
+    kind="experiment",
+    target="figure6",
+    description="Figure 6 policy characterisation, one cell per (constraint, rho_b)",
+    grid={
+        "constraints": (("mean",), ("p95",)),
+        "rho_bs": ((0.6,), (0.8,)),
+    },
+)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.units import SECONDS_PER_HOUR
 from repro.workloads.traces import (
@@ -72,3 +73,12 @@ def run(config: ExperimentConfig | None = None, days: int = 3) -> ExperimentResu
         metadata={"days": days, "summaries": summaries},
         notes=notes,
     )
+
+
+#: Trace synthesis has no decomposable axis worth splitting — one cell.
+CAMPAIGN = CampaignSpec(
+    name="figure7",
+    kind="experiment",
+    target="figure7",
+    description="Figure 7 synthetic daily utilisation traces (single cell)",
+)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.core.qos import baseline_normalized_mean_budget
 from repro.core.strategies import sleepscale_strategy
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments.runtime_common import (
     build_scenario,
@@ -113,3 +114,18 @@ def response_time(
     if not rows:
         raise KeyError(f"no row for predictor={predictor!r}, T={update_interval}")
     return float(rows[0]["mean_response_time_s"])
+
+
+#: One cell per (update interval, predictor); every combination builds a
+#: fresh strategy/predictor from the config seed, so the cells concatenate
+#: to the fast-mode grid in the run loop's interval-major order.
+CAMPAIGN = CampaignSpec(
+    name="figure8",
+    kind="experiment",
+    target="figure8",
+    description="Figure 8 predictor/update-interval grid, one cell per combination",
+    grid={
+        "update_intervals": ((5.0,), (10.0,)),
+        "predictors": (("LC",), ("LMS",), ("NP",), ("Offline",)),
+    },
+)

@@ -18,8 +18,12 @@ alpha = 0.35.  Expected shape:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
+from repro.campaigns.spec import CampaignSpec
 from repro.core.qos import baseline_normalized_mean_budget
 from repro.core.strategies import figure9_strategies
+from repro.exceptions import ExperimentError
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.experiments.runtime_common import build_scenario, default_qos, make_predictor, run_strategy
 
@@ -32,24 +36,42 @@ def run(
     epoch_minutes: float = 5.0,
     over_provisioning: float = 0.35,
     predictor_name: str = "LC",
+    strategies: Sequence[str] | None = None,
 ) -> ExperimentResult:
-    """Run the five strategies of Figure 9 over one trace-driven scenario."""
+    """Run the five strategies of Figure 9 over one trace-driven scenario.
+
+    *strategies* selects a subset by name (``"SS"``, ``"SS(C3)"``,
+    ``"DVFS"``, ``"R2H(C3)"``, ``"R2H(C6)"``; default: all five).  Every
+    strategy is constructed either way — only the selected ones are run —
+    so a subset's rows match the corresponding rows of the full comparison.
+    """
     config = config or ExperimentConfig()
     scenario = build_scenario(workload, trace, config)
     qos = default_qos(rho_b)
     budget = baseline_normalized_mean_budget(rho_b)
 
-    strategies = figure9_strategies(
+    all_strategies = figure9_strategies(
         scenario.power_model,
         qos,
         characterization_jobs=config.characterization_jobs,
         max_logged_jobs=2_000 if config.fast else 5_000,
         seed=config.seed,
     )
+    if strategies is None:
+        selected = list(all_strategies)
+    else:
+        by_name = {strategy.name: strategy for strategy in all_strategies}
+        unknown = sorted(set(strategies) - set(by_name))
+        if unknown:
+            raise ExperimentError(
+                f"unknown figure9 strategies {unknown}; "
+                f"available: {', '.join(by_name)}"
+            )
+        selected = [by_name[name] for name in strategies]
 
     rows: list[dict[str, object]] = []
     state_fractions: dict[str, dict[str, float]] = {}
-    for strategy in strategies:
+    for strategy in selected:
         predictor = make_predictor(predictor_name, scenario)
         result = run_strategy(
             scenario,
@@ -109,3 +131,16 @@ def metric(result: ExperimentResult, strategy: str, column: str) -> float:
     if not rows:
         raise KeyError(f"no row for strategy {strategy!r}")
     return float(rows[0][column])
+
+
+#: One cell per strategy: all five are constructed in every cell (identical
+#: construction side effects), then only the cell's strategy runs.
+CAMPAIGN = CampaignSpec(
+    name="figure9",
+    kind="experiment",
+    target="figure9",
+    description="Figure 9 strategy comparison, one cell per strategy",
+    grid={
+        "strategies": (("SS",), ("SS(C3)",), ("DVFS",), ("R2H(C3)",), ("R2H(C6)",)),
+    },
+)

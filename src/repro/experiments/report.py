@@ -1,0 +1,249 @@
+"""Machine-readable experiment reports (``repro.experiment-report/v1``).
+
+``python -m repro.experiments <names> --output FILE`` serialises the run's
+:class:`~repro.experiments.base.ExperimentResult`\\ s into one
+schema-versioned JSON document, mirroring the scenario reports'
+validate-before-emit discipline.  The same row serialisation and payload
+validation back the campaign store's cell records
+(:mod:`repro.campaigns.store`), so the two surfaces cannot drift apart.
+
+Report schema::
+
+    {
+      "schema": "repro.experiment-report/v1",
+      "config": {
+        "fast": bool, "seed": int,
+        "num_jobs": int | null, "frequency_step": float | null
+      },
+      "experiments": [
+        {
+          "name": str, "description": str,
+          "rows": [{column: value, ...}, ...],     # non-empty
+          "metadata": {..},                        # JSON-canonical
+          "notes": [str, ...]
+        },
+        ...
+      ]
+    }
+
+JSON has no NaN/inf, so non-finite floats become ``null`` wherever they
+appear (an infeasible cell's power, for example); numpy scalars are
+unwrapped to plain Python numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from typing import Any
+
+from repro.exceptions import ExperimentError
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+
+#: Version tag stamped into (and required from) every experiment report.
+EXPERIMENT_REPORT_SCHEMA = "repro.experiment-report/v1"
+
+_NUMBER = (int, float)
+
+
+def jsonify_value(value: Any) -> Any:
+    """*value* as a JSON-representable object.
+
+    Tuples become lists, numpy scalars become Python numbers (via
+    ``item()``), and non-finite floats become ``None``.  Anything else
+    that JSON cannot carry is rejected loudly rather than serialised as
+    its ``repr``.
+    """
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        # numpy scalars (and 0-d arrays) unwrap to plain Python objects.
+        try:
+            value = value.item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (list, tuple)):
+        return [jsonify_value(item) for item in value]
+    if isinstance(value, Mapping):
+        jsonified: dict[str, Any] = {}
+        for key, item in value.items():
+            jsonified[str(jsonify_value(key))] = jsonify_value(item)
+        return jsonified
+    raise ExperimentError(
+        f"cannot serialise {type(value).__name__} value {value!r} into an "
+        "experiment report"
+    )
+
+
+def jsonify_rows(rows: Sequence[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Experiment rows as JSON-ready dictionaries (NaN → ``null``)."""
+    return [
+        {str(key): jsonify_value(value) for key, value in row.items()} for row in rows
+    ]
+
+
+def experiment_payload(result: ExperimentResult) -> dict[str, Any]:
+    """One experiment's JSON payload (shared with campaign cell records)."""
+    return {
+        "name": result.name,
+        "description": result.description,
+        "rows": jsonify_rows(result.rows),
+        "metadata": jsonify_value(dict(result.metadata)),
+        "notes": [str(note) for note in result.notes],
+    }
+
+
+def experiment_report(
+    results: Mapping[str, ExperimentResult], config: ExperimentConfig
+) -> dict[str, Any]:
+    """Assemble the schema-versioned report for one ``run_experiments`` call.
+
+    The returned document is already validated against
+    :data:`EXPERIMENT_REPORT_SCHEMA`.
+    """
+    report = {
+        "schema": EXPERIMENT_REPORT_SCHEMA,
+        "config": {
+            "fast": config.fast,
+            "seed": config.seed,
+            "num_jobs": config.num_jobs,
+            "frequency_step": config.frequency_step,
+        },
+        "experiments": [experiment_payload(result) for result in results.values()],
+    }
+    validate_experiment_report(report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Schema validation
+# ---------------------------------------------------------------------------
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ExperimentError(f"invalid experiment report: {message}")
+
+
+def validate_experiment_payload(payload: Any, where: str = "experiment") -> None:
+    """Check one experiment payload (also each campaign cell's result body).
+
+    Raises :class:`~repro.exceptions.ExperimentError` on the first
+    violation; returns ``None`` on success.  Structural only — keys,
+    types, finite numbers, non-empty rows with consistent key sets.
+    """
+    _require(isinstance(payload, dict), f"{where} must be an object")
+    _require(
+        set(payload) == {"name", "description", "rows", "metadata", "notes"},
+        f"{where} must have exactly the keys "
+        "['description', 'metadata', 'name', 'notes', 'rows'], "
+        f"got {sorted(payload) if isinstance(payload, dict) else payload}",
+    )
+    for key in ("name", "description"):
+        _require(
+            isinstance(payload[key], str) and payload[key],
+            f"{where}.{key} must be a non-empty string",
+        )
+    rows = payload["rows"]
+    _require(
+        isinstance(rows, list) and rows,
+        f"{where}.rows must be a non-empty list",
+    )
+    columns = None
+    for position, row in enumerate(rows):
+        _require(
+            isinstance(row, dict) and row,
+            f"{where}.rows[{position}] must be a non-empty object",
+        )
+        for key, value in row.items():
+            _require(
+                isinstance(key, str),
+                f"{where}.rows[{position}] column names must be strings",
+            )
+            _validate_json_scalarish(value, f"{where}.rows[{position}][{key!r}]")
+        if columns is None:
+            columns = set(row)
+    _require(isinstance(payload["metadata"], dict), f"{where}.metadata must be an object")
+    _validate_json_scalarish(payload["metadata"], f"{where}.metadata")
+    _require(
+        isinstance(payload["notes"], list)
+        and all(isinstance(note, str) for note in payload["notes"]),
+        f"{where}.notes must be a list of strings",
+    )
+
+
+def _validate_json_scalarish(value: Any, where: str) -> None:
+    """Reject non-finite numbers and non-JSON types anywhere in *value*."""
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return
+    if isinstance(value, float):
+        _require(math.isfinite(value), f"{where} must be finite (serialise NaN as null)")
+        return
+    if isinstance(value, list):
+        for position, item in enumerate(value):
+            _validate_json_scalarish(item, f"{where}[{position}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _require(isinstance(key, str), f"{where} keys must be strings")
+            _validate_json_scalarish(item, f"{where}[{key!r}]")
+        return
+    _require(False, f"{where} must be a JSON value, got {type(value).__name__}")
+
+
+def validate_experiment_report(report: Any) -> None:
+    """Check *report* against the ``repro.experiment-report/v1`` schema."""
+    _require(isinstance(report, dict), "report must be an object")
+    _require(
+        set(report) == {"schema", "config", "experiments"},
+        "report must have exactly the keys ['config', 'experiments', 'schema'], "
+        f"got {sorted(report) if isinstance(report, dict) else report}",
+    )
+    _require(
+        report["schema"] == EXPERIMENT_REPORT_SCHEMA,
+        f"schema must be {EXPERIMENT_REPORT_SCHEMA!r}",
+    )
+    config = report["config"]
+    _require(isinstance(config, dict), "config must be an object")
+    _require(
+        set(config) == {"fast", "seed", "num_jobs", "frequency_step"},
+        "config must have exactly the keys "
+        "['fast', 'frequency_step', 'num_jobs', 'seed']",
+    )
+    _require(isinstance(config["fast"], bool), "config.fast must be a bool")
+    _require(
+        isinstance(config["seed"], int) and not isinstance(config["seed"], bool),
+        "config.seed must be an integer",
+    )
+    _require(
+        config["num_jobs"] is None
+        or (isinstance(config["num_jobs"], int) and config["num_jobs"] > 0),
+        "config.num_jobs must be null or a positive integer",
+    )
+    _require(
+        config["frequency_step"] is None
+        or (
+            isinstance(config["frequency_step"], _NUMBER)
+            and not isinstance(config["frequency_step"], bool)
+            and math.isfinite(config["frequency_step"])
+            and config["frequency_step"] > 0
+        ),
+        "config.frequency_step must be null or a positive number",
+    )
+    experiments = report["experiments"]
+    _require(
+        isinstance(experiments, list) and experiments,
+        "experiments must be a non-empty list",
+    )
+    names = []
+    for position, payload in enumerate(experiments):
+        validate_experiment_payload(payload, f"experiments[{position}]")
+        names.append(payload["name"])
+    _require(
+        len(set(names)) == len(names),
+        f"experiment names must be unique, got {names}",
+    )

@@ -1,32 +1,42 @@
-"""Experiment registry and command-line entry point.
+"""Experiment and campaign registries, and the command-line entry point.
 
 ``python -m repro.experiments <name> [<name> ...] [--full] [--seed N]`` runs
 one or more experiments and prints their result tables; ``--list`` shows
-every registered experiment, and ``--parallel N`` fans independent
-experiments out over a pool of N workers (``--executor`` picks serial,
-thread or process execution; each experiment owns its seeds, so results are
-identical whichever executor runs them).  The same registry is what the
-benchmark harness iterates over, so the CLI and the benchmarks can never
-diverge on what an experiment means.
+every registered experiment, ``--parallel N`` fans independent experiments
+out over a pool of N workers (``--executor`` picks serial, thread or process
+execution; each experiment owns its seeds, so results are identical
+whichever executor runs them), and ``--output FILE`` also writes the results
+as a schema-versioned JSON report (:mod:`repro.experiments.report`).  The
+same registry is what the benchmark harness iterates over, so the CLI and
+the benchmarks can never diverge on what an experiment means.
 
-Two subcommands expose the scenario library
-(:mod:`repro.experiments.scenario_runner`):
+Four subcommands expose the scenario library
+(:mod:`repro.experiments.scenario_runner`) and the campaign engine
+(:mod:`repro.campaigns` via :mod:`repro.experiments.campaign_runner`):
 
 * ``python -m repro.experiments list-scenarios`` — every registered scenario
   with its one-line description;
 * ``python -m repro.experiments run-scenario <name> [--seed N] [--backend B]
   [--set key=value ...]`` — run one scenario end-to-end and print its JSON
-  report.
+  report;
+* ``python -m repro.experiments list-campaigns`` — every registered
+  campaign with its cell count and axes;
+* ``python -m repro.experiments run-campaign <name|spec.json> [--resume]
+  [--executor E] [--workers N] [--output-dir DIR]`` — run (or resume) a
+  declared campaign into an on-disk store.
 """
 
 from __future__ import annotations
 
 import argparse
 import functools
+import json
 import sys
 import time
 from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
+from repro.campaigns.spec import CampaignSpec
 from repro.concurrency import EXECUTORS, Executor, fan_out
 from repro.exceptions import ExperimentError
 from repro.experiments import (
@@ -45,12 +55,13 @@ from repro.experiments import (
     table5,
 )
 from repro.experiments.base import ExperimentConfig, ExperimentResult, format_result
+from repro.experiments.report import experiment_report
 
 #: Registry of experiment name -> run callable.  The ``ablation-*`` entries
 #: are this reproduction's extension studies (see DESIGN.md and
 #: EXPERIMENTS.md); the ``table*``/``figure*`` entries map one-to-one onto
 #: the paper's evaluation section.
-EXPERIMENTS: Mapping[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+EXPERIMENTS: Mapping[str, Callable[..., ExperimentResult]] = {
     "table2": table2.run,
     "table5": table5.run,
     "figure1": figure1.run,
@@ -70,23 +81,81 @@ EXPERIMENTS: Mapping[str, Callable[[ExperimentConfig], ExperimentResult]] = {
     "ablation-server-farm": ablations.run_server_farm,
 }
 
+#: A scenario campaign registered beside the experiment ones: the diurnal
+#: farm scenario swept over workloads and right-sizing controllers, showing
+#: how campaign axes thread through ``Scenario.build`` overrides and knobs.
+SCENARIO_DIURNAL_CAMPAIGN = CampaignSpec(
+    name="scenario-diurnal",
+    kind="scenario",
+    target="diurnal",
+    description="Diurnal farm scenario over workloads and farm controllers",
+    grid={
+        "workload": ("dns", "google"),
+        "controller": (None, "reactive"),
+    },
+    fixed={"duration_minutes": 12},
+)
+
+#: Registry of campaign name -> spec, in the experiment registry's order
+#: (each figure/table module declares its own decomposition beside its
+#: ``run`` function), plus the scenario campaigns.
+CAMPAIGNS: Mapping[str, CampaignSpec] = {
+    spec.name: spec
+    for spec in (
+        table2.CAMPAIGN,
+        table5.CAMPAIGN,
+        figure1.CAMPAIGN,
+        figure2.CAMPAIGN,
+        figure3.CAMPAIGN,
+        figure4.CAMPAIGN,
+        figure5.CAMPAIGN,
+        figure6.CAMPAIGN,
+        figure7.CAMPAIGN,
+        figure8.CAMPAIGN,
+        figure9.CAMPAIGN,
+        figure10.CAMPAIGN,
+        *ablations.CAMPAIGNS,
+        SCENARIO_DIURNAL_CAMPAIGN,
+    )
+}
+
 
 def available_experiments() -> list[str]:
     """Names of all registered experiments, in table/figure order."""
     return list(EXPERIMENTS)
 
 
+def available_campaigns() -> list[str]:
+    """Names of all registered campaigns, in registry order."""
+    return list(CAMPAIGNS)
+
+
+def get_campaign(name: str) -> CampaignSpec:
+    """Look up one registered campaign by name."""
+    try:
+        return CAMPAIGNS[name]
+    except KeyError as error:
+        raise ExperimentError(
+            f"unknown campaign {name!r}; available: {', '.join(CAMPAIGNS)}"
+        ) from error
+
+
 def run_experiment(
-    name: str, config: ExperimentConfig | None = None
+    name: str, config: ExperimentConfig | None = None, **kwargs: Any
 ) -> ExperimentResult:
-    """Run one registered experiment by name."""
+    """Run one registered experiment by name.
+
+    Extra keyword arguments go straight to the experiment's ``run``
+    function — this is how campaign cells select their slice of a figure
+    (e.g. ``run_experiment("figure1", config, workloads=["dns"])``).
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError as error:
         raise ExperimentError(
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
         ) from error
-    return runner(config or ExperimentConfig())
+    return runner(config or ExperimentConfig(), **kwargs)
 
 
 def run_experiments(
@@ -138,13 +207,30 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 2
         return scenario_runner.list_scenarios_main()
+    if argv and argv[0] == "run-campaign":
+        from repro.experiments import campaign_runner
+
+        return campaign_runner.main(argv[1:])
+    if argv and argv[0] == "list-campaigns":
+        from repro.experiments import campaign_runner
+
+        if len(argv) > 1:
+            print(
+                f"list-campaigns takes no arguments, got {argv[1:]}",
+                file=sys.stderr,
+            )
+            return 2
+        return campaign_runner.list_campaigns_main()
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Regenerate a table or figure of the SleepScale paper.",
         epilog=(
             "subcommands: 'run-scenario <name> [options]' runs a registered "
             "scenario and prints its JSON report (see 'run-scenario --help'); "
-            "'list-scenarios' lists every registered scenario."
+            "'list-scenarios' lists every registered scenario; "
+            "'run-campaign <name|spec.json> [options]' runs or resumes a "
+            "declared campaign (see 'run-campaign --help'); 'list-campaigns' "
+            "lists every registered campaign."
         ),
     )
     parser.add_argument(
@@ -178,6 +264,15 @@ def main(argv: list[str] | None = None) -> int:
             "execution; results are identical across executors"
         ),
     )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help=(
+            "also write the results as a machine-readable JSON report "
+            "(schema repro.experiment-report/v1); '-' writes to stdout"
+        ),
+    )
     arguments = parser.parse_args(argv)
     if arguments.parallel < 1:
         parser.error(f"--parallel must be at least 1, got {arguments.parallel}")
@@ -199,6 +294,15 @@ def main(argv: list[str] | None = None) -> int:
     for name in dict.fromkeys(arguments.experiments):
         print(format_result(results[name]))
         print()
+    if arguments.output is not None:
+        report = experiment_report(results, config)
+        text = json.dumps(report, indent=2, sort_keys=True, allow_nan=False) + "\n"
+        if arguments.output == "-":
+            sys.stdout.write(text)
+        else:
+            with open(arguments.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote report to {arguments.output}")
     print(f"completed in {elapsed:.1f} s (fast={config.fast})")
     return 0
 

@@ -8,6 +8,7 @@ printed in the paper (platform totals of 120 W operating, 60.5 W idle/sleep,
 
 from __future__ import annotations
 
+from repro.campaigns.spec import CampaignSpec
 from repro.experiments.base import ExperimentConfig, ExperimentResult
 from repro.power.components import ComponentMode
 from repro.power.platform import xeon_power_model
@@ -87,3 +88,12 @@ def platform_totals_match(result: ExperimentResult, tolerance: float = 1e-9) -> 
         abs(model_totals[mode] - expected) <= tolerance
         for mode, expected in PAPER_PLATFORM_TOTALS.items()
     )
+
+
+#: The power table depends on no experiment knob — a single-cell campaign.
+CAMPAIGN = CampaignSpec(
+    name="table2",
+    kind="experiment",
+    target="table2",
+    description="Table 2 component power breakdown (single cell)",
+)

@@ -1,0 +1,169 @@
+"""Resume semantics, fuzzed: interrupted == uninterrupted, byte for byte.
+
+A synthetic (cheap, deterministic) experiment is registered under the
+campaign engine for the duration of this module so Hypothesis can run
+whole campaigns hundreds of cells' worth of times.  The properties
+pinned here are the heart of the store contract:
+
+* interrupting a campaign at *any* cell boundary and resuming it leaves
+  a store byte-identical to an uninterrupted run;
+* every cell is executed exactly once across the interrupt+resume pair
+  (completed cells are provably skipped, not silently re-run);
+* a corrupted, truncated or stale cell record is detected on resume and
+  re-executed — exactly that cell, nothing else — and the repaired
+  store is again byte-identical to the reference.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns import CampaignSpec, CampaignStore, run_campaign
+from repro.exceptions import CampaignError
+from repro.experiments import runner
+from repro.experiments.base import ExperimentConfig, ExperimentResult
+
+FAKE_NAME = "campaign-resume-fake"
+
+#: Invocation counter for the synthetic experiment: the execution-count
+#: assertions below read deltas of this to prove cells are skipped.
+_CALLS = {"count": 0}
+
+
+def _fake_run(
+    config: ExperimentConfig, offset: int = 0, scale: int = 1, base: int = 0
+) -> ExperimentResult:
+    _CALLS["count"] += 1
+    value = base + config.seed * 1_000 + offset * scale
+    rows = tuple(
+        {"offset": offset, "scale": scale, "step": step, "value": value + step}
+        for step in range(2)
+    )
+    return ExperimentResult(
+        name=FAKE_NAME,
+        description="deterministic arithmetic rows for resume tests",
+        rows=rows,
+        metadata={"seed": config.seed, "fast": config.fast},
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _register_fake():
+    # Rebind (rather than mutate) the registry so nothing leaks into other
+    # modules; ``run_experiment`` reads the module attribute at call time.
+    original = runner.EXPERIMENTS
+    runner.EXPERIMENTS = {**original, FAKE_NAME: _fake_run}
+    try:
+        yield
+    finally:
+        runner.EXPERIMENTS = original
+
+
+def fake_spec(n_offsets: int, seeds: tuple[int, ...], scales: tuple[int, ...]):
+    return CampaignSpec(
+        name="resume-fuzz",
+        kind="experiment",
+        target=FAKE_NAME,
+        seeds=seeds,
+        grid={"offset": tuple(range(n_offsets)), "scale": scales},
+        fixed={"base": 7},
+    )
+
+
+def store_bytes(root):
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_interrupted_then_resumed_store_is_byte_identical(tmp_path_factory, data):
+    n_offsets = data.draw(st.integers(1, 3), label="offsets")
+    seeds = tuple(data.draw(st.sets(st.integers(0, 9), min_size=1, max_size=2)))
+    scales = tuple(data.draw(st.sets(st.integers(1, 5), min_size=1, max_size=2)))
+    spec = fake_spec(n_offsets, seeds, scales)
+    total = spec.num_cells
+    interrupt_at = data.draw(st.integers(0, total), label="interrupt")
+
+    reference = tmp_path_factory.mktemp("resume-ref")
+    resumed = tmp_path_factory.mktemp("resume-split")
+    assert run_campaign(spec, reference).completed
+
+    before = _CALLS["count"]
+    first = run_campaign(spec, resumed, max_cells=interrupt_at)
+    assert _CALLS["count"] - before == interrupt_at
+    assert len(first.executed) == interrupt_at
+    if interrupt_at < total:
+        # No merged CSV until every cell has a record.
+        assert not CampaignStore(resumed).results_path.exists()
+
+    second = run_campaign(spec, resumed, resume=True)
+    assert second.completed
+    assert sorted(second.skipped) == sorted(first.executed)
+    # Exactly once per cell across the pair: the skip is real.
+    assert _CALLS["count"] - before == total
+    assert store_bytes(resumed) == store_bytes(reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_untrusted_cell_records_are_rerun_not_trusted(tmp_path_factory, data):
+    spec = fake_spec(3, (0,), (1, 2))
+    cells = spec.cells()
+    victim = cells[data.draw(st.integers(0, len(cells) - 1), label="victim")]
+    corruption = data.draw(
+        st.sampled_from(["empty", "truncated", "garbage", "stale"]),
+        label="corruption",
+    )
+
+    root = tmp_path_factory.mktemp("resume-corrupt")
+    assert run_campaign(spec, root).completed
+    reference = store_bytes(root)
+
+    path = CampaignStore(root).cell_path(victim.cell_id)
+    if corruption == "empty":
+        path.write_text("", encoding="utf-8")
+    elif corruption == "truncated":
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+    elif corruption == "garbage":
+        path.write_bytes(b"\xff\x00 not json")
+    else:
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["seed"] += 1  # content no longer matches the cell id
+        path.write_text(json.dumps(record), encoding="utf-8")
+    assert store_bytes(root) != reference
+
+    before = _CALLS["count"]
+    outcome = run_campaign(spec, root, resume=True)
+    assert outcome.completed
+    assert outcome.executed == (victim.cell_id,)
+    assert _CALLS["count"] - before == 1
+    assert store_bytes(root) == reference
+
+
+def test_resume_of_a_complete_store_executes_nothing(tmp_path):
+    spec = fake_spec(2, (0,), (1,))
+    assert run_campaign(spec, tmp_path).completed
+    snapshot = store_bytes(tmp_path)
+    before = _CALLS["count"]
+    outcome = run_campaign(spec, tmp_path, resume=True)
+    assert outcome.completed
+    assert outcome.executed == ()
+    assert len(outcome.skipped) == spec.num_cells
+    assert _CALLS["count"] == before
+    assert store_bytes(tmp_path) == snapshot
+
+
+def test_fresh_run_refuses_a_populated_store(tmp_path):
+    spec = fake_spec(2, (0,), (1,))
+    run_campaign(spec, tmp_path, max_cells=1)
+    with pytest.raises(CampaignError, match="--resume"):
+        run_campaign(spec, tmp_path)

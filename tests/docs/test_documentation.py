@@ -70,3 +70,22 @@ class TestCookbookCoverage:
 
         architecture = DOCUMENTS["docs/ARCHITECTURE.md"].read_text()
         assert REPORT_SCHEMA in architecture
+
+    def test_campaign_schemas_are_documented(self):
+        from repro.campaigns.spec import SPEC_SCHEMA
+        from repro.campaigns.store import CELL_SCHEMA
+        from repro.experiments.report import EXPERIMENT_REPORT_SCHEMA
+
+        architecture = DOCUMENTS["docs/ARCHITECTURE.md"].read_text()
+        readme = DOCUMENTS["README.md"].read_text()
+        assert SPEC_SCHEMA in architecture
+        assert CELL_SCHEMA in architecture
+        assert CELL_SCHEMA in readme
+        assert EXPERIMENT_REPORT_SCHEMA in architecture
+        assert EXPERIMENT_REPORT_SCHEMA in readme
+
+    def test_readme_documents_the_resume_workflow(self):
+        readme = DOCUMENTS["README.md"].read_text()
+        assert "run-campaign" in readme
+        assert "--resume" in readme
+        assert "list-campaigns" in readme
