@@ -128,6 +128,27 @@ PARITY_REGISTRY: tuple[ParityContract, ...] = (
         import_evidence=("repro.campaigns",),
         description="campaign cell fan-out executors vs serial oracle",
     ),
+    ParityContract(
+        name="farm-qos",
+        module="repro.cluster.tenancy",
+        selector="FARM_QOS_MODES",
+        oracle="strictest",
+        members=("strictest", "per-tenant"),
+        import_evidence=("repro.cluster.tenancy", "FarmQos"),
+        description="per-tenant QoS accounting vs strictest single-budget collapse",
+    ),
+    ParityContract(
+        name="tenant-dispatch",
+        module="repro.cluster.tenancy",
+        selector="TENANT_DISPATCH_KINDS",
+        oracle="least-loaded",
+        members=("least-loaded", "priority", "weighted-fair"),
+        import_evidence=("repro.cluster.tenancy",),
+        description=(
+            "priority/weighted-fair tenant dispatchers vs the tenant-blind "
+            "least-loaded oracle (single-tenant degenerate case)"
+        ),
+    ),
 )
 
 

@@ -5,7 +5,9 @@ Homogeneous farms run through :class:`ClusterRuntime`; heterogeneous farms
 with one :class:`ServerSpec` per server.  Dispatchers decide which server
 each arriving job lands on (see :mod:`repro.cluster.dispatch`), and an
 optional :class:`FarmController` right-sizes the awake server set across
-epochs (see :mod:`repro.cluster.controller`).
+epochs (see :mod:`repro.cluster.controller`).  Multi-tenant QoS — per-class
+budgets, tenant-aware dispatch and isolation metrics — lives in
+:mod:`repro.cluster.tenancy`.
 """
 
 from repro.cluster.controller import (
@@ -44,22 +46,42 @@ from repro.cluster.farm import (
     prorated_idle_energy,
     run_server_shard,
 )
+from repro.cluster.tenancy import (
+    FARM_QOS_MODES,
+    TENANT_DISPATCH_KINDS,
+    CompositeQosConstraint,
+    FarmQos,
+    PriorityDispatcher,
+    TenancyAccounting,
+    TenantIsolation,
+    TenantOutcome,
+    TenantSpec,
+    WeightedFairDispatcher,
+    isolation_report,
+    make_tenant_dispatcher,
+    tenant_partitions,
+)
 
 __all__ = [
     "CONTROLLER_POLICIES",
     "DISPATCH_ENGINES",
     "ENGINE_HEAP",
     "ENGINE_LOOP",
+    "FARM_QOS_MODES",
+    "TENANT_DISPATCH_KINDS",
     "AlwaysOnPolicy",
     "ClusterRuntime",
+    "CompositeQosConstraint",
     "ControllerSchedule",
     "FarmController",
+    "FarmQos",
     "FarmResult",
     "JobDispatcher",
     "LeastLoadedDispatcher",
     "PerIndexFactory",
     "PowerAwareDispatcher",
     "PredictivePolicy",
+    "PriorityDispatcher",
     "RandomDispatcher",
     "ReactiveThresholdPolicy",
     "RightSizingPolicy",
@@ -69,11 +91,19 @@ __all__ = [
     "ServerSpec",
     "SetupModel",
     "StreamAssigner",
+    "TenancyAccounting",
+    "TenantIsolation",
+    "TenantOutcome",
+    "TenantSpec",
+    "WeightedFairDispatcher",
     "WorkTracker",
     "controller_assignment",
+    "isolation_report",
     "make_policy",
+    "make_tenant_dispatcher",
     "merge_streams",
     "prorated_idle_energy",
     "run_server_shard",
+    "tenant_partitions",
     "validate_engine",
 ]

@@ -544,6 +544,9 @@ def controller_assignment(
             server_speeds=speeds,
             total_jobs=hi - lo,
             mean_service_demand=mean_demand,
+            tenant_ids=(
+                None if jobs.tenant_ids is None else jobs.tenant_ids[lo:hi]
+            ),
         )
         local = np.asarray(
             assigner.assign_chunk(arrivals[lo:hi], regime_demands), dtype=np.int64

@@ -196,6 +196,7 @@ class JobDispatcher(abc.ABC):
         server_speeds: Sequence[float] | None = None,
         total_jobs: int | None = None,
         mean_service_demand: float | None = None,
+        tenant_ids: np.ndarray | None = None,
     ) -> StreamAssigner:
         """A fresh :class:`StreamAssigner` for one (possibly chunked) trace.
 
@@ -204,6 +205,9 @@ class JobDispatcher(abc.ABC):
         their seed (:class:`RandomDispatcher`) or derive adaptive thresholds
         from the job-size statistics (:class:`PowerAwareDispatcher`) need
         them to make chunked assignment identical to one-shot assignment.
+        *tenant_ids* carries the full trace's tenant labels (arrival order);
+        tenant-blind dispatchers ignore it, the tenancy dispatchers consume
+        it chunk by chunk.
         """
         raise ConfigurationError(
             f"{type(self).__name__} does not support streaming dispatch; "
@@ -226,6 +230,7 @@ class JobDispatcher(abc.ABC):
             num_servers,
             server_speeds=server_speeds,
             total_jobs=len(jobs),
+            tenant_ids=jobs.tenant_ids,
         )
         return assigner.assign_chunk(jobs.arrival_times, jobs.service_demands)
 
@@ -279,7 +284,11 @@ class JobDispatcher(abc.ABC):
             # validated trace still satisfy every invariant: trusted ctor.
             streams.append(
                 JobTrace.from_validated_arrays(
-                    jobs.arrival_times[mask], jobs.service_demands[mask]
+                    jobs.arrival_times[mask],
+                    jobs.service_demands[mask],
+                    tenant_ids=None
+                    if jobs.tenant_ids is None
+                    else jobs.tenant_ids[mask],
                 )
             )
         return streams
@@ -324,7 +333,13 @@ class RoundRobinDispatcher(JobDispatcher):
     """Assign job *i* to server ``i mod n`` (deterministic, perfectly balanced)."""
 
     def assigner(
-        self, num_servers, *, server_speeds=None, total_jobs=None, mean_service_demand=None
+        self,
+        num_servers,
+        *,
+        server_speeds=None,
+        total_jobs=None,
+        mean_service_demand=None,
+        tenant_ids=None,
     ) -> StreamAssigner:
         return _RoundRobinAssigner(num_servers)
 
@@ -379,7 +394,13 @@ class RandomDispatcher(JobDispatcher):
                 raise ConfigurationError("dispatch weights must be non-negative and not all zero")
 
     def assigner(
-        self, num_servers, *, server_speeds=None, total_jobs=None, mean_service_demand=None
+        self,
+        num_servers,
+        *,
+        server_speeds=None,
+        total_jobs=None,
+        mean_service_demand=None,
+        tenant_ids=None,
     ) -> StreamAssigner:
         if self._weights is None:
             probabilities = np.full(num_servers, 1.0 / num_servers)
@@ -614,7 +635,13 @@ class LeastLoadedDispatcher(JobDispatcher):
         self._engine = validate_engine(engine)
 
     def assigner(
-        self, num_servers, *, server_speeds=None, total_jobs=None, mean_service_demand=None
+        self,
+        num_servers,
+        *,
+        server_speeds=None,
+        total_jobs=None,
+        mean_service_demand=None,
+        tenant_ids=None,
     ) -> StreamAssigner:
         if self._engine == ENGINE_HEAP:
             return _LeastLoadedHeapAssigner(num_servers, server_speeds)
@@ -928,7 +955,13 @@ class PowerAwareDispatcher(JobDispatcher):
         return 4.0 * mean_service_demand if mean_service_demand > 0 else 1.0
 
     def assigner(
-        self, num_servers, *, server_speeds=None, total_jobs=None, mean_service_demand=None
+        self,
+        num_servers,
+        *,
+        server_speeds=None,
+        total_jobs=None,
+        mean_service_demand=None,
+        tenant_ids=None,
     ) -> StreamAssigner:
         if self._idle_powers.size != num_servers:
             raise ConfigurationError(
@@ -981,16 +1014,30 @@ def merge_streams(streams: Sequence[JobTrace | None]) -> JobTrace:
     """
     arrivals: list[np.ndarray] = []
     demands: list[np.ndarray] = []
+    labels: list[np.ndarray | None] = []
     for stream in streams:
         if stream is None:
             continue
         arrivals.append(np.asarray(stream.arrival_times))
         demands.append(np.asarray(stream.service_demands))
+        labels.append(
+            None if stream.tenant_ids is None else np.asarray(stream.tenant_ids)
+        )
     if not arrivals:
         raise TraceError("cannot merge an entirely empty set of streams")
     all_arrivals = np.concatenate(arrivals)
     all_demands = np.concatenate(demands)
     order = np.argsort(all_arrivals, kind="stable")
+    all_labels: np.ndarray | None = None
+    if any(chunk is not None for chunk in labels):
+        if any(chunk is None for chunk in labels):
+            raise TraceError(
+                "cannot merge tenant-labelled and unlabelled streams; "
+                "label every stream (JobTrace.with_tenant_ids) or none"
+            )
+        all_labels = np.concatenate([c for c in labels if c is not None])[order]
     # Sorting validated arrivals re-establishes the ordering invariant and
     # cannot break finiteness/non-negativity: trusted construction.
-    return JobTrace.from_validated_arrays(all_arrivals[order], all_demands[order])
+    return JobTrace.from_validated_arrays(
+        all_arrivals[order], all_demands[order], tenant_ids=all_labels
+    )

@@ -66,6 +66,12 @@ from repro.cluster.controller import (
     controller_assignment,
 )
 from repro.cluster.dispatch import JobDispatcher, RoundRobinDispatcher
+from repro.cluster.tenancy import (
+    FarmQos,
+    TenancyAccounting,
+    TenantOutcome,
+    tenant_outcomes,
+)
 from repro.concurrency import (
     Executor,
     ProcessExecutor,
@@ -74,6 +80,7 @@ from repro.concurrency import (
 )
 from repro.core.epoch import RuntimeResult
 from repro.core.runtime import RuntimeConfig, RuntimeSession, SleepScaleRuntime
+from repro.core.qos import QosConstraint
 from repro.core.search import CharacterizationCache
 from repro.core.strategies import PowerManagementStrategy
 from repro.exceptions import ConfigurationError
@@ -321,6 +328,14 @@ class FarmResult:
     transitions (included in :attr:`total_energy`), and
     ``wake_transitions`` the ``(time, server, "wake"|"park")`` log.  All
     three stay at their defaults on controller-less runs.
+
+    Multi-tenant runs (``ServerFarm.qos`` in per-tenant mode) attach a
+    :class:`~repro.cluster.tenancy.TenancyAccounting` as ``tenancy``
+    (excluded from equality: it is derived bookkeeping, not an outcome
+    in its own right); :meth:`tenant_rows` and :meth:`tenant_meets_budget`
+    read per-class latency rows out of it.  Every farm-level number —
+    budget, energy, ``meets_budget`` — is computed exactly as on a
+    single-tenant run.
     """
 
     per_server: tuple[RuntimeResult | None, ...]
@@ -331,6 +346,9 @@ class FarmResult:
     awake_counts: tuple[int, ...] | None = None
     setup_energy: float = 0.0
     wake_transitions: tuple[tuple[float, int, str], ...] | None = None
+    tenancy: TenancyAccounting | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if not self.per_server:
@@ -421,6 +439,47 @@ class FarmResult:
         if self.response_times.size == 0:
             return False
         return self.normalized_mean_response_time <= self.response_time_budget
+
+    # -- tenancy -----------------------------------------------------------------------
+
+    @cached_property
+    def _arrival_order_response_times(self) -> np.ndarray:
+        """Job response times scattered back to arrival order.
+
+        Each server's response-time array is arrival-ordered within that
+        server, so scattering through the dispatch assignment reconstructs
+        the global arrival-order array exactly.  Needs ``tenancy`` (which
+        carries the assignment).
+        """
+        assert self.tenancy is not None
+        assignment = self.tenancy.assignment
+        response_times = np.empty(assignment.size, dtype=float)
+        for server, result in enumerate(self.per_server):
+            if result is None:
+                continue
+            response_times[assignment == server] = result.response_times
+        return response_times
+
+    def tenant_rows(self) -> tuple[TenantOutcome, ...]:
+        """Per-tenant latency rows (empty on single-tenant/strictest runs).
+
+        Each row judges the tenant's own response times against the
+        tenant's own budget: job count, mean, p95/p99, ``meets_budget``
+        and slack.
+        """
+        if self.tenancy is None:
+            return ()
+        return tenant_outcomes(
+            self.tenancy.qos,
+            self.tenancy.tenant_ids,
+            self._arrival_order_response_times,
+            self.mean_service_time,
+            self.duration,
+        )
+
+    def tenant_meets_budget(self) -> dict[str, bool]:
+        """Per-tenant SLA verdicts, keyed by tenant name."""
+        return {row.name: row.meets_budget for row in self.tenant_rows()}
 
     # -- power ----------------------------------------------------------------------------
 
@@ -658,6 +717,17 @@ class ServerFarm:
         ``tests/cluster/test_controller_parity.py``).  Controlled runs
         always dispatch one-shot; ``chunk_jobs`` is ignored (chunked and
         one-shot runs are pinned identical, so nothing is lost).
+    qos:
+        The farm-level QoS contract — the single keyword-only entry point
+        that replaces the historically scattered per-call qos plumbing.
+        ``None`` and ``FarmQos.strictest()`` keep the historic behaviour
+        bit-for-bit (the farm's budget stays the strictest per-server
+        budget); a bare :class:`~repro.core.qos.QosConstraint` is wrapped
+        into ``FarmQos.strictest(constraint)`` (deprecation shim);
+        ``FarmQos.per_tenant(...)`` enables per-class accounting — the
+        result then carries per-tenant latency rows and SLA verdicts.
+        Per-tenant mode is result-invisible at farm level: budget, energy
+        and ``meets_budget`` are computed exactly as without it.
     """
 
     servers: Sequence[ServerSpec]
@@ -669,6 +739,7 @@ class ServerFarm:
     trace_backend: str = TRACE_BACKEND_MEMORY
     search_cache: CharacterizationCache | None = None
     controller: FarmController | None = None
+    qos: FarmQos | QosConstraint | None = field(default=None, kw_only=True)
 
     def __post_init__(self) -> None:
         if not self.servers:
@@ -679,6 +750,15 @@ class ServerFarm:
             raise ConfigurationError(
                 "controller must be a FarmController or None, got "
                 f"{type(self.controller).__name__}"
+            )
+        if isinstance(self.qos, QosConstraint):
+            # Deprecation shim: a bare constraint means the historic
+            # single-budget behaviour, made explicit.
+            self.qos = FarmQos.strictest(self.qos)
+        elif self.qos is not None and not isinstance(self.qos, FarmQos):
+            raise ConfigurationError(
+                "qos must be a FarmQos, a QosConstraint (wrapped into "
+                f"FarmQos.strictest) or None, got {type(self.qos).__name__}"
             )
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigurationError(
@@ -802,6 +882,33 @@ class ServerFarm:
                 idle_energies[index] += parked_power * covered
         return idle_energies
 
+    def _tenant_labels(self, jobs: JobTrace) -> np.ndarray | None:
+        """The per-tenant label array for *jobs*, or ``None`` outside per-tenant mode.
+
+        An unlabelled trace is legal only for a single declared tenant
+        (every job is tenant 0); labels out of range of the tenant table
+        are a configuration error.
+        """
+        qos = self.qos
+        if qos is None or not isinstance(qos, FarmQos) or not qos.is_per_tenant:
+            return None
+        labels = jobs.tenant_ids
+        if labels is None:
+            if len(qos.tenants) == 1:
+                return np.zeros(len(jobs), dtype=np.int64)
+            raise ConfigurationError(
+                f"FarmQos.per_tenant declares {len(qos.tenants)} tenants "
+                "but the job trace carries no tenant labels; attach them "
+                "with JobTrace.with_tenant_ids"
+            )
+        labels = np.asarray(labels)
+        if labels.size and int(labels.max()) >= len(qos.tenants):
+            raise ConfigurationError(
+                f"tenant label {int(labels.max())} out of range for "
+                f"{len(qos.tenants)} declared tenant(s)"
+            )
+        return labels
+
     def _assemble_result(
         self,
         per_server: list[RuntimeResult | None],
@@ -809,6 +916,8 @@ class ServerFarm:
         *,
         schedule: ControllerSchedule | None = None,
         setup_energy: float = 0.0,
+        jobs: JobTrace | None = None,
+        assignment: np.ndarray | None = None,
     ) -> FarmResult:
         if all(result is None for result in per_server):
             raise ConfigurationError("no server received any job")
@@ -825,6 +934,16 @@ class ServerFarm:
         horizon = max(
             result.total_duration for result in per_server if result is not None
         )
+        tenancy = None
+        if jobs is not None and assignment is not None:
+            labels = self._tenant_labels(jobs)
+            if labels is not None:
+                assert isinstance(self.qos, FarmQos)
+                tenancy = TenancyAccounting(
+                    qos=self.qos,
+                    tenant_ids=labels,
+                    assignment=np.asarray(assignment, dtype=np.int64),
+                )
         return FarmResult(
             per_server=tuple(per_server),
             mean_service_time=self.spec.mean_service_time,
@@ -845,6 +964,7 @@ class ServerFarm:
             wake_transitions=(
                 schedule.transitions if schedule is not None else None
             ),
+            tenancy=tenancy,
         )
 
     def run(self, jobs: JobTrace, *, chunk_jobs: int | None = None) -> FarmResult:
@@ -881,10 +1001,17 @@ class ServerFarm:
                 path = f"{tmp}/trace.npy"
                 jobs.to_file(path)
                 spilled = JobTrace.from_file(path, mmap=True, validate=False)
+                if jobs.tenant_ids is not None:
+                    # The on-disk (2, n) format carries arrivals and demands
+                    # only; tenant labels stay in memory across the spill.
+                    spilled = spilled.with_tenant_ids(jobs.tenant_ids)
                 return self._run_resolved(spilled, chunk_jobs)
         return self._run_resolved(jobs, chunk_jobs)
 
     def _run_resolved(self, jobs: JobTrace, chunk_jobs: int | None) -> FarmResult:
+        # Fail fast on a per-tenant farm fed a mislabelled trace, whatever
+        # run path is about to execute.
+        self._tenant_labels(jobs)
         if self.controller is not None:
             # The controller's schedule is a pure function of the full
             # trace, and chunked runs are pinned identical to one-shot runs
@@ -951,14 +1078,22 @@ class ServerFarm:
             for index in range(self.num_servers)
         )
         return self._assemble_result(
-            per_server, schedule=schedule, setup_energy=setup_energy
+            per_server,
+            schedule=schedule,
+            setup_energy=setup_energy,
+            jobs=jobs,
+            assignment=assignment,
         )
 
     def _run_one_shot(self, jobs: JobTrace) -> FarmResult:
         assignment = self.dispatcher.validated_assignment(
             jobs, self.num_servers, server_speeds=self.dispatch_speeds
         )
-        return self._assemble_result(self._per_server_results(jobs, assignment))
+        return self._assemble_result(
+            self._per_server_results(jobs, assignment),
+            jobs=jobs,
+            assignment=assignment,
+        )
 
     def _per_server_results(
         self, jobs: JobTrace, assignment: np.ndarray
@@ -1092,7 +1227,15 @@ class ServerFarm:
             mean_service_demand=(
                 jobs.mean_service_demand if len(jobs) > 0 else None
             ),
+            tenant_ids=jobs.tenant_ids,
         )
+        # Per-tenant accounting needs the full assignment; accumulate the
+        # per-chunk assignments only when a per-tenant FarmQos asks for it
+        # (the chunked path otherwise never materialises the whole array).
+        keep_assignment = (
+            isinstance(self.qos, FarmQos) and self.qos.is_per_tenant
+        )
+        assignment_chunks: list[np.ndarray] = []
         # One runtime + streaming session per server, created up front so
         # the freshness validation happens before any thread runs.  (The
         # process executor never reaches this path — ``run`` routes it to
@@ -1123,6 +1266,10 @@ class ServerFarm:
                 raise ConfigurationError(
                     "dispatcher assigned a job to a non-existent server"
                 )
+            if keep_assignment:
+                assignment_chunks.append(
+                    np.asarray(assignment, dtype=np.int64).copy()
+                )
             targets = np.unique(assignment)
             work: list[tuple[RuntimeSession, np.ndarray, np.ndarray]] = []
             for server in targets.tolist():
@@ -1143,7 +1290,15 @@ class ServerFarm:
             per_server[index] = result
         # Parked servers' runtimes were built but never fed — reuse them for
         # the idle accounting instead of invoking the factories again.
-        return self._assemble_result(per_server, spare_runtimes=runtimes)
+        full_assignment = (
+            np.concatenate(assignment_chunks) if assignment_chunks else None
+        )
+        return self._assemble_result(
+            per_server,
+            spare_runtimes=runtimes,
+            jobs=jobs if keep_assignment else None,
+            assignment=full_assignment,
+        )
 
 
 @dataclass
@@ -1197,6 +1352,10 @@ class ClusterRuntime:
         Optional farm-level right-sizing controller threaded into the
         built farm (see :class:`ServerFarm` and
         :mod:`repro.cluster.controller`).
+    qos:
+        Farm-level QoS contract threaded into the built farm (see
+        :class:`ServerFarm`); keyword-only, with the same
+        bare-``QosConstraint`` → ``FarmQos.strictest`` shim.
     """
 
     num_servers: int
@@ -1214,6 +1373,7 @@ class ClusterRuntime:
     trace_backend: str = TRACE_BACKEND_MEMORY
     search_cache: CharacterizationCache | None = None
     controller: FarmController | None = None
+    qos: FarmQos | QosConstraint | None = field(default=None, kw_only=True)
 
     def __post_init__(self) -> None:
         if self.num_servers < 1:
@@ -1226,6 +1386,13 @@ class ClusterRuntime:
             )
         resolve_executor(self.executor, self.max_workers)
         validate_trace_backend(self.trace_backend)
+        if isinstance(self.qos, QosConstraint):
+            self.qos = FarmQos.strictest(self.qos)
+        elif self.qos is not None and not isinstance(self.qos, FarmQos):
+            raise ConfigurationError(
+                "qos must be a FarmQos, a QosConstraint (wrapped into "
+                f"FarmQos.strictest) or None, got {type(self.qos).__name__}"
+            )
 
     def as_server_farm(self) -> ServerFarm:
         """The equivalent heterogeneous farm: ``num_servers`` identical specs.
@@ -1260,6 +1427,7 @@ class ClusterRuntime:
             trace_backend=self.trace_backend,
             search_cache=self.search_cache,
             controller=self.controller,
+            qos=self.qos,
         )
 
     def run(self, jobs: JobTrace, *, chunk_jobs: int | None = None) -> FarmResult:

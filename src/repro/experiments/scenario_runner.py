@@ -6,12 +6,13 @@ prints one JSON document whose schema is identical across scenarios, so
 energy and latency numbers can be compared between e.g. ``diurnal`` and
 ``flash-crowd`` runs without any per-scenario glue.
 
-Report schema (``repro.scenario-report/v3``; v2 added the ``search``
+Report schema (``repro.scenario-report/v4``; v2 added the ``search``
 key recording the policy-search mode, v3 the ``controller`` block
-recording farm-level right-sizing)::
+recording farm-level right-sizing, v4 the always-present ``tenants``
+block recording the farm-level QoS contract and per-tenant outcomes)::
 
     {
-      "schema": "repro.scenario-report/v3",
+      "schema": "repro.scenario-report/v4",
       "scenario": str,            # registered scenario name
       "description": str,
       "seed": int,
@@ -49,6 +50,25 @@ recording farm-level right-sizing)::
         "awake_counts": [int, ...],        # commanded-on servers per epoch
         "wake_transitions": int            # number of paid wakes
       },
+      "tenants": {                        # farm-level QoS contract (always present)
+        "mode": "none" | "strictest" | "per-tenant",
+        "constraint": str | null,          # farm-level constraint description
+        "rows": [                          # per-tenant outcomes; [] unless per-tenant
+          {"name": str, "weight": float, "priority": int, "qos": str,
+           "num_jobs": int, "mean_response_time_s": float | null,
+           "p95_s": float | null, "p99_s": float | null,
+           "meets_budget": bool, "slack": float | null},
+          ...
+        ],
+        "isolation": null | [              # combined-vs-solo rows (--isolation)
+          {"name": str, "combined_p95_s": float | null, "solo_p95_s": float | null,
+           "combined_p99_s": float | null, "solo_p99_s": float | null,
+           "p95_delta_s": float | null, "p99_delta_s": float | null,
+           "meets_budget_combined": bool, "meets_budget_solo": bool,
+           "interference_violation": bool},
+          ...
+        ]
+      },
       "state_selection_fractions": {state: fraction, ...},   # sums to 1
       "per_server": [
         {"server": str, "num_jobs": int,
@@ -80,7 +100,18 @@ from repro.cluster.controller import (
     SetupModel,
 )
 from repro.cluster.farm import FarmResult
+from repro.cluster.tenancy import (
+    FARM_QOS_MODES,
+    FarmQos,
+    TenantIsolation,
+    isolation_report,
+)
 from repro.concurrency import EXECUTORS, Executor
+from repro.core.qos import (
+    QosConstraint,
+    mean_qos_from_baseline,
+    percentile_qos_from_baseline,
+)
 from repro.exceptions import ExperimentError
 from repro.scenarios import (
     BuiltScenario,
@@ -93,7 +124,14 @@ from repro.simulation.kernel import BACKENDS, BACKEND_VECTORIZED
 from repro.workloads.storage import TRACE_BACKENDS
 
 #: Version tag stamped into (and required from) every scenario report.
-REPORT_SCHEMA = "repro.scenario-report/v3"
+REPORT_SCHEMA = "repro.scenario-report/v4"
+
+#: Peak design utilisation behind the ``--tenant ...:qos=...`` budget
+#: families (matches the scenario library's baseline, the paper's 0.8).
+_BASELINE_RHO_B = 0.8
+
+#: Constraint families a ``--tenant`` flag may select for a tenant.
+_TENANT_QOS_KINDS = ("mean", "p95", "p99")
 
 
 def _finite_or_none(value: float) -> float | None:
@@ -102,11 +140,19 @@ def _finite_or_none(value: float) -> float | None:
     return value if math.isfinite(value) else None
 
 
-def report_from_result(built: BuiltScenario, result: FarmResult) -> dict[str, Any]:
+def report_from_result(
+    built: BuiltScenario,
+    result: FarmResult,
+    *,
+    isolation: tuple[TenantIsolation, ...] | None = None,
+) -> dict[str, Any]:
     """Assemble the schema-versioned report for one scenario run.
 
     Works for any :class:`BuiltScenario` — registered or hand-constructed —
     because everything the report needs is carried on the built object.
+    *isolation* carries pre-computed combined-vs-solo rows (from
+    :func:`repro.cluster.tenancy.isolation_report`) into the ``tenants``
+    block; without it the block's ``isolation`` entry is ``null``.
     """
     per_server = []
     for row in result.per_server_rows():
@@ -157,6 +203,7 @@ def report_from_result(built: BuiltScenario, result: FarmResult) -> dict[str, An
             "meets_budget": bool(result.meets_budget),
         },
         "controller": _controller_block(built, result),
+        "tenants": _tenants_block(built, result, isolation),
         "state_selection_fractions": result.state_selection_fractions(),
         "per_server": per_server,
     }
@@ -180,6 +227,62 @@ def _controller_block(
     }
 
 
+def _tenants_block(
+    built: BuiltScenario,
+    result: FarmResult,
+    isolation: tuple[TenantIsolation, ...] | None,
+) -> dict[str, Any]:
+    """The v4 ``tenants`` report section (always present).
+
+    ``mode`` is ``"none"`` when the farm carries no :class:`FarmQos` at
+    all, else the qos mode; ``rows`` holds per-tenant outcomes (empty
+    outside per-tenant mode, where there is nothing tenant-shaped to
+    report).
+    """
+    qos = built.farm.qos
+    if qos is None:
+        return {"mode": "none", "constraint": None, "rows": [], "isolation": None}
+    constraint = qos.composite_constraint()
+    rows = [
+        {
+            "name": row.name,
+            "weight": row.weight,
+            "priority": row.priority,
+            "qos": row.qos_description,
+            "num_jobs": row.num_jobs,
+            "mean_response_time_s": _finite_or_none(row.mean_response_time),
+            "p95_s": _finite_or_none(row.p95),
+            "p99_s": _finite_or_none(row.p99),
+            "meets_budget": bool(row.meets_budget),
+            "slack": _finite_or_none(row.slack),
+        }
+        for row in result.tenant_rows()
+    ]
+    isolation_rows = None
+    if isolation is not None:
+        isolation_rows = [
+            {
+                "name": row.name,
+                "combined_p95_s": _finite_or_none(row.combined_p95),
+                "solo_p95_s": _finite_or_none(row.solo_p95),
+                "combined_p99_s": _finite_or_none(row.combined_p99),
+                "solo_p99_s": _finite_or_none(row.solo_p99),
+                "p95_delta_s": _finite_or_none(row.p95_delta),
+                "p99_delta_s": _finite_or_none(row.p99_delta),
+                "meets_budget_combined": bool(row.meets_budget_combined),
+                "meets_budget_solo": bool(row.meets_budget_solo),
+                "interference_violation": bool(row.interference_violation),
+            }
+            for row in isolation
+        ]
+    return {
+        "mode": qos.mode,
+        "constraint": None if constraint is None else constraint.describe(),
+        "rows": rows,
+        "isolation": isolation_rows,
+    }
+
+
 def run_scenario(
     name: str,
     *,
@@ -194,6 +297,9 @@ def run_scenario(
     setup_latency_s: float | None = None,
     setup_energy_j: float | None = None,
     min_awake: int | None = None,
+    qos: FarmQos | QosConstraint | None = None,
+    tenants: list[str] | None = None,
+    isolation: bool = False,
     overrides: Mapping[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Build, run and report one registered scenario.
@@ -211,8 +317,17 @@ def run_scenario(
     controller (a :class:`~repro.cluster.controller.FarmController` or a
     policy name — with a name, *setup_latency_s*, *setup_energy_j* and
     *min_awake* flesh out its :class:`~repro.cluster.controller.SetupModel`),
-    replacing any controller the scenario embedded.  The returned report is
-    already validated against :data:`REPORT_SCHEMA`.
+    replacing any controller the scenario embedded.  *qos* attaches a
+    farm-level QoS contract, replacing any the scenario embedded.
+    *tenants* is a list of ``--tenant``-style specs
+    (``"name:qos=p95:weight=2:priority=1"``) adjusting single tenants of a
+    per-tenant scenario: budgets, dispatch weights and priorities are
+    rebuilt (including the tenant-aware dispatcher's partitions), while the
+    per-server policy-search budgets the builder embedded are untouched.
+    *isolation* additionally runs each tenant's sub-stream solo and fills
+    the report's ``tenants.isolation`` rows (per-tenant scenarios only).
+    The returned report is already validated against
+    :data:`REPORT_SCHEMA`.
     """
     overrides = dict(overrides or {})
     # 'seed'/'backend' are build() keywords, not scenario parameters; caught
@@ -220,14 +335,22 @@ def run_scenario(
     # from the keyword splat below.
     reserved = sorted(
         set(overrides)
-        & {"seed", "backend", "search", "executor", "trace_backend", "controller"}
+        & {
+            "seed",
+            "backend",
+            "search",
+            "executor",
+            "trace_backend",
+            "controller",
+            "qos",
+        }
     )
     if reserved:
         raise ExperimentError(
             f"{', '.join(reserved)} cannot be set via overrides; use the "
-            "dedicated seed/backend/search/executor/trace_backend/controller "
-            "arguments (CLI: --seed / --backend / --search-mode / --executor / "
-            "--trace-backend / --controller)"
+            "dedicated seed/backend/search/executor/trace_backend/controller/"
+            "qos arguments (CLI: --seed / --backend / --search-mode / "
+            "--executor / --trace-backend / --controller / --tenant)"
         )
     setup_flags = (setup_latency_s, setup_energy_j, min_awake)
     if controller is None and any(flag is not None for flag in setup_flags):
@@ -257,8 +380,11 @@ def run_scenario(
         executor=executor,
         trace_backend=trace_backend,
         controller=controller,
+        qos=qos,
         **overrides,
     )
+    if tenants:
+        built = _apply_tenant_overrides(built, tenants)
     farm = built.farm
     if max_workers is not None:
         # dataclasses.replace re-runs ServerFarm.__post_init__, so an invalid
@@ -268,10 +394,132 @@ def run_scenario(
         farm = dataclasses.replace(
             farm, chunk_jobs=None if chunk_jobs == 0 else chunk_jobs
         )
-    result = farm.run(built.jobs)
-    report = report_from_result(built, result)
+    isolation_rows: tuple[TenantIsolation, ...] | None = None
+    if isolation:
+        farm_qos = farm.qos
+        if farm_qos is None or not farm_qos.is_per_tenant:
+            raise ExperimentError(
+                "--isolation needs a per-tenant scenario (farm qos built "
+                f"with FarmQos.per_tenant); scenario {name!r} has none"
+            )
+        # isolation_report runs the combined trace once and reuses it, so
+        # the combined numbers in the report are the same run either way.
+        result, isolation_rows = isolation_report(farm, built.jobs)
+    else:
+        result = farm.run(built.jobs)
+    # The report describes what actually ran: surface tenant overrides too.
+    built = dataclasses.replace(built, farm=farm)
+    report = report_from_result(built, result, isolation=isolation_rows)
     validate_report(report)
     return report
+
+
+def _parse_tenant_spec(text: str) -> tuple[str, dict[str, Any]]:
+    """Parse one ``--tenant name:key=value[:key=value...]`` flag.
+
+    Keys: ``qos`` (one of ``mean``/``p95``/``p99``, selecting the
+    baseline-derived constraint family), ``weight`` (positive float) and
+    ``priority`` (int).
+    """
+    name, separator, rest = text.partition(":")
+    if not separator or not name or not rest:
+        raise ExperimentError(
+            f"tenant spec {text!r} must have the form "
+            "name:key=value[:key=value...]"
+        )
+    settings: dict[str, Any] = {}
+    for part in rest.split(":"):
+        key, assign, raw = part.partition("=")
+        if not assign or not key:
+            raise ExperimentError(
+                f"tenant setting {part!r} (in {text!r}) must have the form "
+                "key=value"
+            )
+        if key == "qos":
+            if raw not in _TENANT_QOS_KINDS:
+                raise ExperimentError(
+                    f"tenant qos must be one of {', '.join(_TENANT_QOS_KINDS)}, "
+                    f"got {raw!r}"
+                )
+            settings[key] = raw
+        elif key == "weight":
+            try:
+                weight = float(raw)
+            except ValueError:
+                raise ExperimentError(
+                    f"tenant weight must be a number, got {raw!r}"
+                ) from None
+            if not math.isfinite(weight) or weight <= 0:
+                raise ExperimentError(
+                    f"tenant weight must be positive and finite, got {raw!r}"
+                )
+            settings[key] = weight
+        elif key == "priority":
+            try:
+                settings[key] = int(raw)
+            except ValueError:
+                raise ExperimentError(
+                    f"tenant priority must be an integer, got {raw!r}"
+                ) from None
+        else:
+            raise ExperimentError(
+                f"unknown tenant setting {key!r} (in {text!r}); "
+                "expected qos, weight or priority"
+            )
+    return name, settings
+
+
+def _apply_tenant_overrides(
+    built: BuiltScenario, tenant_specs: list[str]
+) -> BuiltScenario:
+    """Rebuild the farm's per-tenant :class:`FarmQos` from ``--tenant`` flags.
+
+    The tenant-aware dispatcher (if any) is rebuilt over the adjusted
+    tenant table so weights and priorities take effect in dispatch, not
+    just in reporting.
+    """
+    farm = built.farm
+    farm_qos = farm.qos
+    if farm_qos is None or not farm_qos.is_per_tenant:
+        raise ExperimentError(
+            "--tenant adjusts a per-tenant scenario (farm qos built with "
+            f"FarmQos.per_tenant); scenario {built.name!r} has none"
+        )
+    table = list(farm_qos.tenants)
+    names = [tenant.name for tenant in table]
+    for text in tenant_specs:
+        name, settings = _parse_tenant_spec(text)
+        if name not in names:
+            raise ExperimentError(
+                f"unknown tenant {name!r}; scenario {built.name!r} declares: "
+                f"{', '.join(names)}"
+            )
+        index = names.index(name)
+        spec = table[index]
+        changes: dict[str, Any] = {}
+        if "qos" in settings:
+            kind = settings["qos"]
+            if kind == "mean":
+                constraint: QosConstraint = mean_qos_from_baseline(_BASELINE_RHO_B)
+            else:
+                constraint = percentile_qos_from_baseline(
+                    _BASELINE_RHO_B,
+                    built.spec.mean_service_time,
+                    percentile=95.0 if kind == "p95" else 99.0,
+                )
+            changes["qos"] = constraint
+        if "weight" in settings:
+            changes["weight"] = settings["weight"]
+        if "priority" in settings:
+            changes["priority"] = settings["priority"]
+        table[index] = dataclasses.replace(spec, **changes)
+    new_qos = FarmQos.per_tenant(*table)
+    dispatcher = farm.dispatcher
+    with_tenants = getattr(dispatcher, "with_tenants", None)
+    if callable(with_tenants):
+        dispatcher = with_tenants(tuple(table))
+    farm = dataclasses.replace(farm, qos=new_qos, dispatcher=dispatcher)
+    return dataclasses.replace(built, farm=farm)
 
 
 # ---------------------------------------------------------------------------
@@ -303,7 +551,7 @@ def _require_finite_number(value: Any, where: str) -> None:
 
 
 def validate_report(report: Any) -> None:
-    """Check *report* against the ``repro.scenario-report/v3`` schema.
+    """Check *report* against the ``repro.scenario-report/v4`` schema.
 
     Raises :class:`~repro.exceptions.ExperimentError` on the first violation;
     returns ``None`` on success.  The check is structural (keys, types,
@@ -324,6 +572,7 @@ def validate_report(report: Any) -> None:
             "energy",
             "response_time",
             "controller",
+            "tenants",
             "state_selection_fractions",
             "per_server",
         },
@@ -454,6 +703,125 @@ def validate_report(report: Any) -> None:
             and controller["wake_transitions"] >= 0,
             "controller.wake_transitions must be a non-negative integer",
         )
+
+    tenants = report["tenants"]
+    _require_keys(tenants, {"mode", "constraint", "rows", "isolation"}, "tenants")
+    _require(
+        tenants["mode"] in ("none",) + FARM_QOS_MODES,
+        f"tenants.mode must be 'none' or one of {FARM_QOS_MODES}",
+    )
+    _require(
+        tenants["constraint"] is None or isinstance(tenants["constraint"], str),
+        "tenants.constraint must be a string or null",
+    )
+    _require(isinstance(tenants["rows"], list), "tenants.rows must be a list")
+    if tenants["mode"] != "per-tenant":
+        _require(
+            tenants["rows"] == [] and tenants["isolation"] is None,
+            "tenants.rows/isolation only apply in per-tenant mode",
+        )
+    else:
+        _require(tenants["rows"] != [], "per-tenant mode must report tenant rows")
+    tenant_names = []
+    tenant_jobs = 0
+    for row in tenants["rows"]:
+        _require_keys(
+            row,
+            {
+                "name",
+                "weight",
+                "priority",
+                "qos",
+                "num_jobs",
+                "mean_response_time_s",
+                "p95_s",
+                "p99_s",
+                "meets_budget",
+                "slack",
+            },
+            "tenants.rows[*]",
+        )
+        _require(
+            isinstance(row["name"], str) and row["name"],
+            "tenants.rows[*].name must be a non-empty string",
+        )
+        tenant_names.append(row["name"])
+        _require_finite_number(row["weight"], "tenants.rows[*].weight")
+        _require(row["weight"] > 0, "tenants.rows[*].weight must be positive")
+        _require(
+            isinstance(row["priority"], int) and not isinstance(row["priority"], bool),
+            "tenants.rows[*].priority must be an integer",
+        )
+        _require(isinstance(row["qos"], str), "tenants.rows[*].qos must be a string")
+        _require(
+            isinstance(row["num_jobs"], int)
+            and not isinstance(row["num_jobs"], bool)
+            and row["num_jobs"] >= 0,
+            "tenants.rows[*].num_jobs must be a non-negative integer",
+        )
+        tenant_jobs += row["num_jobs"]
+        _require(
+            isinstance(row["meets_budget"], bool),
+            "tenants.rows[*].meets_budget must be a bool",
+        )
+        for key in ("mean_response_time_s", "p95_s", "p99_s", "slack"):
+            if row[key] is not None:
+                _require_finite_number(row[key], f"tenants.rows[*].{key}")
+    _require(
+        len(set(tenant_names)) == len(tenant_names),
+        "tenants.rows names must be unique",
+    )
+    if tenants["mode"] == "per-tenant":
+        _require(
+            tenant_jobs == workload["num_jobs"],
+            "per-tenant job counts must sum to workload.num_jobs "
+            "(job conservation)",
+        )
+    if tenants["isolation"] is not None:
+        _require(
+            isinstance(tenants["isolation"], list),
+            "tenants.isolation must be a list or null",
+        )
+        for row in tenants["isolation"]:
+            _require_keys(
+                row,
+                {
+                    "name",
+                    "combined_p95_s",
+                    "solo_p95_s",
+                    "combined_p99_s",
+                    "solo_p99_s",
+                    "p95_delta_s",
+                    "p99_delta_s",
+                    "meets_budget_combined",
+                    "meets_budget_solo",
+                    "interference_violation",
+                },
+                "tenants.isolation[*]",
+            )
+            _require(
+                isinstance(row["name"], str) and row["name"] in tenant_names,
+                "tenants.isolation[*].name must match a tenant row",
+            )
+            for key in (
+                "combined_p95_s",
+                "solo_p95_s",
+                "combined_p99_s",
+                "solo_p99_s",
+                "p95_delta_s",
+                "p99_delta_s",
+            ):
+                if row[key] is not None:
+                    _require_finite_number(row[key], f"tenants.isolation[*].{key}")
+            for key in (
+                "meets_budget_combined",
+                "meets_budget_solo",
+                "interference_violation",
+            ):
+                _require(
+                    isinstance(row[key], bool),
+                    f"tenants.isolation[*].{key} must be a bool",
+                )
 
     fractions = report["state_selection_fractions"]
     _require(
@@ -636,6 +1004,26 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--tenant",
+        dest="tenants",
+        action="append",
+        default=[],
+        metavar="NAME:KEY=VALUE[:KEY=VALUE...]",
+        help=(
+            "override a declared tenant of a per-tenant scenario "
+            "(repeatable); keys: qos=mean|p95|p99, weight=FLOAT, "
+            "priority=INT, e.g. --tenant victim:qos=p95:weight=2"
+        ),
+    )
+    parser.add_argument(
+        "--isolation",
+        action="store_true",
+        help=(
+            "also run each tenant solo and report interference deltas "
+            "(per-tenant scenarios only)"
+        ),
+    )
+    parser.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -672,6 +1060,8 @@ def main(argv: list[str] | None = None) -> int:
         setup_latency_s=arguments.setup_latency,
         setup_energy_j=arguments.setup_energy,
         min_awake=arguments.min_awake,
+        tenants=arguments.tenants,
+        isolation=arguments.isolation,
         overrides=overrides,
     )
     text = json.dumps(report, indent=2, sort_keys=False)

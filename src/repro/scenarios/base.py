@@ -33,6 +33,8 @@ from typing import Any
 
 from repro.cluster.controller import FarmController
 from repro.cluster.farm import ServerFarm
+from repro.cluster.tenancy import FarmQos
+from repro.core.qos import QosConstraint
 from repro.concurrency import Executor, validate_executor
 from repro.core.search import SEARCH_FULL, validate_search
 from repro.exceptions import ScenarioError
@@ -120,7 +122,15 @@ class Scenario:
     #: Builder keywords owned by :meth:`build` itself; a declared parameter
     #: (or an override splatted into ``build``) must never collide with them.
     RESERVED_NAMES = frozenset(
-        {"seed", "backend", "search", "executor", "trace_backend", "controller"}
+        {
+            "seed",
+            "backend",
+            "search",
+            "executor",
+            "trace_backend",
+            "controller",
+            "qos",
+        }
     )
 
     def __post_init__(self) -> None:
@@ -136,7 +146,8 @@ class Scenario:
             raise ScenarioError(
                 f"scenario {self.name!r} declares reserved parameter name(s) "
                 f"{reserved}; 'seed', 'backend', 'search', 'executor', "
-                "'trace_backend' and 'controller' are handled by build() itself"
+                "'trace_backend', 'controller' and 'qos' are handled by "
+                "build() itself"
             )
 
     def parameter_defaults(self) -> dict[str, Any]:
@@ -152,6 +163,7 @@ class Scenario:
         executor: Executor | str | None = None,
         trace_backend: str | None = None,
         controller: FarmController | str | None = None,
+        qos: FarmQos | QosConstraint | None = None,
         **overrides: Any,
     ) -> BuiltScenario:
         """Materialise the scenario with *overrides* applied over the defaults.
@@ -174,6 +186,13 @@ class Scenario:
         built farm, replacing any controller the builder embedded; unlike
         the executor and trace backend it *does* change results, except for
         the setup-free ``"always-on"`` identity the parity suite pins.
+        ``qos`` attaches a farm-level QoS contract (a
+        :class:`~repro.cluster.tenancy.FarmQos`, or a bare
+        :class:`~repro.core.qos.QosConstraint` wrapped into
+        ``FarmQos.strictest``) to the built farm, replacing any the builder
+        embedded; it is result-invisible at farm level — ``strictest`` is
+        pinned bit-identical to no qos at all, and per-tenant mode only
+        adds accounting.
         """
         validate_backend(backend)
         validate_search(search)
@@ -186,6 +205,11 @@ class Scenario:
             raise ScenarioError(
                 "controller must be a FarmController, a policy name or None, "
                 f"got {type(controller).__name__}"
+            )
+        if qos is not None and not isinstance(qos, (FarmQos, QosConstraint)):
+            raise ScenarioError(
+                "qos must be a FarmQos, a QosConstraint or None, "
+                f"got {type(qos).__name__}"
             )
         declared = {parameter.name for parameter in self.parameters}
         unknown = sorted(set(overrides) - declared)
@@ -235,6 +259,11 @@ class Scenario:
             built = dataclasses.replace(
                 built,
                 farm=dataclasses.replace(built.farm, controller=controller),
+            )
+        if qos is not None:
+            built = dataclasses.replace(
+                built,
+                farm=dataclasses.replace(built.farm, qos=qos),
             )
         return built
 

@@ -1,7 +1,7 @@
 """The built-in scenario library.
 
-Eleven scenarios ship with the reproduction, each stressing a different axis
-of the joint speed-scaling + sleep-state problem:
+Fourteen scenarios ship with the reproduction, each stressing a different
+axis of the joint speed-scaling + sleep-state problem:
 
 ========================  ====================================================
 ``diurnal``               smooth day/night utilisation cycle (the Figure 7
@@ -31,6 +31,14 @@ of the joint speed-scaling + sleep-state problem:
 ``autoscale-surge``       right-sizing under a load step: quiet baseline,
                           sudden sustained surge, quiet again — scale-up
                           through the surge, park back down after
+``noisy-neighbor``        two tenants on a shared farm: a low-priority flash
+                          crowd against a latency-SLA victim — the isolation
+                          showcase for the tenant-aware dispatchers
+``tenant-surge``          weighted-fair capacity split while one tenant's
+                          load surges through the middle third of the run
+``priority-inversion``    square-wave batch tenant against a high-priority
+                          interactive tenant — repeated predictor-lag
+                          overloads that priority dispatch confines
 ========================  ====================================================
 
 Every builder is deterministic given ``seed``, sizes itself from
@@ -64,7 +72,19 @@ from repro.cluster.dispatch import (
     merge_streams,
 )
 from repro.cluster.farm import ServerFarm, ServerSpec
-from repro.core.qos import QosConstraint, mean_qos_from_baseline
+from repro.cluster.tenancy import (
+    TENANT_DISPATCH_KINDS,
+    TENANT_DISPATCH_PRIORITY,
+    TENANT_DISPATCH_WEIGHTED_FAIR,
+    FarmQos,
+    TenantSpec,
+    make_tenant_dispatcher,
+)
+from repro.core.qos import (
+    QosConstraint,
+    mean_qos_from_baseline,
+    percentile_qos_from_baseline,
+)
 from repro.core.runtime import RuntimeConfig
 from repro.core.search import SEARCH_FRONTIER, CharacterizationCache
 from repro.core.strategies import (
@@ -84,6 +104,7 @@ from repro.scenarios.base import (
 from repro.units import minutes
 from repro.workloads.distributions import Exponential, Pareto, from_mean_cv
 from repro.workloads.generator import generate_trace_driven_jobs
+from repro.workloads.jobs import JobTrace
 from repro.workloads.spec import (
     WorkloadSpec,
     dns_workload,
@@ -152,9 +173,16 @@ def _sleepscale_server(
     search: str = "full",
     epoch_minutes: float = 5.0,
     max_frequency: float = 1.0,
+    qos: QosConstraint | None = None,
 ) -> ServerSpec:
-    """A server running full SleepScale with an LMS+CUSUM predictor."""
-    qos = mean_qos_from_baseline(_RHO_B)
+    """A server running full SleepScale with an LMS+CUSUM predictor.
+
+    ``qos`` overrides the default baseline mean-response-time budget; the
+    tenant scenarios pass the composite per-tenant constraint here so each
+    server's policy search selects against the binding tenant budget.
+    """
+    if qos is None:
+        qos = mean_qos_from_baseline(_RHO_B)
     config = RuntimeConfig(
         epoch_minutes=epoch_minutes, rho_b=_RHO_B, over_provisioning=0.35
     )
@@ -189,6 +217,8 @@ def _xeon_farm(
     search: str = "full",
     dispatcher: JobDispatcher | None = None,
     epoch_minutes: float = 5.0,
+    qos: FarmQos | None = None,
+    server_qos: QosConstraint | None = None,
 ) -> ServerFarm:
     """A homogeneous Xeon farm of SleepScale servers."""
     power_model = xeon_power_model()
@@ -200,6 +230,7 @@ def _xeon_farm(
             backend=backend,
             search=search,
             epoch_minutes=epoch_minutes,
+            qos=server_qos,
         )
         for index in range(num_servers)
     )
@@ -208,6 +239,7 @@ def _xeon_farm(
         spec=spec,
         dispatcher=dispatcher or RoundRobinDispatcher(),
         search_cache=_shared_cache(search),
+        qos=qos,
     )
 
 
@@ -242,6 +274,70 @@ def _check_servers(num_servers: int) -> int:
     if num_servers < 1:
         raise ScenarioError(f"servers must be at least 1, got {num_servers}")
     return int(num_servers)
+
+
+def _check_dispatcher(kind: str) -> str:
+    if kind not in TENANT_DISPATCH_KINDS:
+        raise ScenarioError(
+            f"dispatcher must be one of {', '.join(TENANT_DISPATCH_KINDS)}, "
+            f"got {kind!r}"
+        )
+    return kind
+
+
+def _labelled_tenant_jobs(
+    spec: WorkloadSpec,
+    utilizations: list[np.ndarray],
+    *,
+    seed: int,
+    name: str,
+) -> JobTrace:
+    """One labelled stream per tenant, merged into a single arrival order.
+
+    Tenant *i*'s jobs are generated from ``utilizations[i]`` with an
+    offset seed and labelled ``i``; ``merge_streams`` preserves the labels
+    through the merge sort.
+    """
+    streams = []
+    for index, values in enumerate(utilizations):
+        trace = UtilizationTrace(
+            values, interval=minutes(1), name=f"{name}-tenant-{index}"
+        )
+        stream = generate_trace_driven_jobs(spec, trace, seed=seed + index).jobs
+        streams.append(
+            stream.with_tenant_ids(np.full(len(stream), index, dtype=np.int64))
+        )
+    return merge_streams(streams)
+
+
+def _tenant_farm(
+    num_servers: int,
+    spec: WorkloadSpec,
+    farm_qos: FarmQos,
+    dispatcher: str,
+    *,
+    seed: int,
+    backend: str,
+    search: str,
+) -> ServerFarm:
+    """A homogeneous Xeon farm honouring every tenant's budget.
+
+    The per-server policy search runs against the composite per-tenant
+    constraint (met iff every tenant's budget is met), so the binding
+    tenant budget — not a collapsed farm-wide one — drives frequency and
+    sleep-state selection, and the tenant table fingerprints the search
+    cache keys.
+    """
+    return _xeon_farm(
+        num_servers,
+        spec,
+        seed=seed,
+        backend=backend,
+        search=search,
+        dispatcher=make_tenant_dispatcher(dispatcher, farm_qos.tenants),
+        qos=farm_qos,
+        server_qos=farm_qos.composite_constraint(),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -598,6 +694,7 @@ def build_multiclass(
     dns_spec = dns_workload()
     google_spec = google_workload()
     streams = []
+    tenants = []
     for offset, (class_spec, load) in enumerate(
         ((dns_spec, dns_utilization), (google_spec, google_utilization))
     ):
@@ -605,8 +702,23 @@ def build_multiclass(
         trace = UtilizationTrace(
             values, interval=minutes(1), name=f"multiclass-{class_spec.name}"
         )
+        stream = generate_trace_driven_jobs(class_spec, trace, seed=seed + offset).jobs
+        # Each job class is a tenant: labels survive the merge and the
+        # dispatch, so FarmResult.tenant_rows() reports per-class latency
+        # without changing the (tenant-blind, round-robin) farm numbers.
         streams.append(
-            generate_trace_driven_jobs(class_spec, trace, seed=seed + offset).jobs
+            stream.with_tenant_ids(np.full(len(stream), offset, dtype=np.int64))
+        )
+        # Budget each class in absolute seconds against its *own* mean
+        # service time: the farm-level mean constraint normalises by the
+        # mixture mean, which would misjudge the individual classes.
+        tenants.append(
+            TenantSpec(
+                name=class_spec.name,
+                qos=percentile_qos_from_baseline(
+                    _RHO_B, class_spec.mean_service_time
+                ),
+            )
         )
     jobs = merge_streams(streams)
     spec = _mixture_spec(
@@ -615,7 +727,14 @@ def build_multiclass(
             (google_spec, google_utilization / google_spec.mean_service_time),
         ]
     )
-    farm = _xeon_farm(servers, spec, seed=seed, backend=backend, search=search)
+    farm = _xeon_farm(
+        servers,
+        spec,
+        seed=seed,
+        backend=backend,
+        search=search,
+        qos=FarmQos.per_tenant(*tenants),
+    )
     return BuiltScenario(
         name="multiclass",
         spec=spec,
@@ -1267,6 +1386,318 @@ def build_autoscale_surge(
             "policy": policy,
             "setup_latency_s": setup_latency_s,
             "min_awake": int(min_awake),
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+        search=search,
+    )
+
+
+# ---------------------------------------------------------------------------
+# noisy-neighbor / tenant-surge / priority-inversion
+# ---------------------------------------------------------------------------
+
+
+@scenario(
+    name="noisy-neighbor",
+    description=(
+        "Two tenants on a shared farm: a low-priority flash crowd erupts "
+        "against a steady latency-SLA victim. Under the tenant-blind "
+        "least-loaded dispatcher the crowd's predictor-lag overload queues "
+        "the victim's jobs too; priority or weighted-fair dispatch confines "
+        "the damage to the crowd's own servers."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 30, "length of the run"),
+        ScenarioParameter("victim_utilization", 0.15, "victim tenant's steady offered load (relative to one server)"),
+        ScenarioParameter("crowd_utilization", 0.9, "crowd tenant's offered load during its burst window"),
+        ScenarioParameter("crowd_base_utilization", 0.05, "crowd tenant's offered load outside the burst window"),
+        ScenarioParameter("crowd_start_minute", 10, "minute at which the crowd arrives"),
+        ScenarioParameter("crowd_minutes", 20, "how long the crowd persists (default: to the end of the run)"),
+        ScenarioParameter("servers", 2, "number of identical Xeon servers (>= 2, one per tenant)"),
+        ScenarioParameter("dispatcher", TENANT_DISPATCH_PRIORITY, "tenant dispatch kind: least-loaded, priority or weighted-fair"),
+        ScenarioParameter("workload", "google", "Table 5 workload class both tenants draw jobs from"),
+    ),
+)
+def build_noisy_neighbor(
+    *,
+    seed: int,
+    backend: str,
+    search: str,
+    duration_minutes: float,
+    victim_utilization: float,
+    crowd_utilization: float,
+    crowd_base_utilization: float,
+    crowd_start_minute: float,
+    crowd_minutes: float,
+    servers: int,
+    dispatcher: str,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    dispatcher = _check_dispatcher(dispatcher)
+    if servers < 2:
+        raise ScenarioError(
+            f"noisy-neighbor needs at least 2 servers (one per tenant), got {servers}"
+        )
+    for label, value in (
+        ("victim_utilization", victim_utilization),
+        ("crowd_utilization", crowd_utilization),
+        ("crowd_base_utilization", crowd_base_utilization),
+    ):
+        if not 0.0 < value <= 0.95:
+            raise ScenarioError(f"{label} must lie in (0, 0.95], got {value}")
+    start = int(round(crowd_start_minute))
+    length = int(round(crowd_minutes))
+    if start < 0 or length < 1:
+        raise ScenarioError(
+            f"crowd window [{start}, {start + length}) is invalid"
+        )
+    # Clip the window to the run so shrunken smoke runs keep their burst.
+    start = min(start, max(0, num_samples - length))
+    spec = workload_by_name(workload)
+    crowd_values = np.full(num_samples, crowd_base_utilization)
+    crowd_values[start : min(start + length, num_samples)] = crowd_utilization
+    victim_values = np.full(num_samples, victim_utilization)
+    jobs = _labelled_tenant_jobs(
+        spec, [crowd_values, victim_values], seed=seed, name="noisy-neighbor"
+    )
+    farm_qos = FarmQos.per_tenant(
+        TenantSpec(
+            name="crowd",
+            qos=mean_qos_from_baseline(_RHO_B),
+            weight=1.0,
+            priority=0,
+        ),
+        TenantSpec(
+            name="victim",
+            qos=percentile_qos_from_baseline(_RHO_B, spec.mean_service_time),
+            weight=1.0,
+            priority=1,
+        ),
+    )
+    farm = _tenant_farm(
+        servers, spec, farm_qos, dispatcher, seed=seed, backend=backend, search=search
+    )
+    return BuiltScenario(
+        name="noisy-neighbor",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "victim_utilization": victim_utilization,
+            "crowd_utilization": crowd_utilization,
+            "crowd_base_utilization": crowd_base_utilization,
+            "crowd_start_minute": start,
+            "crowd_minutes": length,
+            "servers": servers,
+            "dispatcher": dispatcher,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+        search=search,
+    )
+
+
+@scenario(
+    name="tenant-surge",
+    description=(
+        "Weighted-fair capacity split under a tenant-local load step: a "
+        "steady tenant shares the farm with a surging tenant whose load "
+        "steps up through the middle third of the run. The weighted-fair "
+        "partitions keep the steady tenant's latency flat while the surge "
+        "fills its own (larger, weight-proportional) share."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 30, "length of the run; the surge occupies the middle third"),
+        ScenarioParameter("steady_utilization", 0.2, "steady tenant's constant offered load"),
+        ScenarioParameter("surge_base_utilization", 0.1, "surging tenant's offered load outside the surge"),
+        ScenarioParameter("surge_utilization", 0.85, "surging tenant's offered load during the surge"),
+        ScenarioParameter("surge_weight", 2.0, "surging tenant's capacity weight (steady tenant has weight 1)"),
+        ScenarioParameter("servers", 3, "number of identical Xeon servers (>= 2, one per tenant)"),
+        ScenarioParameter("dispatcher", TENANT_DISPATCH_WEIGHTED_FAIR, "tenant dispatch kind: least-loaded, priority or weighted-fair"),
+        ScenarioParameter("workload", "google", "Table 5 workload class both tenants draw jobs from"),
+    ),
+)
+def build_tenant_surge(
+    *,
+    seed: int,
+    backend: str,
+    search: str,
+    duration_minutes: float,
+    steady_utilization: float,
+    surge_base_utilization: float,
+    surge_utilization: float,
+    surge_weight: float,
+    servers: int,
+    dispatcher: str,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    dispatcher = _check_dispatcher(dispatcher)
+    if servers < 2:
+        raise ScenarioError(
+            f"tenant-surge needs at least 2 servers (one per tenant), got {servers}"
+        )
+    if not 0.0 < surge_base_utilization <= surge_utilization <= 0.95:
+        raise ScenarioError(
+            "need 0 < surge_base_utilization <= surge_utilization <= 0.95, got "
+            f"[{surge_base_utilization}, {surge_utilization}]"
+        )
+    if not 0.0 < steady_utilization <= 0.95:
+        raise ScenarioError(
+            f"steady_utilization must lie in (0, 0.95], got {steady_utilization}"
+        )
+    if not surge_weight > 0:
+        raise ScenarioError(
+            f"surge_weight must be positive, got {surge_weight}"
+        )
+    spec = workload_by_name(workload)
+    steady_values = np.full(num_samples, steady_utilization)
+    surge_values = np.full(num_samples, surge_base_utilization)
+    surge_values[
+        num_samples // 3 : max(2 * num_samples // 3, num_samples // 3 + 1)
+    ] = surge_utilization
+    jobs = _labelled_tenant_jobs(
+        spec, [steady_values, surge_values], seed=seed, name="tenant-surge"
+    )
+    farm_qos = FarmQos.per_tenant(
+        TenantSpec(
+            name="steady",
+            qos=mean_qos_from_baseline(_RHO_B),
+            weight=1.0,
+        ),
+        TenantSpec(
+            name="surge",
+            qos=mean_qos_from_baseline(_RHO_B),
+            weight=surge_weight,
+        ),
+    )
+    farm = _tenant_farm(
+        servers, spec, farm_qos, dispatcher, seed=seed, backend=backend, search=search
+    )
+    return BuiltScenario(
+        name="tenant-surge",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "steady_utilization": steady_utilization,
+            "surge_base_utilization": surge_base_utilization,
+            "surge_utilization": surge_utilization,
+            "surge_weight": surge_weight,
+            "servers": servers,
+            "dispatcher": dispatcher,
+            "workload": workload,
+        },
+        backend=backend,
+        seed=seed,
+        search=search,
+    )
+
+
+@scenario(
+    name="priority-inversion",
+    description=(
+        "A square-wave batch tenant toggles between near-idle and flood "
+        "every few minutes, defeating the per-epoch predictor each time; a "
+        "small high-priority interactive tenant with a p95 SLA shares the "
+        "farm. Priority dispatch reserves the interactive tenant's servers "
+        "so the repeated batch overloads cannot invert its priority."
+    ),
+    parameters=(
+        ScenarioParameter("duration_minutes", 24, "length of the run"),
+        ScenarioParameter("interactive_utilization", 0.15, "interactive tenant's steady offered load"),
+        ScenarioParameter("batch_on_utilization", 0.9, "batch tenant's offered load in its on-phases"),
+        ScenarioParameter("batch_off_utilization", 0.05, "batch tenant's offered load in its off-phases"),
+        ScenarioParameter("phase_minutes", 6, "length of each batch on/off phase"),
+        ScenarioParameter("servers", 2, "number of identical Xeon servers (>= 2, one per tenant)"),
+        ScenarioParameter("dispatcher", TENANT_DISPATCH_PRIORITY, "tenant dispatch kind: least-loaded, priority or weighted-fair"),
+        ScenarioParameter("workload", "google", "Table 5 workload class both tenants draw jobs from"),
+    ),
+)
+def build_priority_inversion(
+    *,
+    seed: int,
+    backend: str,
+    search: str,
+    duration_minutes: float,
+    interactive_utilization: float,
+    batch_on_utilization: float,
+    batch_off_utilization: float,
+    phase_minutes: float,
+    servers: int,
+    dispatcher: str,
+    workload: str,
+) -> BuiltScenario:
+    num_samples = _check_duration(duration_minutes)
+    servers = _check_servers(servers)
+    dispatcher = _check_dispatcher(dispatcher)
+    if servers < 2:
+        raise ScenarioError(
+            "priority-inversion needs at least 2 servers (one per tenant), "
+            f"got {servers}"
+        )
+    for label, value in (
+        ("interactive_utilization", interactive_utilization),
+        ("batch_on_utilization", batch_on_utilization),
+        ("batch_off_utilization", batch_off_utilization),
+    ):
+        if not 0.0 < value <= 0.95:
+            raise ScenarioError(f"{label} must lie in (0, 0.95], got {value}")
+    phase = int(round(phase_minutes))
+    if phase < 1:
+        raise ScenarioError(
+            f"phase_minutes must be at least 1, got {phase_minutes}"
+        )
+    spec = workload_by_name(workload)
+    minute = np.arange(num_samples)
+    batch_values = np.where(
+        (minute // phase) % 2 == 1, batch_on_utilization, batch_off_utilization
+    ).astype(float)
+    interactive_values = np.full(num_samples, interactive_utilization)
+    jobs = _labelled_tenant_jobs(
+        spec,
+        [batch_values, interactive_values],
+        seed=seed,
+        name="priority-inversion",
+    )
+    farm_qos = FarmQos.per_tenant(
+        TenantSpec(
+            name="batch",
+            qos=mean_qos_from_baseline(_RHO_B),
+            weight=1.0,
+            priority=0,
+        ),
+        TenantSpec(
+            name="interactive",
+            qos=percentile_qos_from_baseline(_RHO_B, spec.mean_service_time),
+            weight=1.0,
+            priority=1,
+        ),
+    )
+    farm = _tenant_farm(
+        servers, spec, farm_qos, dispatcher, seed=seed, backend=backend, search=search
+    )
+    return BuiltScenario(
+        name="priority-inversion",
+        spec=spec,
+        jobs=jobs,
+        farm=farm,
+        parameters={
+            "duration_minutes": num_samples,
+            "interactive_utilization": interactive_utilization,
+            "batch_on_utilization": batch_on_utilization,
+            "batch_off_utilization": batch_off_utilization,
+            "phase_minutes": phase,
+            "servers": servers,
+            "dispatcher": dispatcher,
             "workload": workload,
         },
         backend=backend,

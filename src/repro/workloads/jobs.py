@@ -25,6 +25,26 @@ import numpy as np
 from repro.exceptions import TraceError
 
 
+def _validated_tenant_ids(
+    tenant_ids: Sequence[int] | np.ndarray | None, num_jobs: int
+) -> np.ndarray | None:
+    """Normalise and validate per-job tenant labels (``None`` = unlabelled)."""
+    if tenant_ids is None:
+        return None
+    labels = np.asarray(tenant_ids)
+    if labels.ndim != 1:
+        raise TraceError("tenant labels must be 1-D")
+    if labels.size != num_jobs:
+        raise TraceError(f"got {labels.size} tenant labels for {num_jobs} jobs")
+    if not np.issubdtype(labels.dtype, np.integer):
+        if labels.size and not np.array_equal(labels, labels.astype(np.int64)):
+            raise TraceError("tenant labels must be integers")
+    labels = labels.astype(np.int64, copy=False)
+    if labels.size and labels.min() < 0:
+        raise TraceError("tenant labels must be non-negative")
+    return labels
+
+
 @dataclass(frozen=True)
 class Job:
     """A single job: arrival time and nominal (full-frequency) service demand.
@@ -61,6 +81,7 @@ class JobTrace:
         arrival_times: Sequence[float] | np.ndarray,
         service_demands: Sequence[float] | np.ndarray,
         *,
+        tenant_ids: Sequence[int] | np.ndarray | None = None,
         _allow_empty: bool = False,
     ):
         arrivals = np.asarray(arrival_times, dtype=float)
@@ -81,6 +102,7 @@ class JobTrace:
             raise TraceError("arrival times must be non-decreasing")
         self._arrivals = arrivals
         self._demands = demands
+        self._tenant_ids = _validated_tenant_ids(tenant_ids, arrivals.size)
 
     # -- constructors --------------------------------------------------------
 
@@ -89,6 +111,8 @@ class JobTrace:
         cls,
         arrival_times: np.ndarray,
         service_demands: np.ndarray,
+        *,
+        tenant_ids: np.ndarray | None = None,
     ) -> "JobTrace":
         """Wrap arrays whose invariants are already known to hold — O(1).
 
@@ -115,6 +139,14 @@ class JobTrace:
         trace = cls.__new__(cls)
         trace._arrivals = arrivals
         trace._demands = demands
+        trace._tenant_ids = (
+            None if tenant_ids is None else np.asarray(tenant_ids, dtype=np.int64)
+        )
+        if trace._tenant_ids is not None and trace._tenant_ids.size != arrivals.size:
+            raise TraceError(
+                f"got {trace._tenant_ids.size} tenant labels for "
+                f"{arrivals.size} jobs"
+            )
         return trace
 
     @classmethod
@@ -181,6 +213,12 @@ class JobTrace:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, JobTrace):
             return NotImplemented
+        if (self._tenant_ids is None) != (other._tenant_ids is None):
+            return False
+        if self._tenant_ids is not None and not np.array_equal(
+            self._tenant_ids, other._tenant_ids
+        ):
+            return False
         return np.array_equal(self._arrivals, other._arrivals) and np.array_equal(
             self._demands, other._demands
         )
@@ -208,6 +246,33 @@ class JobTrace:
         view = self._demands.view()
         view.flags.writeable = False
         return view
+
+    @property
+    def tenant_ids(self) -> np.ndarray | None:
+        """Per-job tenant labels (int64, read-only view), or ``None``.
+
+        Labels are positional indices into a tenant table (see
+        :class:`repro.cluster.tenancy.FarmQos`); an unlabelled trace is the
+        single-tenant case.  Every transformation that preserves job
+        identity (:meth:`shifted`, :meth:`scaled_interarrivals`,
+        :meth:`slice_by_time`, :meth:`head`, :meth:`tail`,
+        :meth:`concatenated`, dispatch and merge) preserves the labels.
+        """
+        if self._tenant_ids is None:
+            return None
+        view = self._tenant_ids.view()
+        view.flags.writeable = False
+        return view
+
+    def with_tenant_ids(
+        self, tenant_ids: Sequence[int] | np.ndarray | None
+    ) -> "JobTrace":
+        """A copy of this trace carrying *tenant_ids* (``None`` clears them)."""
+        return JobTrace.from_validated_arrays(
+            self._arrivals,
+            self._demands,
+            tenant_ids=_validated_tenant_ids(tenant_ids, len(self)),
+        )
 
     @property
     def interarrival_times(self) -> np.ndarray:
@@ -263,12 +328,17 @@ class JobTrace:
 
     # -- transformations -------------------------------------------------------
 
+    def _copied_tenant_ids(self) -> np.ndarray | None:
+        return None if self._tenant_ids is None else self._tenant_ids.copy()
+
     def shifted(self, offset: float) -> "JobTrace":
         """Return a copy with every arrival time shifted by *offset* seconds."""
         shifted = self._arrivals + offset
         if np.any(shifted < 0):
             raise TraceError("shift would produce negative arrival times")
-        return JobTrace(shifted, self._demands.copy())
+        return JobTrace(
+            shifted, self._demands.copy(), tenant_ids=self._copied_tenant_ids()
+        )
 
     def scaled_interarrivals(self, factor: float) -> "JobTrace":
         """Stretch or compress the arrival process by *factor*.
@@ -281,7 +351,9 @@ class JobTrace:
         if factor <= 0 or not np.isfinite(factor):
             raise TraceError(f"inter-arrival scale factor must be positive, got {factor}")
         gaps = self.interarrival_times * factor
-        return JobTrace.from_interarrivals(gaps, self._demands.copy())
+        trace = JobTrace.from_interarrivals(gaps, self._demands.copy())
+        trace._tenant_ids = self._copied_tenant_ids()
+        return trace
 
     def scaled_to_utilization(self, utilization: float) -> "JobTrace":
         """Rescale inter-arrival times so the offered load equals *utilization*."""
@@ -309,7 +381,9 @@ class JobTrace:
         # Masked views of validated arrays keep every invariant (start >= 0,
         # so the re-basing cannot go negative): trusted construction.
         return JobTrace.from_validated_arrays(
-            self._arrivals[mask] - start, self._demands[mask]
+            self._arrivals[mask] - start,
+            self._demands[mask],
+            tenant_ids=None if self._tenant_ids is None else self._tenant_ids[mask],
         )
 
     def head(self, count: int) -> "JobTrace":
@@ -318,7 +392,11 @@ class JobTrace:
             raise TraceError(f"head count must be >= 1, got {count}")
         count = min(count, len(self))
         return JobTrace.from_validated_arrays(
-            self._arrivals[:count], self._demands[:count]
+            self._arrivals[:count],
+            self._demands[:count],
+            tenant_ids=(
+                None if self._tenant_ids is None else self._tenant_ids[:count]
+            ),
         )
 
     def tail(self, count: int) -> "JobTrace":
@@ -336,7 +414,11 @@ class JobTrace:
         count = min(count, len(self))
         arrivals = self._arrivals[-count:]
         return JobTrace.from_validated_arrays(
-            arrivals - arrivals[0], self._demands[-count:]
+            arrivals - arrivals[0],
+            self._demands[-count:],
+            tenant_ids=(
+                None if self._tenant_ids is None else self._tenant_ids[-count:]
+            ),
         )
 
     def concatenated(self, other: "JobTrace", gap: float = 0.0) -> "JobTrace":
@@ -346,7 +428,17 @@ class JobTrace:
         offset = self.end_time + gap
         arrivals = np.concatenate([self._arrivals, other._arrivals + offset])
         demands = np.concatenate([self._demands, other._demands])
-        return JobTrace(arrivals, demands)
+        if (self._tenant_ids is None) != (other._tenant_ids is None):
+            raise TraceError(
+                "cannot concatenate a tenant-labelled trace with an "
+                "unlabelled one; label both (with_tenant_ids) or neither"
+            )
+        labels = (
+            None
+            if self._tenant_ids is None
+            else np.concatenate([self._tenant_ids, other._tenant_ids])
+        )
+        return JobTrace(arrivals, demands, tenant_ids=labels)
 
     # -- persistence ------------------------------------------------------------
 

@@ -1,0 +1,218 @@
+"""Property-based tests for the multi-tenant dispatch contract.
+
+Fuzzes the server partitioner and both tenant-aware dispatchers with
+hypothesis: largest-remainder partitions are contiguous, exhaustive and
+weight-proportional within one server; weighted-fair dispatch confines
+every tenant to its own block (no cross-tenant contamination, ever);
+priority dispatch never places a job above its tenant's block (a
+low-priority flood cannot occupy a higher-priority tenant's servers) and
+only overflows downward onto servers that were tracked-idle at arrival
+(work conservation without queue contamination); and with a single
+tenant both dispatchers degenerate to the least-loaded oracle exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dispatch import LeastLoadedDispatcher, WorkTracker
+from repro.cluster.tenancy import (
+    PriorityDispatcher,
+    TenantSpec,
+    WeightedFairDispatcher,
+    tenant_partitions,
+)
+from repro.core.qos import mean_qos_from_baseline
+from repro.workloads.jobs import JobTrace
+
+_QOS = mean_qos_from_baseline(0.8)
+
+
+def _tenant_table(weights, priorities=None):
+    priorities = priorities or [0] * len(weights)
+    return tuple(
+        TenantSpec(
+            name=f"tenant-{index}",
+            qos=_QOS,
+            weight=weight,
+            priority=priority,
+        )
+        for index, (weight, priority) in enumerate(zip(weights, priorities))
+    )
+
+
+weights_strategy = st.lists(
+    st.floats(min_value=0.05, max_value=20.0, allow_nan=False),
+    min_size=1,
+    max_size=6,
+)
+
+
+@st.composite
+def labelled_stream(draw, max_tenants: int = 4):
+    num_tenants = draw(st.integers(min_value=1, max_value=max_tenants))
+    num_jobs = draw(st.integers(min_value=1, max_value=120))
+    interarrivals = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.3, allow_nan=False),
+            min_size=num_jobs,
+            max_size=num_jobs,
+        )
+    )
+    demands = draw(
+        st.lists(
+            st.floats(min_value=1e-4, max_value=0.5, allow_nan=False),
+            min_size=num_jobs,
+            max_size=num_jobs,
+        )
+    )
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_tenants - 1),
+            min_size=num_jobs,
+            max_size=num_jobs,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=8.0, allow_nan=False),
+            min_size=num_tenants,
+            max_size=num_tenants,
+        )
+    )
+    priorities = draw(
+        st.lists(
+            st.integers(min_value=-3, max_value=3),
+            min_size=num_tenants,
+            max_size=num_tenants,
+        )
+    )
+    trace = JobTrace(
+        np.cumsum(interarrivals),
+        np.asarray(demands),
+        tenant_ids=np.asarray(labels, dtype=np.int64),
+    )
+    return trace, _tenant_table(weights, priorities)
+
+
+class TestPartitionProperties:
+    @given(
+        weights=weights_strategy,
+        spare=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_partitions_are_contiguous_exhaustive_and_fair(self, weights, spare):
+        tenants = _tenant_table(weights)
+        num_servers = len(tenants) + spare
+        partitions = tenant_partitions(num_servers, tenants)
+        # Contiguous cover of [0, num_servers), in order.
+        cursor = 0
+        for start, size in partitions:
+            assert start == cursor
+            assert size >= 1
+            cursor += size
+        assert cursor == num_servers
+        # Largest-remainder fairness: each tenant's share of the spare
+        # servers is its exact quota rounded down or up, never further.
+        total_weight = sum(tenant.weight for tenant in tenants)
+        for tenant, (_, size) in zip(tenants, partitions):
+            quota = spare * tenant.weight / total_weight
+            assert 1 + math.floor(quota) <= size <= 1 + math.ceil(quota)
+
+    @given(weights=weights_strategy, data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_partitions_are_deterministic(self, weights, data):
+        tenants = _tenant_table(weights)
+        num_servers = len(tenants) + data.draw(
+            st.integers(min_value=0, max_value=20)
+        )
+        assert tenant_partitions(num_servers, tenants) == tenant_partitions(
+            num_servers, tenants
+        )
+
+
+class TestWeightedFairProperties:
+    @given(stream=labelled_stream(), spare=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_every_job_lands_in_its_tenants_block(self, stream, spare):
+        jobs, tenants = stream
+        num_servers = len(tenants) + spare
+        assignment = WeightedFairDispatcher(tenants).assign(jobs, num_servers)
+        assert assignment.shape == (len(jobs),)
+        partitions = tenant_partitions(num_servers, tenants)
+        labels = np.asarray(jobs.tenant_ids)
+        for tenant, (start, size) in enumerate(partitions):
+            servers = assignment[labels == tenant]
+            if servers.size == 0:
+                continue
+            assert servers.min() >= start
+            assert servers.max() < start + size
+
+
+class TestPriorityProperties:
+    @given(stream=labelled_stream(), spare=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_no_job_ever_lands_above_its_tenants_block(self, stream, spare):
+        """Non-starvation of the high-priority tenants: lower-priority jobs
+        may overflow *down*, never up into a higher-priority block."""
+        jobs, tenants = stream
+        num_servers = len(tenants) + spare
+        assignment = PriorityDispatcher(tenants).assign(jobs, num_servers)
+        order = sorted(
+            range(len(tenants)), key=lambda t: (-tenants[t].priority, t)
+        )
+        partitions = tenant_partitions(
+            num_servers, [tenants[t] for t in order]
+        )
+        block_start = {}
+        for rank, tenant in enumerate(order):
+            block_start[tenant] = partitions[rank][0]
+        labels = np.asarray(jobs.tenant_ids)
+        for index, server in enumerate(assignment):
+            assert server >= block_start[labels[index]]
+
+    @given(stream=labelled_stream(), spare=st.integers(min_value=0, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_overflow_only_onto_idle_servers(self, stream, spare):
+        """Replaying the tracker: a job leaves its own block only when the
+        whole block is busy, and only for a server that is idle at its
+        arrival (it starts immediately — work conservation without
+        queueing behind a foreign backlog)."""
+        jobs, tenants = stream
+        num_servers = len(tenants) + spare
+        assignment = PriorityDispatcher(tenants).assign(jobs, num_servers)
+        order = sorted(
+            range(len(tenants)), key=lambda t: (-tenants[t].priority, t)
+        )
+        partitions = tenant_partitions(
+            num_servers, [tenants[t] for t in order]
+        )
+        blocks = {}
+        for rank, tenant in enumerate(order):
+            blocks[tenant] = partitions[rank]
+        labels = np.asarray(jobs.tenant_ids)
+        tracker = WorkTracker(num_servers, None)
+        for index, server in enumerate(assignment):
+            arrival = jobs.arrival_times[index]
+            start, size = blocks[labels[index]]
+            if not (start <= server < start + size):
+                own_block = tracker.busy_until[start : start + size]
+                assert all(busy > arrival for busy in own_block)
+                assert tracker.busy_until[server] <= arrival
+            tracker.charge(server, arrival, jobs.service_demands[index])
+
+
+class TestSingleTenantDegeneracy:
+    @given(stream=labelled_stream(max_tenants=1), spare=st.integers(0, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_both_dispatchers_reduce_to_least_loaded(self, stream, spare):
+        jobs, tenants = stream
+        num_servers = 1 + spare
+        oracle = LeastLoadedDispatcher().assign(jobs, num_servers)
+        for dispatcher_cls in (PriorityDispatcher, WeightedFairDispatcher):
+            fast = dispatcher_cls(tenants).assign(jobs, num_servers)
+            assert np.array_equal(oracle, fast), dispatcher_cls.__name__
